@@ -1,0 +1,25 @@
+"""Figure 1: relative improvement of model accuracy over marginals (DP vs no noise)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.model_accuracy import run_model_improvement
+
+
+def test_figure1_relative_improvement(benchmark, context, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_model_improvement(
+            context, num_eval_records=300, epsilons=(None, 1.0, 0.1), repeats=2
+        ),
+    )
+    record_result("figure1_model_improvement.txt", result)
+
+    unnoised = np.array(result.column("no noise"), dtype=float)
+    eps1 = np.array(result.column("epsilon=1.0"), dtype=float)
+
+    # Shape check (paper, Figure 1): the generative model improves on the
+    # marginals for a majority of attributes, and the eps=1 DP model keeps
+    # most of the un-noised model's improvement on average.
+    assert np.sum(unnoised > 0) >= 6
+    assert eps1.mean() >= unnoised.mean() - 0.25

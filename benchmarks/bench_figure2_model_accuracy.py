@@ -1,0 +1,25 @@
+"""Figure 2: per-attribute model accuracy vs random forest, marginals, random."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.model_accuracy import run_model_accuracy
+
+
+def test_figure2_model_accuracy(benchmark, context, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_model_accuracy(context, num_eval_records=300, forest_train_records=4_000),
+    )
+    record_result("figure2_model_accuracy.txt", result)
+
+    generative = np.array(result.column("generative"), dtype=float)
+    marginals = np.array(result.column("marginals"), dtype=float)
+    random_guess = np.array(result.column("random"), dtype=float)
+
+    # Shape check (paper, Figure 2): the generative model beats random
+    # guessing everywhere and beats the marginal predictor on average and on
+    # a majority of attributes.
+    assert np.all(generative >= random_guess - 0.02)
+    assert generative.mean() > marginals.mean()
+    assert np.sum(generative >= marginals - 1e-9) >= 6

@@ -1,0 +1,22 @@
+"""Figure 3: statistical distance of single-attribute distributions."""
+
+from conftest import run_once
+
+from repro.experiments.statistical_distance import run_single_attribute_distance
+
+
+def test_figure3_single_attribute_distance(benchmark, context, record_result):
+    result = run_once(benchmark, lambda: run_single_attribute_distance(context))
+    record_result("figure3_distance_single.txt", result)
+
+    reals = result.row_by_key("reals")[1]
+    marginals = result.row_by_key("marginals")[1]
+    synthetics = result.row_by_key("omega=9")[1]
+
+    # Shape check (paper, Figure 3): all single-attribute distances are small;
+    # marginals and synthetics are both close to the real-vs-real noise floor,
+    # with marginals sometimes slightly ahead on single attributes.
+    assert reals < 0.1
+    assert marginals < 0.2
+    assert synthetics < 0.2
+    assert synthetics < 3 * max(marginals, 0.02)

@@ -1,0 +1,20 @@
+"""Figure 4: statistical distance of attribute-pair joint distributions."""
+
+from conftest import run_once
+
+from repro.experiments.statistical_distance import run_pairwise_distance
+
+
+def test_figure4_pairwise_distance(benchmark, context, record_result):
+    result = run_once(benchmark, lambda: run_pairwise_distance(context))
+    record_result("figure4_distance_pairs.txt", result)
+
+    marginals = result.row_by_key("marginals")[1]
+    synthetics = [
+        result.row_by_key(variant)[1]
+        for variant in ("omega=11", "omega=10", "omega=9")
+    ]
+
+    # Shape check (paper, Figure 4): synthetics preserve pairwise structure
+    # better than the independent marginals baseline.
+    assert min(synthetics) < marginals

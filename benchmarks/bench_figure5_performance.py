@@ -1,0 +1,35 @@
+"""Figure 5: generation performance (model learning vs synthesis time)."""
+
+from conftest import run_once
+
+from repro.experiments.performance import run_parallel_scaling, run_performance_measurement
+
+
+def test_figure5_generation_performance(benchmark, context, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_performance_measurement(context, checkpoints=(250, 500, 1_000, 2_000)),
+    )
+    record_result("figure5_performance.txt", result)
+
+    produced = result.column("synthetics produced")
+    synthesis = result.column("synthesis (s)")
+    rates = result.column("records / second")
+
+    # Shape check (paper, Figure 5): synthesis time grows roughly linearly in
+    # the number of records (constant per-record cost), and the one-off model
+    # learning cost does not grow with the number of synthetics.
+    assert produced == sorted(produced)
+    assert synthesis == sorted(synthesis)
+    assert min(rates) > 0.3 * max(rates)
+
+
+def test_figure5_parallel_scaling(benchmark, context, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_parallel_scaling(context, num_attempts=600, worker_counts=(1, 2)),
+    )
+    record_result("figure5_parallel_scaling.txt", result)
+
+    attempts = result.column("attempts")
+    assert all(count == 600 for count in attempts)

@@ -1,0 +1,36 @@
+"""Figure 6: privacy-test pass rate as a function of k and ω (γ = 2)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.pass_rate import run_pass_rate_sweep
+
+
+def test_figure6_pass_rate_sweep(benchmark, context, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_pass_rate_sweep(
+            context,
+            k_values=(10, 25, 50, 100, 150, 250),
+            omegas=(7, 8, 9, 10, (5, 6, 7, 8, 9, 10, 11)),
+            gamma=2.0,
+            num_candidates=300,
+        ),
+    )
+    record_result("figure6_pass_rate.txt", result)
+
+    k_values = result.column("k")
+    omega10 = np.array(result.column("omega=10"), dtype=float)
+    omega7 = np.array(result.column("omega=7"), dtype=float)
+    mixed = np.array(result.column("omega in [5-11]"), dtype=float)
+
+    # Shape checks (paper, Figure 6):
+    # 1. the pass rate is non-increasing in k for every omega,
+    for column in (omega7, omega10, mixed):
+        assert np.all(np.diff(column) <= 1e-9)
+    # 2. larger omega admits more plausible seeds, so omega=10 dominates omega=7,
+    assert np.all(omega10 >= omega7 - 1e-9)
+    # 3. even at strict settings (k=100) a substantial fraction still passes
+    #    for high omega, which is what makes large-scale synthesis practical.
+    k_index = k_values.index(100)
+    assert omega10[k_index] > 0.5

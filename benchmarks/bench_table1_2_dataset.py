@@ -1,0 +1,21 @@
+"""Tables 1-2: dataset schema and extraction / cleaning statistics."""
+
+from conftest import run_once
+
+from repro.experiments.dataset_summary import run_attribute_table, run_dataset_summary
+
+
+def test_table1_attribute_schema(benchmark, context, record_result):
+    result = run_once(benchmark, lambda: run_attribute_table(context))
+    record_result("table1_attributes.txt", result)
+    assert len(result.rows) == 11
+
+
+def test_table2_cleaning_statistics(benchmark, context, record_result):
+    result = run_once(benchmark, lambda: run_dataset_summary(context))
+    record_result("table2_cleaning.txt", result)
+    raw = result.row_by_key("raw records")[1]
+    clean = result.row_by_key("clean records")[1]
+    assert 0 < clean < raw
+    # Most records are unique, as in the paper's Table 2.
+    assert result.row_by_key("unique record fraction")[1] > 0.5

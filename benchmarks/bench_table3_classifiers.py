@@ -1,0 +1,25 @@
+"""Table 3: classifier accuracy and agreement rate per training dataset."""
+
+from conftest import run_once
+
+from repro.experiments.classifier_comparison import run_classifier_comparison
+
+
+def test_table3_classifier_comparison(benchmark, context, record_result):
+    result = run_once(benchmark, lambda: run_classifier_comparison(context))
+    record_result("table3_classifiers.txt", result)
+
+    reals = result.row_by_key("reals")
+    marginals = result.row_by_key("marginals")
+    synthetics = result.row_by_key("omega=9")
+    headers = result.headers
+
+    rf_accuracy = headers.index("RF accuracy")
+    rf_agreement = headers.index("RF agreement")
+
+    # Shape check (paper, Table 3): classifiers trained on synthetics land
+    # between the marginals baseline and the reals-trained classifiers, and
+    # their agreement with the reals-trained model beats the marginals'.
+    assert reals[rf_accuracy] >= synthetics[rf_accuracy] - 0.03
+    assert synthetics[rf_accuracy] > marginals[rf_accuracy]
+    assert synthetics[rf_agreement] > marginals[rf_agreement]

@@ -1,0 +1,22 @@
+"""Table 5: the real-vs-synthetic distinguishing game."""
+
+from conftest import run_once
+
+from repro.experiments.distinguishing import run_distinguishing_game
+
+
+def test_table5_distinguishing_game(benchmark, context, record_result):
+    result = run_once(benchmark, lambda: run_distinguishing_game(context))
+    record_result("table5_distinguishing.txt", result)
+
+    marginals_rf = result.row_by_key("marginals")[1]
+    synthetic_rows = [
+        result.row_by_key(variant) for variant in ("omega=11", "omega=10", "omega=9")
+    ]
+
+    # Shape check (paper, Table 5): the adversary distinguishes marginals from
+    # reals far more easily than it distinguishes the Bayesian-network
+    # synthetics, which stay much closer to the 50% indistinguishability line.
+    best_synthetic_rf = min(row[1] for row in synthetic_rows)
+    assert best_synthetic_rf < marginals_rf
+    assert best_synthetic_rf < 0.85

@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures by running
+the corresponding experiment from :mod:`repro.experiments` on a shared
+:class:`~repro.experiments.harness.ExperimentContext`.  The context (dataset,
+fitted DP models, synthetic datasets) is built once per session; individual
+benchmarks then time the experiment itself and write the resulting table to
+``benchmarks/results/`` so the numbers can be inspected after the run.
+
+The data scale is configurable through environment variables so a quick smoke
+run and a full-scale reproduction use the same code:
+
+* ``REPRO_BENCH_RAW_RECORDS`` (default 200000) — raw ACS-like records sampled;
+* ``REPRO_BENCH_SYNTHETIC_RECORDS`` (default 2000) — released synthetics per ω.
+
+The trends sharpen as the scale grows (the paper uses 3.1M records); the
+defaults keep the full suite at a few minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentContext, ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The shared experiment context used by every benchmark."""
+    return ExperimentContext(
+        num_raw_records=_int_env("REPRO_BENCH_RAW_RECORDS", 200_000),
+        synthetic_records=_int_env("REPRO_BENCH_SYNTHETIC_RECORDS", 2_000),
+        total_epsilon=1.0,
+        k=50,
+        gamma=4.0,
+        epsilon0=1.0,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write an experiment result table to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(filename: str, result: ExperimentResult) -> ExperimentResult:
+        path = RESULTS_DIR / filename
+        path.write_text(result.to_text() + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

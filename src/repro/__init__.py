@@ -1,0 +1,63 @@
+"""repro — Plausible Deniability for Privacy-Preserving Data Synthesis.
+
+A from-scratch Python reproduction of Bindschaedler, Shokri and Gunter,
+"Plausible Deniability for Privacy-Preserving Data Synthesis" (VLDB 2017).
+
+The public API groups into:
+
+* :mod:`repro.datasets` — schemas, encoded datasets and the ACS-like census
+  data used throughout the evaluation;
+* :mod:`repro.stats` — entropy / correlation / distribution-distance measures;
+* :mod:`repro.privacy` — the Laplace mechanism, DP composition, and the
+  plausible-deniability criterion with its deterministic and randomized
+  privacy tests (Theorem 1);
+* :mod:`repro.generative` — the seed-based Bayesian-network synthesizer, the
+  marginals baseline and their differentially-private learners;
+* :mod:`repro.core` — Mechanism 1 and the end-to-end synthesis pipeline;
+* :mod:`repro.ml` — from-scratch classifiers used by the utility evaluation;
+* :mod:`repro.experiments` — one module per table / figure of the paper.
+
+Quickstart::
+
+    from repro.datasets import load_acs
+    from repro.core import SynthesisPipeline, GenerationConfig
+
+    data = load_acs(num_records=20_000, seed=7)
+    pipeline = SynthesisPipeline(data, GenerationConfig.paper_defaults())
+    report = pipeline.generate(num_records=500)
+    synthetic = report.released_dataset()
+"""
+
+from repro.core import GenerationConfig, SynthesisMechanism, SynthesisPipeline
+from repro.datasets import ACS_SCHEMA, Dataset, Schema, load_acs
+from repro.generative import (
+    BayesianNetworkSynthesizer,
+    GenerativeModelSpec,
+    MarginalSynthesizer,
+    fit_bayesian_network,
+    fit_marginal_model,
+)
+from repro.privacy import (
+    PlausibleDeniabilityParams,
+    theorem1_guarantee,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Dataset",
+    "Schema",
+    "ACS_SCHEMA",
+    "load_acs",
+    "GenerationConfig",
+    "SynthesisMechanism",
+    "SynthesisPipeline",
+    "BayesianNetworkSynthesizer",
+    "MarginalSynthesizer",
+    "GenerativeModelSpec",
+    "fit_bayesian_network",
+    "fit_marginal_model",
+    "PlausibleDeniabilityParams",
+    "theorem1_guarantee",
+]

@@ -1,0 +1,27 @@
+"""Core of the paper: Mechanism 1 and the end-to-end synthesis pipeline.
+
+* :mod:`repro.core.config` — configuration objects tying together the privacy
+  test parameters and the generative-model specification;
+* :mod:`repro.core.mechanism` — Mechanism 1 (seed → candidate → privacy test →
+  release) with both the deterministic and randomized privacy tests;
+* :mod:`repro.core.results` — release bookkeeping (attempts, pass rates);
+* :mod:`repro.core.pipeline` — the full tool: split the data, fit the DP
+  generative model, generate and filter synthetics, report the privacy budget;
+* :mod:`repro.core.parallel` — embarrassingly-parallel generation across
+  worker processes (Section 5 / Figure 5).
+"""
+
+from repro.core.config import GenerationConfig
+from repro.core.mechanism import SynthesisMechanism
+from repro.core.parallel import generate_in_parallel
+from repro.core.pipeline import SynthesisPipeline
+from repro.core.results import SynthesisAttempt, SynthesisReport
+
+__all__ = [
+    "GenerationConfig",
+    "SynthesisMechanism",
+    "SynthesisPipeline",
+    "SynthesisAttempt",
+    "SynthesisReport",
+    "generate_in_parallel",
+]

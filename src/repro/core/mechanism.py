@@ -1,0 +1,124 @@
+"""Mechanism 1: seed sampling, candidate generation and the privacy test.
+
+Given a generative model M, a seed dataset D and privacy parameters (k, γ)
+(plus ε0 for the randomized test), the mechanism:
+
+1. samples a seed record d uniformly at random from D,
+2. generates a candidate synthetic y = M(d),
+3. runs the privacy test on (M, D, d, y, k, γ),
+4. releases y iff the test passes (otherwise there is no output).
+
+The test counts *plausible seeds*: records of D whose probability of
+generating y falls into the same geometric bucket as the true seed's.  The
+mechanism asks the model for those probabilities via
+``batch_seed_probabilities`` so that models can vectorize the computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import SynthesisAttempt, SynthesisReport
+from repro.datasets.dataset import Dataset
+from repro.generative.base import GenerativeModel
+from repro.privacy.plausible_deniability import (
+    PlausibleDeniabilityParams,
+    make_privacy_test,
+)
+
+__all__ = ["SynthesisMechanism"]
+
+
+class SynthesisMechanism:
+    """Mechanism 1 of the paper, parameterized by a model and a privacy test."""
+
+    def __init__(
+        self,
+        model: GenerativeModel,
+        seed_dataset: Dataset,
+        params: PlausibleDeniabilityParams,
+    ):
+        if seed_dataset.schema != model.schema:
+            raise ValueError("the seed dataset's schema must match the model's schema")
+        if len(seed_dataset) < params.k:
+            raise ValueError(
+                f"the seed dataset must hold at least k={params.k} records, "
+                f"got {len(seed_dataset)}"
+            )
+        self._model = model
+        self._seeds = seed_dataset
+        self._params = params
+        self._test = make_privacy_test(params)
+
+    @property
+    def model(self) -> GenerativeModel:
+        """The generative model M."""
+        return self._model
+
+    @property
+    def seed_dataset(self) -> Dataset:
+        """The seed dataset DS."""
+        return self._seeds
+
+    @property
+    def params(self) -> PlausibleDeniabilityParams:
+        """The plausible-deniability parameters."""
+        return self._params
+
+    # ------------------------------------------------------------------ #
+    # Single-candidate operation
+    # ------------------------------------------------------------------ #
+    def propose(self, rng: np.random.Generator) -> SynthesisAttempt:
+        """Run steps 1-3 of Mechanism 1 once and return the attempt."""
+        seed_index = int(rng.integers(len(self._seeds)))
+        seed = self._seeds.record(seed_index)
+        candidate = self._model.generate(seed, rng)
+        return self.evaluate_candidate(seed_index, candidate, rng)
+
+    def evaluate_candidate(
+        self,
+        seed_index: int,
+        candidate: np.ndarray,
+        rng: np.random.Generator,
+    ) -> SynthesisAttempt:
+        """Run the privacy test for an externally generated candidate."""
+        seed = self._seeds.record(seed_index)
+        seed_probability = self._model.seed_probability(seed, candidate)
+        dataset_probabilities = self._model.batch_seed_probabilities(
+            self._seeds.data, candidate
+        )
+        result = self._test(seed_probability, dataset_probabilities, rng)
+        return SynthesisAttempt(seed_index=seed_index, candidate=candidate, test=result)
+
+    # ------------------------------------------------------------------ #
+    # Batch operation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        num_released: int,
+        rng: np.random.Generator,
+        max_attempts: int | None = None,
+    ) -> SynthesisReport:
+        """Propose candidates until ``num_released`` records pass the test.
+
+        ``max_attempts`` bounds the total number of proposals (default: 100
+        attempts per requested record); the report may therefore contain fewer
+        released records than requested when the privacy parameters are
+        strict.
+        """
+        if num_released < 0:
+            raise ValueError("num_released must be non-negative")
+        limit = max_attempts if max_attempts is not None else 100 * max(1, num_released)
+        report = SynthesisReport(schema=self._seeds.schema)
+        while report.num_released < num_released and report.num_attempts < limit:
+            report.record(self.propose(rng))
+        return report
+
+    def run_attempts(self, num_attempts: int, rng: np.random.Generator) -> SynthesisReport:
+        """Propose exactly ``num_attempts`` candidates (used for pass-rate studies)."""
+        if num_attempts < 0:
+            raise ValueError("num_attempts must be non-negative")
+        report = SynthesisReport(schema=self._seeds.schema)
+        for _ in range(num_attempts):
+            report.record(self.propose(rng))
+        return report

@@ -1,0 +1,186 @@
+"""The end-to-end synthesis pipeline (the paper's tool, Section 5).
+
+Given an input dataset and a :class:`~repro.core.config.GenerationConfig`, the
+pipeline:
+
+1. splits the data into the DS (seeds), DT (structure), DP (parameters) and
+   test subsets,
+2. fits the differentially-private Bayesian-network generative model (and the
+   DP marginals baseline),
+3. runs Mechanism 1 to generate and filter synthetic records,
+4. tracks the privacy budget spent on model learning and reports the overall
+   (ε, δ) guarantee, including the Theorem 1 guarantee of the release step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.mechanism import SynthesisMechanism
+from repro.core.results import SynthesisReport
+from repro.datasets.dataset import Dataset
+from repro.datasets.splits import DataSplits, split_dataset
+from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+from repro.generative.builder import fit_bayesian_network, fit_marginal_model
+from repro.generative.marginal import MarginalSynthesizer
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.plausible_deniability import theorem1_guarantee
+
+__all__ = ["PipelineTimings", "SynthesisPipeline"]
+
+
+@dataclass
+class PipelineTimings:
+    """Wall-clock timings of the two pipeline phases (Figure 5)."""
+
+    model_learning_seconds: float = 0.0
+    synthesis_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total pipeline time."""
+        return self.model_learning_seconds + self.synthesis_seconds
+
+
+class SynthesisPipeline:
+    """Fit the DP generative model and generate plausibly-deniable synthetics."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: GenerationConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self._dataset = dataset
+        self._config = config if config is not None else GenerationConfig.paper_defaults()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._splits: DataSplits | None = None
+        self._model: BayesianNetworkSynthesizer | None = None
+        self._marginal_model: MarginalSynthesizer | None = None
+        self._mechanism: SynthesisMechanism | None = None
+        self._accountant = PrivacyAccountant()
+        self._baseline_accountant = PrivacyAccountant()
+        self._timings = PipelineTimings()
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> GenerationConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    @property
+    def splits(self) -> DataSplits:
+        """The DS / DT / DP / test splits (available after :meth:`fit`)."""
+        if self._splits is None:
+            raise RuntimeError("call fit() before accessing the splits")
+        return self._splits
+
+    @property
+    def model(self) -> BayesianNetworkSynthesizer:
+        """The fitted seed-based generative model (available after :meth:`fit`)."""
+        if self._model is None:
+            raise RuntimeError("call fit() before accessing the model")
+        return self._model
+
+    @property
+    def marginal_model(self) -> MarginalSynthesizer:
+        """The fitted marginals baseline (available after :meth:`fit`)."""
+        if self._marginal_model is None:
+            raise RuntimeError("call fit() before accessing the marginal model")
+        return self._marginal_model
+
+    @property
+    def mechanism(self) -> SynthesisMechanism:
+        """Mechanism 1 wired to the fitted model (available after :meth:`fit`)."""
+        if self._mechanism is None:
+            raise RuntimeError("call fit() before accessing the mechanism")
+        return self._mechanism
+
+    @property
+    def accountant(self) -> PrivacyAccountant:
+        """The privacy ledger of the model-learning phase."""
+        return self._accountant
+
+    @property
+    def timings(self) -> PipelineTimings:
+        """Wall-clock timings of the phases run so far."""
+        return self._timings
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+    def fit(self) -> "SynthesisPipeline":
+        """Split the data and fit the DP generative model and baseline."""
+        start = time.perf_counter()
+        config = self._config
+        self._splits = split_dataset(
+            self._dataset,
+            seed_fraction=config.seed_fraction,
+            structure_fraction=config.structure_fraction,
+            parameter_fraction=config.parameter_fraction,
+            rng=self._rng,
+        )
+        self._model = fit_bayesian_network(
+            self._splits.structure,
+            self._splits.parameters,
+            spec=config.model,
+            accountant=self._accountant,
+            rng=self._rng,
+        )
+        # The marginals baseline is a separate release used only for utility
+        # comparisons, so its budget is tracked on its own ledger.
+        self._marginal_model = fit_marginal_model(
+            self._splits.parameters,
+            epsilon=config.model.epsilon_parameters,
+            alpha=config.model.alpha,
+            accountant=self._baseline_accountant,
+            rng=self._rng,
+        )
+        self._mechanism = SynthesisMechanism(
+            self._model, self._splits.seeds, config.privacy
+        )
+        self._timings.model_learning_seconds += time.perf_counter() - start
+        return self
+
+    def generate(self, num_records: int, max_attempts: int | None = None) -> SynthesisReport:
+        """Generate synthetics until ``num_records`` pass the privacy test."""
+        if self._mechanism is None:
+            self.fit()
+        assert self._mechanism is not None
+        start = time.perf_counter()
+        if max_attempts is None:
+            max_attempts = self._config.max_attempts_per_release * max(1, num_records)
+        report = self._mechanism.generate(num_records, self._rng, max_attempts)
+        self._timings.synthesis_seconds += time.perf_counter() - start
+        return report
+
+    def generate_marginals(self, num_records: int) -> Dataset:
+        """Generate records from the marginals baseline (no privacy test needed)."""
+        if self._marginal_model is None:
+            self.fit()
+        assert self._marginal_model is not None
+        data = self._marginal_model.generate_many(num_records, self._rng)
+        return Dataset(self._dataset.schema, data)
+
+    # ------------------------------------------------------------------ #
+    # Privacy reporting
+    # ------------------------------------------------------------------ #
+    def model_privacy_guarantee(self) -> tuple[float, float]:
+        """Total (ε, δ) spent learning the model (DT and DP are disjoint)."""
+        return self._accountant.total_guarantee(disjoint_scopes=True)
+
+    def release_privacy_guarantee(self, t: int | None = None) -> tuple[float, float, int]:
+        """Theorem 1 guarantee of releasing a single synthetic record."""
+        params = self._config.privacy
+        if params.epsilon0 is None:
+            raise ValueError(
+                "the deterministic test provides plausible deniability only; "
+                "use the randomized test (epsilon0) for a differential-privacy guarantee"
+            )
+        return theorem1_guarantee(params.k, params.gamma, params.epsilon0, t)

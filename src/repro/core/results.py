@@ -1,0 +1,84 @@
+"""Bookkeeping structures for synthesis runs (attempts, pass rates, releases)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Schema
+from repro.privacy.plausible_deniability import PrivacyTestResult
+
+__all__ = ["SynthesisAttempt", "SynthesisReport"]
+
+
+@dataclass(frozen=True)
+class SynthesisAttempt:
+    """One proposed candidate synthetic and its privacy-test outcome."""
+
+    seed_index: int
+    candidate: np.ndarray
+    test: PrivacyTestResult
+
+    @property
+    def released(self) -> bool:
+        """Whether the candidate passed the test and may be released."""
+        return self.test.passed
+
+
+@dataclass
+class SynthesisReport:
+    """Aggregated outcome of a synthesis run."""
+
+    schema: Schema
+    attempts: list[SynthesisAttempt] = field(default_factory=list)
+
+    def record(self, attempt: SynthesisAttempt) -> None:
+        """Append one attempt to the report."""
+        self.attempts.append(attempt)
+
+    @property
+    def num_attempts(self) -> int:
+        """Total number of candidates proposed."""
+        return len(self.attempts)
+
+    @property
+    def num_released(self) -> int:
+        """Number of candidates that passed the privacy test."""
+        return sum(1 for attempt in self.attempts if attempt.released)
+
+    @property
+    def pass_rate(self) -> float:
+        """Fraction of candidates that passed the privacy test (Figure 6)."""
+        if not self.attempts:
+            return 0.0
+        return self.num_released / self.num_attempts
+
+    @property
+    def mean_plausible_seeds(self) -> float:
+        """Average plausible-seed count over all attempts."""
+        if not self.attempts:
+            return 0.0
+        return float(np.mean([attempt.test.plausible_seeds for attempt in self.attempts]))
+
+    def released_dataset(self) -> Dataset:
+        """The released synthetic records as a dataset."""
+        released = [attempt.candidate for attempt in self.attempts if attempt.released]
+        if not released:
+            return Dataset(self.schema, np.empty((0, len(self.schema)), dtype=np.int64))
+        return Dataset(self.schema, np.vstack(released))
+
+    def all_candidates_dataset(self) -> Dataset:
+        """All proposed candidates (released or not), as the paper's tool outputs."""
+        if not self.attempts:
+            return Dataset(self.schema, np.empty((0, len(self.schema)), dtype=np.int64))
+        return Dataset(self.schema, np.vstack([attempt.candidate for attempt in self.attempts]))
+
+    def merge(self, other: "SynthesisReport") -> "SynthesisReport":
+        """Combine two reports (e.g. from parallel workers)."""
+        if self.schema != other.schema:
+            raise ValueError("cannot merge reports with different schemas")
+        merged = SynthesisReport(schema=self.schema)
+        merged.attempts = list(self.attempts) + list(other.attempts)
+        return merged

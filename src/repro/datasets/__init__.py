@@ -1,0 +1,34 @@
+"""Data substrate: schemas, encoded datasets, and the ACS-like census data.
+
+The paper evaluates on the 2013 American Community Survey (ACS) public-use
+microdata.  That file cannot be shipped here, so :mod:`repro.datasets.acs`
+provides a synthetic population sampler with the same schema (Table 1 of the
+paper), realistic inter-attribute dependencies, missing-value injection, and
+the same cleaning / bucketization pipeline the paper applies.
+"""
+
+from repro.datasets.acs import (
+    ACS_SCHEMA,
+    AcsPopulationModel,
+    clean_acs,
+    load_acs,
+    sample_raw_acs,
+)
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Attribute, AttributeType, Schema
+from repro.datasets.splits import DataSplits, split_dataset, train_test_split
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "Dataset",
+    "DataSplits",
+    "split_dataset",
+    "train_test_split",
+    "ACS_SCHEMA",
+    "AcsPopulationModel",
+    "sample_raw_acs",
+    "clean_acs",
+    "load_acs",
+]

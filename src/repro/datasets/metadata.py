@@ -1,0 +1,77 @@
+"""JSON metadata describing a dataset schema (the paper's metadata files).
+
+The paper's tool (Section 5) consumes the input CSV together with "a few
+metadata text files describing the dataset".  This module defines the
+equivalent JSON format used by :mod:`repro.cli`: a list of attribute
+descriptions with the name, type, domain and optional bucketization of each
+column, so arbitrary discrete datasets (not just the built-in ACS-like one)
+can be synthesized from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.schema import Attribute, AttributeType, Schema
+
+__all__ = ["schema_to_metadata", "schema_from_metadata", "write_metadata", "read_metadata"]
+
+
+def schema_to_metadata(schema: Schema) -> dict:
+    """Serialize a schema to a JSON-compatible dictionary."""
+    attributes = []
+    for attribute in schema:
+        entry: dict = {
+            "name": attribute.name,
+            "type": attribute.attribute_type.value,
+            "values": list(attribute.values),
+        }
+        if attribute.bucket_size is not None:
+            entry["bucket_size"] = attribute.bucket_size
+        if attribute.bucket_map is not None:
+            entry["bucket_map"] = list(attribute.bucket_map)
+        attributes.append(entry)
+    return {"attributes": attributes}
+
+
+def schema_from_metadata(metadata: dict) -> Schema:
+    """Build a schema from a metadata dictionary (inverse of :func:`schema_to_metadata`)."""
+    if "attributes" not in metadata or not metadata["attributes"]:
+        raise ValueError("metadata must contain a non-empty 'attributes' list")
+    attributes = []
+    for entry in metadata["attributes"]:
+        try:
+            name = entry["name"]
+            type_name = entry["type"]
+            values = entry["values"]
+        except KeyError as exc:
+            raise ValueError(f"attribute entry is missing the {exc.args[0]!r} field") from None
+        try:
+            attribute_type = AttributeType(type_name)
+        except ValueError:
+            raise ValueError(
+                f"attribute {name!r} has unknown type {type_name!r}; "
+                f"expected one of {[t.value for t in AttributeType]}"
+            ) from None
+        bucket_map = entry.get("bucket_map")
+        attributes.append(
+            Attribute(
+                name=name,
+                attribute_type=attribute_type,
+                values=tuple(values),
+                bucket_size=entry.get("bucket_size"),
+                bucket_map=tuple(bucket_map) if bucket_map is not None else None,
+            )
+        )
+    return Schema(attributes)
+
+
+def write_metadata(schema: Schema, path: str | Path) -> None:
+    """Write a schema's metadata to a JSON file."""
+    Path(path).write_text(json.dumps(schema_to_metadata(schema), indent=2) + "\n")
+
+
+def read_metadata(path: str | Path) -> Schema:
+    """Read a schema from a JSON metadata file."""
+    return schema_from_metadata(json.loads(Path(path).read_text()))

@@ -1,0 +1,109 @@
+"""Dataset partitioning into the synthesis / training / parameter / test splits.
+
+Section 3 of the paper uses three non-overlapping subsets of the input data:
+
+* ``DS`` — seed records used during synthesis,
+* ``DT`` — records used for (DP) structure learning,
+* ``DP`` — records used for (DP) parameter learning,
+
+plus a held-out test set for the evaluation (Section 6.1).  This module
+implements that split and a generic train/test split helper used by the ML
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+
+__all__ = ["DataSplits", "split_dataset", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class DataSplits:
+    """The non-overlapping splits used by the synthesis pipeline."""
+
+    seeds: Dataset
+    structure: Dataset
+    parameters: Dataset
+    test: Dataset
+
+    def __post_init__(self) -> None:
+        schemas = {
+            id(self.seeds.schema),
+            id(self.structure.schema),
+            id(self.parameters.schema),
+            id(self.test.schema),
+        }
+        # Schemas may be distinct objects; require value equality instead.
+        if not (
+            self.seeds.schema == self.structure.schema
+            == self.parameters.schema == self.test.schema
+        ):
+            raise ValueError("all splits must share the same schema")
+        del schemas
+
+    @property
+    def total_records(self) -> int:
+        """Total number of records across all four splits."""
+        return (
+            len(self.seeds) + len(self.structure) + len(self.parameters) + len(self.test)
+        )
+
+
+def split_dataset(
+    dataset: Dataset,
+    seed_fraction: float = 0.55,
+    structure_fraction: float = 0.175,
+    parameter_fraction: float = 0.175,
+    rng: np.random.Generator | None = None,
+) -> DataSplits:
+    """Randomly partition a dataset into DS / DT / DP / test splits.
+
+    The default fractions mirror the paper's setup (Section 6.1): DS is the
+    largest split (roughly 735k of 1.5M records), DT and DP each hold roughly
+    280k records, and the remainder (about 100k records) is the test set.
+
+    The three named fractions must sum to at most 1; the remainder becomes the
+    test split.
+    """
+    total_fraction = seed_fraction + structure_fraction + parameter_fraction
+    if min(seed_fraction, structure_fraction, parameter_fraction) < 0:
+        raise ValueError("split fractions must be non-negative")
+    if total_fraction > 1.0 + 1e-9:
+        raise ValueError("split fractions must sum to at most 1")
+    generator = rng if rng is not None else np.random.default_rng(0)
+    permutation = generator.permutation(len(dataset))
+    n = len(dataset)
+    n_seeds = int(round(seed_fraction * n))
+    n_structure = int(round(structure_fraction * n))
+    n_parameters = int(round(parameter_fraction * n))
+    if n_seeds + n_structure + n_parameters > n:
+        n_parameters = n - n_seeds - n_structure
+    boundaries = np.cumsum([n_seeds, n_structure, n_parameters])
+    seed_idx, structure_idx, parameter_idx, test_idx = np.split(permutation, boundaries)
+    return DataSplits(
+        seeds=dataset.take(seed_idx),
+        structure=dataset.take(structure_idx),
+        parameters=dataset.take(parameter_idx),
+        test=dataset.take(test_idx),
+    )
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.3,
+    rng: np.random.Generator | None = None,
+) -> tuple[Dataset, Dataset]:
+    """Split a dataset into train and test subsets (test_fraction in (0, 1))."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be strictly between 0 and 1")
+    generator = rng if rng is not None else np.random.default_rng(0)
+    permutation = generator.permutation(len(dataset))
+    n_test = int(round(test_fraction * len(dataset)))
+    test_idx = permutation[:n_test]
+    train_idx = permutation[n_test:]
+    return dataset.take(train_idx), dataset.take(test_idx)

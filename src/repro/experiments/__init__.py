@@ -1,0 +1,47 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Every experiment exposes a ``run_*`` function that returns an
+:class:`~repro.experiments.harness.ExperimentResult` — a named table of rows —
+and the benchmarks under ``benchmarks/`` simply execute these functions and
+print the resulting tables so the paper's artefacts can be regenerated with a
+single command.
+
+| Paper artefact | Module |
+|---|---|
+| Tables 1-2 (dataset)                  | :mod:`repro.experiments.dataset_summary` |
+| Figure 1-2 (model accuracy)           | :mod:`repro.experiments.model_accuracy` |
+| Figures 3-4 (statistical distance)    | :mod:`repro.experiments.statistical_distance` |
+| Table 3 (classifiers)                 | :mod:`repro.experiments.classifier_comparison` |
+| Table 4 (DP classifiers)              | :mod:`repro.experiments.dp_classifier_comparison` |
+| Table 5 (distinguishing game)         | :mod:`repro.experiments.distinguishing` |
+| Figure 5 (generation performance)     | :mod:`repro.experiments.performance` |
+| Figure 6 (privacy-test pass rate)     | :mod:`repro.experiments.pass_rate` |
+"""
+
+from repro.experiments.classifier_comparison import run_classifier_comparison
+from repro.experiments.dataset_summary import run_dataset_summary
+from repro.experiments.distinguishing import run_distinguishing_game
+from repro.experiments.dp_classifier_comparison import run_dp_classifier_comparison
+from repro.experiments.harness import ExperimentContext, ExperimentResult
+from repro.experiments.model_accuracy import run_model_accuracy, run_model_improvement
+from repro.experiments.pass_rate import run_pass_rate_sweep
+from repro.experiments.performance import run_performance_measurement
+from repro.experiments.statistical_distance import (
+    run_pairwise_distance,
+    run_single_attribute_distance,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "run_dataset_summary",
+    "run_model_accuracy",
+    "run_model_improvement",
+    "run_single_attribute_distance",
+    "run_pairwise_distance",
+    "run_classifier_comparison",
+    "run_dp_classifier_comparison",
+    "run_distinguishing_game",
+    "run_performance_measurement",
+    "run_pass_rate_sweep",
+]

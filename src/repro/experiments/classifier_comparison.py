@@ -1,0 +1,91 @@
+"""Table 3: classifiers trained on reals / marginals / synthetics.
+
+For each training dataset the experiment trains a classification tree, a
+random forest and AdaBoostM1 on the income-class task and reports (a) accuracy
+on held-out real records and (b) the agreement rate with the corresponding
+classifier trained on real data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.dataset import Dataset
+from repro.experiments.harness import ExperimentContext, ExperimentResult, OMEGA_VARIANTS
+from repro.ml.adaboost import AdaBoostM1Classifier
+from repro.ml.base import Classifier
+from repro.ml.encoding import attribute_features
+from repro.ml.evaluation import agreement_rate
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["default_classifiers", "run_classifier_comparison"]
+
+#: The classification target used throughout the ML evaluation.
+TARGET_ATTRIBUTE = "WAGP"
+
+
+def default_classifiers(seed: int = 0) -> dict[str, Callable[[], Classifier]]:
+    """Factories for the three classifiers of Table 3."""
+    return {
+        "Tree": lambda: DecisionTreeClassifier(max_depth=10, random_state=seed),
+        "RF": lambda: RandomForestClassifier(num_trees=15, max_depth=12, random_state=seed),
+        "Ada": lambda: AdaBoostM1Classifier(num_rounds=20, base_max_depth=3, random_state=seed),
+    }
+
+
+def _fit(classifier: Classifier, train: Dataset) -> Classifier:
+    features, labels, _ = attribute_features(train, TARGET_ATTRIBUTE)
+    classifier.fit(features, labels)
+    return classifier
+
+
+def run_classifier_comparison(
+    context: ExperimentContext | None = None,
+    variants: list[str] | None = None,
+    train_records: int | None = None,
+) -> ExperimentResult:
+    """Table 3: accuracy and agreement rate per training dataset and classifier."""
+    ctx = context if context is not None else ExperimentContext()
+    selected = variants if variants is not None else list(OMEGA_VARIANTS)
+    factories = default_classifiers(ctx.seed)
+
+    test = ctx.splits.test
+    test_features, test_labels, _ = attribute_features(test, TARGET_ATTRIBUTE)
+
+    training_sets: dict[str, Dataset] = {
+        "reals": ctx.reals_dataset(train_records),
+        "marginals": ctx.marginals_dataset,
+    }
+    for variant in selected:
+        training_sets[variant] = ctx.synthetic_dataset(variant)
+
+    # Reference classifiers trained on real data (for the agreement rate).
+    reference = {
+        name: _fit(factory(), training_sets["reals"]) for name, factory in factories.items()
+    }
+
+    headers = ["train dataset"]
+    headers += [f"{name} accuracy" for name in factories]
+    headers += [f"{name} agreement" for name in factories]
+    result = ExperimentResult(
+        name="Table 3 — classifier accuracy and agreement rate (income class)",
+        headers=headers,
+        notes="accuracy on held-out real records; agreement vs the reals-trained classifier",
+    )
+
+    for dataset_name, train in training_sets.items():
+        if len(train) < 10:
+            continue
+        accuracies: list[float] = []
+        agreements: list[float] = []
+        for name, factory in factories.items():
+            if dataset_name == "reals":
+                classifier = reference[name]
+            else:
+                classifier = _fit(factory(), train)
+            accuracies.append(accuracy(classifier.predict(test_features), test_labels))
+            agreements.append(agreement_rate(classifier, reference[name], test, TARGET_ATTRIBUTE))
+        result.add_row(dataset_name, *accuracies, *agreements)
+    return result

@@ -1,0 +1,40 @@
+"""Generative models: the seed-based Bayesian-network synthesizer and baselines.
+
+This package implements Section 3 of the paper:
+
+* :mod:`repro.generative.structure` — dependency-structure learning via greedy
+  Correlation-based Feature Selection, with a differentially-private variant;
+* :mod:`repro.generative.parameters` — Dirichlet-multinomial conditional
+  probability tables, with differentially-private counts;
+* :mod:`repro.generative.bayesian_network` — the seed-based synthesizer that
+  copies ``m - ω`` attributes from the seed and re-samples the remaining ω;
+* :mod:`repro.generative.marginal` — the independent-marginals baseline;
+* :mod:`repro.generative.builder` — an end-to-end fitting helper that trains
+  the DP model from the DT / DP splits and tracks the privacy budget.
+"""
+
+from repro.generative.base import GenerativeModel, SeedBasedGenerativeModel
+from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+from repro.generative.builder import GenerativeModelSpec, fit_bayesian_network, fit_marginal_model
+from repro.generative.marginal import MarginalSynthesizer
+from repro.generative.parameters import ConditionalParameters, ParameterLearner
+from repro.generative.structure import (
+    DependencyStructure,
+    StructureLearner,
+    StructureLearningConfig,
+)
+
+__all__ = [
+    "GenerativeModel",
+    "SeedBasedGenerativeModel",
+    "DependencyStructure",
+    "StructureLearner",
+    "StructureLearningConfig",
+    "ConditionalParameters",
+    "ParameterLearner",
+    "BayesianNetworkSynthesizer",
+    "MarginalSynthesizer",
+    "GenerativeModelSpec",
+    "fit_bayesian_network",
+    "fit_marginal_model",
+]

@@ -1,0 +1,265 @@
+"""End-to-end fitting of the (differentially private) generative model.
+
+The paper's pipeline (Section 3.5) learns the dependency structure on the DT
+split and the conditional tables on the DP split, each with its own Laplace
+noise, then accounts for the total privacy via composition.  This module wraps
+those steps behind a single :func:`fit_bayesian_network` call driven by a
+:class:`GenerativeModelSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+from repro.generative.marginal import MarginalSynthesizer
+from repro.generative.parameters import ParameterLearner
+from repro.generative.structure import (
+    DependencyStructure,
+    StructureLearner,
+    StructureLearningConfig,
+)
+from repro.privacy.accountant import PrivacyAccountant
+
+__all__ = [
+    "GenerativeModelSpec",
+    "fit_bayesian_network",
+    "fit_marginal_model",
+    "calibrate_structure_epsilon",
+    "calibrate_parameter_epsilon",
+]
+
+
+@dataclass
+class GenerativeModelSpec:
+    """Specification of the generative model and its privacy parameters.
+
+    Parameters
+    ----------
+    omega:
+        Number of re-sampled attributes (an int, or an iterable for random ω).
+    epsilon_structure:
+        ε used per noisy entropy value during structure learning
+        (``None`` disables DP for structure learning).
+    epsilon_parameters:
+        ε used per attribute for the noisy conditional counts
+        (``None`` disables DP for parameter learning).
+    alpha:
+        Dirichlet prior pseudo-count for the conditional tables.
+    sample_parameters:
+        Draw the conditional tables from the Dirichlet posterior instead of
+        using the posterior mean.
+    structure:
+        Extra structure-learning knobs (max parent cost, max parents, ...).
+    """
+
+    omega: int | Iterable[int] = 9
+    epsilon_structure: float | None = 1.0
+    epsilon_parameters: float | None = 1.0
+    alpha: float = 1.0
+    sample_parameters: bool = False
+    structure: StructureLearningConfig = field(default_factory=StructureLearningConfig)
+
+    @classmethod
+    def with_total_epsilon(
+        cls,
+        total_epsilon: float,
+        num_attributes: int,
+        omega: int | Iterable[int] = 9,
+        delta: float = 1e-9,
+        **kwargs,
+    ) -> "GenerativeModelSpec":
+        """Build a spec whose *overall* model-learning budget is ``total_epsilon``.
+
+        The paper's evaluation quotes the total ε of the generative model
+        (ε = 1 or ε = 0.1 in Section 6.1); since the DT and DP splits are
+        disjoint, the total equals max(ε_L, ε_P), so both phases are each
+        given the full ``total_epsilon`` and their per-query epsilons are
+        derived by inverting the composition formulas.
+        """
+        epsilon_entropy, epsilon_count = calibrate_structure_epsilon(
+            total_epsilon, num_attributes, delta
+        )
+        epsilon_parameters = calibrate_parameter_epsilon(
+            total_epsilon, num_attributes, delta
+        )
+        structure_config = kwargs.pop("structure", StructureLearningConfig())
+        structure_config = StructureLearningConfig(
+            max_parent_cost=structure_config.max_parent_cost,
+            max_parents=structure_config.max_parents,
+            epsilon_entropy=epsilon_entropy,
+            epsilon_count=epsilon_count,
+            min_merit_gain=structure_config.min_merit_gain,
+            max_table_cells=structure_config.max_table_cells,
+        )
+        return cls(
+            omega=omega,
+            epsilon_structure=epsilon_entropy,
+            epsilon_parameters=epsilon_parameters,
+            structure=structure_config,
+            **kwargs,
+        )
+
+
+def _invert_advanced_composition(
+    total_epsilon: float, num_queries: int, delta_slack: float
+) -> float:
+    """Largest per-query ε whose advanced composition stays below ``total_epsilon``.
+
+    Solved by bisection on the monotone advanced-composition formula
+    (Theorem 3): ε' = ε sqrt(2 k ln(1/δ'')) + k ε (e^ε - 1).
+    """
+    from repro.privacy.composition import advanced_composition
+
+    if total_epsilon <= 0:
+        raise ValueError("total_epsilon must be positive")
+    low, high = 0.0, total_epsilon
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if mid <= 0:
+            break
+        composed, _ = advanced_composition(mid, 0.0, num_queries, delta_slack)
+        if composed <= total_epsilon:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def _per_query_epsilon(total_epsilon: float, num_queries: int, delta_slack: float) -> float:
+    """Per-query ε under whichever composition (sequential or advanced) is tighter.
+
+    Advanced composition only pays off for many queries; for a handful of
+    queries plain sequential composition (ε / k, δ = 0) gives a larger
+    per-query budget, so the better of the two is used.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be positive")
+    sequential = total_epsilon / num_queries
+    advanced = _invert_advanced_composition(total_epsilon, num_queries, delta_slack)
+    return max(sequential, advanced)
+
+
+def calibrate_structure_epsilon(
+    total_epsilon: float,
+    num_attributes: int,
+    delta: float = 1e-9,
+    count_fraction: float = 0.1,
+) -> tuple[float, float]:
+    """Per-entropy ε_H and record-count ε_nT for a target structure budget.
+
+    Structure learning releases m(m+1) noisy entropy values (composed with
+    advanced composition) plus one noisy record count (sequentially composed),
+    see Section 3.5.  Given the total budget ε_L this helper reserves
+    ``count_fraction`` of it for the record count and splits the rest across
+    the entropy values so that the composed ε stays at or below the target.
+
+    Returns ``(epsilon_entropy, epsilon_count)``.
+    """
+    if num_attributes < 1:
+        raise ValueError("num_attributes must be positive")
+    if not 0.0 < count_fraction < 1.0:
+        raise ValueError("count_fraction must lie strictly between 0 and 1")
+    epsilon_count = total_epsilon * count_fraction
+    entropy_budget = total_epsilon - epsilon_count
+    # The learner releases H(x_i) and H(bkt(x_i)) for every attribute,
+    # H(x_i, bkt(x_j)) for every ordered pair and H(bkt(x_i), bkt(x_j)) for
+    # every unordered pair.
+    m = num_attributes
+    num_queries = 2 * m + m * (m - 1) + (m * (m - 1)) // 2
+    epsilon_entropy = _per_query_epsilon(entropy_budget, num_queries, delta)
+    return epsilon_entropy, epsilon_count
+
+
+def calibrate_parameter_epsilon(
+    total_epsilon: float,
+    num_attributes: int,
+    delta: float = 1e-9,
+) -> float:
+    """Per-attribute ε_p for a target parameter-learning budget (Section 3.5).
+
+    Parameter learning releases one noisy count vector per attribute (L1
+    sensitivity 1 each); the m releases are composed with advanced
+    composition.
+    """
+    if num_attributes < 1:
+        raise ValueError("num_attributes must be positive")
+    return _per_query_epsilon(total_epsilon, num_attributes, delta)
+
+
+def fit_bayesian_network(
+    structure_data: Dataset,
+    parameter_data: Dataset,
+    spec: GenerativeModelSpec | None = None,
+    accountant: PrivacyAccountant | None = None,
+    rng: np.random.Generator | None = None,
+    structure: DependencyStructure | None = None,
+) -> BayesianNetworkSynthesizer:
+    """Fit the seed-based Bayesian-network synthesizer.
+
+    Parameters
+    ----------
+    structure_data:
+        The DT split used for (DP) structure learning.
+    parameter_data:
+        The DP split used for (DP) parameter learning.
+    spec:
+        Model and privacy specification; defaults to the paper's settings.
+    accountant:
+        Optional privacy accountant; both learning phases record their
+        expenditure into it.
+    rng:
+        Randomness for noise and posterior sampling.
+    structure:
+        A pre-computed structure to reuse (skips structure learning), e.g. for
+        ablations or to amortize learning across many model fits.
+    """
+    model_spec = spec if spec is not None else GenerativeModelSpec()
+    generator = rng if rng is not None else np.random.default_rng(0)
+
+    if structure_data.schema != parameter_data.schema:
+        raise ValueError("structure and parameter splits must share a schema")
+
+    if structure is None:
+        structure_config = StructureLearningConfig(
+            max_parent_cost=model_spec.structure.max_parent_cost,
+            max_parents=model_spec.structure.max_parents,
+            epsilon_entropy=model_spec.epsilon_structure,
+            epsilon_count=model_spec.structure.epsilon_count,
+            min_merit_gain=model_spec.structure.min_merit_gain,
+            max_table_cells=model_spec.structure.max_table_cells,
+        )
+        learner = StructureLearner(structure_config, accountant)
+        structure = learner.learn(structure_data, generator)
+
+    parameter_learner = ParameterLearner(
+        epsilon=model_spec.epsilon_parameters,
+        alpha=model_spec.alpha,
+        sample_parameters=model_spec.sample_parameters,
+        accountant=accountant,
+    )
+    tables = parameter_learner.learn(parameter_data, structure, generator)
+    return BayesianNetworkSynthesizer(
+        schema=structure_data.schema,
+        structure=structure,
+        tables=tables,
+        omega=model_spec.omega,
+    )
+
+
+def fit_marginal_model(
+    parameter_data: Dataset,
+    epsilon: float | None = 1.0,
+    alpha: float = 1.0,
+    accountant: PrivacyAccountant | None = None,
+    rng: np.random.Generator | None = None,
+) -> MarginalSynthesizer:
+    """Fit the privacy-preserving marginals baseline on the parameter split."""
+    generator = rng if rng is not None else np.random.default_rng(0)
+    return MarginalSynthesizer.fit(
+        parameter_data, epsilon=epsilon, alpha=alpha, rng=generator, accountant=accountant
+    )

@@ -1,0 +1,61 @@
+"""Machine-learning substrate used by the utility evaluation (Section 6.3-6.4).
+
+The paper measures the utility of synthetic data by training standard
+classifiers (classification tree, random forest, AdaBoostM1, logistic
+regression, linear SVM) on real vs. synthetic data and comparing accuracy,
+agreement rate and a real-vs-synthetic distinguishing game; it also compares
+against the differentially-private empirical-risk-minimization classifiers of
+Chaudhuri et al. (output and objective perturbation).
+
+scikit-learn is not available in this environment, so the classifiers are
+implemented from scratch on numpy.  They are measurement instruments, not the
+paper's contribution; the implementations favour clarity over speed while
+remaining fast enough for the benchmark workloads.
+"""
+
+from repro.ml.adaboost import AdaBoostM1Classifier
+from repro.ml.base import Classifier
+from repro.ml.dp_erm import (
+    DPTrainingConfig,
+    objective_perturbation,
+    output_perturbation,
+)
+from repro.ml.encoding import (
+    attribute_features,
+    normalize_rows,
+    one_hot_encode,
+    prepare_erm_data,
+)
+from repro.ml.evaluation import (
+    ClassifierEvaluation,
+    agreement_rate,
+    distinguishing_game,
+    evaluate_classifier,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LinearSVMClassifier, LogisticRegressionClassifier
+from repro.ml.metrics import accuracy, confusion_matrix, error_rate
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Classifier",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "AdaBoostM1Classifier",
+    "LogisticRegressionClassifier",
+    "LinearSVMClassifier",
+    "DPTrainingConfig",
+    "output_perturbation",
+    "objective_perturbation",
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "agreement_rate",
+    "evaluate_classifier",
+    "ClassifierEvaluation",
+    "distinguishing_game",
+    "one_hot_encode",
+    "normalize_rows",
+    "attribute_features",
+    "prepare_erm_data",
+]

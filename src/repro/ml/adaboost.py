@@ -1,0 +1,97 @@
+"""AdaBoostM1 over shallow decision trees (Freund & Schapire's discrete boosting)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["AdaBoostM1Classifier"]
+
+
+class AdaBoostM1Classifier(Classifier):
+    """AdaBoost.M1: re-weighted shallow trees combined by weighted majority vote."""
+
+    def __init__(
+        self,
+        num_rounds: int = 30,
+        base_max_depth: int = 3,
+        random_state: int = 0,
+    ):
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be at least 1")
+        if base_max_depth < 1:
+            raise ValueError("base_max_depth must be at least 1")
+        self.num_rounds = num_rounds
+        self.base_max_depth = base_max_depth
+        self.random_state = random_state
+        self._learners: list[DecisionTreeClassifier] = []
+        self._learner_weights: list[float] = []
+        self._num_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "AdaBoostM1Classifier":
+        """Run up to ``num_rounds`` boosting iterations."""
+        x, y = self._validate_training_data(features, labels)
+        x = x.astype(np.int64, copy=False)
+        y = y.astype(np.int64, copy=False)
+        self._num_classes = int(y.max()) + 1
+        n = len(y)
+        weights = np.full(n, 1.0 / n)
+        self._learners = []
+        self._learner_weights = []
+
+        for round_index in range(self.num_rounds):
+            learner = DecisionTreeClassifier(
+                max_depth=self.base_max_depth,
+                random_state=self.random_state + round_index,
+            )
+            learner.fit(x, y, sample_weight=weights)
+            predictions = learner.predict(x)
+            mistakes = predictions != y
+            error = float(np.sum(weights[mistakes]))
+
+            # AdaBoost.M1 stops when the weak learner is no better than chance
+            # (for the multi-class case, worse than 1/2 error) or is perfect.
+            if error >= 0.5:
+                if not self._learners:
+                    # Keep at least one learner so predict() works.
+                    self._learners.append(learner)
+                    self._learner_weights.append(1.0)
+                break
+            if error <= 1e-12:
+                self._learners.append(learner)
+                self._learner_weights.append(10.0)  # effectively infinite confidence
+                break
+
+            beta = error / (1.0 - error)
+            alpha = math.log(1.0 / beta)
+            self._learners.append(learner)
+            self._learner_weights.append(alpha)
+
+            # Down-weight correctly classified samples and renormalize.
+            weights = weights * np.where(mistakes, 1.0, beta)
+            weights = weights / weights.sum()
+        return self
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Weighted vote per class, shape (rows, num_classes)."""
+        if not self._learners:
+            raise RuntimeError("the booster must be fitted before predicting")
+        x = np.asarray(features, dtype=np.int64)
+        scores = np.zeros((x.shape[0], self._num_classes), dtype=np.float64)
+        for learner, weight in zip(self._learners, self._learner_weights):
+            predictions = learner.predict(x)
+            scores[np.arange(x.shape[0]), predictions] += weight
+        return scores
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Weighted-majority-vote prediction."""
+        return np.argmax(self.decision_scores(features), axis=1).astype(np.int64)
+
+    @property
+    def num_learners(self) -> int:
+        """Number of weak learners actually kept after fitting."""
+        return len(self._learners)

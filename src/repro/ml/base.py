@@ -1,0 +1,53 @@
+"""Common classifier interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Classifier"]
+
+
+class Classifier(ABC):
+    """A supervised classifier over integer-encoded feature matrices.
+
+    All classifiers in this package share the fit/predict interface and accept
+    integer class labels.  The feature matrix convention matches the datasets
+    package: rows are records, columns are (encoded) attributes.
+    """
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Classifier":
+        """Train on a feature matrix and label vector; returns ``self``."""
+
+    @abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict a label for every row of ``features``."""
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on a labelled evaluation set."""
+        predictions = self.predict(features)
+        targets = np.asarray(labels)
+        if predictions.shape != targets.shape:
+            raise ValueError("predictions and labels must have the same shape")
+        if targets.size == 0:
+            return 0.0
+        return float(np.mean(predictions == targets))
+
+    @staticmethod
+    def _validate_training_data(
+        features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared shape validation for fit() implementations."""
+        x = np.asarray(features)
+        y = np.asarray(labels)
+        if x.ndim != 2:
+            raise ValueError(f"features must be a 2-D matrix, got shape {x.shape}")
+        if y.ndim != 1:
+            raise ValueError(f"labels must be a 1-D vector, got shape {y.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have the same number of rows")
+        if x.shape[0] == 0:
+            raise ValueError("cannot train on an empty dataset")
+        return x, y

@@ -1,0 +1,113 @@
+"""Feature encoding for the ML evaluation.
+
+Two encodings are used:
+
+* the tree-based classifiers (CART, random forest, AdaBoostM1) consume the
+  integer-encoded attribute matrix directly;
+* the linear classifiers (logistic regression, SVM, and their DP-ERM variants)
+  follow the preprocessing of Chaudhuri et al. that the paper applies in
+  Section 6.3: every categorical attribute becomes a block of binary
+  indicator columns, numerical attributes are scaled to [0, 1], and every row
+  is normalized so that its L2 norm is at most 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import AttributeType
+
+__all__ = [
+    "attribute_features",
+    "one_hot_encode",
+    "normalize_rows",
+    "prepare_erm_data",
+]
+
+
+def attribute_features(
+    dataset: Dataset, target_attribute: str | int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Split a dataset into (features, labels, target_index).
+
+    Features are the integer-encoded columns of every attribute except the
+    target; labels are the target column.  This is the input format for the
+    tree-based classifiers.
+    """
+    target_index = (
+        dataset.schema.index_of(target_attribute)
+        if isinstance(target_attribute, str)
+        else int(target_attribute)
+    )
+    columns = [col for col in range(dataset.num_attributes) if col != target_index]
+    features = dataset.data[:, columns]
+    labels = dataset.data[:, target_index]
+    return features, labels, target_index
+
+
+def one_hot_encode(
+    dataset: Dataset, exclude: str | int | None = None
+) -> np.ndarray:
+    """One-hot / scaled encoding of a dataset for linear classifiers.
+
+    Categorical attributes expand into ``cardinality`` indicator columns;
+    numerical attributes become a single column scaled into [0, 1].  The
+    ``exclude`` attribute (typically the classification target) is skipped.
+    """
+    exclude_index = None
+    if exclude is not None:
+        exclude_index = (
+            dataset.schema.index_of(exclude) if isinstance(exclude, str) else int(exclude)
+        )
+    blocks: list[np.ndarray] = []
+    for index, attribute in enumerate(dataset.schema):
+        if index == exclude_index:
+            continue
+        column = dataset.data[:, index]
+        if attribute.attribute_type is AttributeType.NUMERICAL:
+            denominator = max(1, attribute.cardinality - 1)
+            blocks.append((column / denominator).reshape(-1, 1))
+        else:
+            block = np.zeros((len(dataset), attribute.cardinality), dtype=np.float64)
+            block[np.arange(len(dataset)), column] = 1.0
+            blocks.append(block)
+    if not blocks:
+        return np.empty((len(dataset), 0), dtype=np.float64)
+    return np.hstack(blocks)
+
+
+def normalize_rows(features: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+    """Scale each row so its L2 norm is at most ``max_norm`` (Chaudhuri et al.)."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    matrix = np.asarray(features, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("features must be a 2-D matrix")
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    scale = np.maximum(1.0, norms / max_norm)
+    return matrix / scale
+
+
+def prepare_erm_data(
+    dataset: Dataset, target_attribute: str | int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build the (features, ±1 labels) pair used by the (DP-)ERM classifiers.
+
+    The target attribute must be binary; its first value maps to -1 and its
+    second value to +1.
+    """
+    target_index = (
+        dataset.schema.index_of(target_attribute)
+        if isinstance(target_attribute, str)
+        else int(target_attribute)
+    )
+    target = dataset.schema[target_index]
+    if target.cardinality != 2:
+        raise ValueError(
+            f"ERM classifiers require a binary target; {target.name!r} has "
+            f"{target.cardinality} values"
+        )
+    features = normalize_rows(one_hot_encode(dataset, exclude=target_index))
+    labels = np.where(dataset.data[:, target_index] == 1, 1.0, -1.0)
+    return features, labels

@@ -1,0 +1,114 @@
+"""Classifier evaluation helpers: accuracy, agreement rate, distinguishing game.
+
+Three measurements appear in the paper's ML evaluation:
+
+* **accuracy** of a classifier trained on some (real or synthetic) dataset,
+  evaluated on held-out *real* records (Tables 3-4);
+* **agreement rate** between a classifier trained on a candidate dataset and
+  one trained on real data: the fraction of evaluation records on which the
+  two classifiers predict the same label, regardless of correctness (Table 3);
+* the **distinguishing game** (Table 5): a classifier is trained to tell real
+  records from synthetic ones; low test accuracy means the synthetics "pass
+  off" as real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.ml.base import Classifier
+from repro.ml.encoding import attribute_features
+from repro.ml.metrics import accuracy
+
+__all__ = [
+    "ClassifierEvaluation",
+    "evaluate_classifier",
+    "agreement_rate",
+    "distinguishing_game",
+]
+
+
+@dataclass(frozen=True)
+class ClassifierEvaluation:
+    """Accuracy and (optional) agreement rate of one trained classifier."""
+
+    name: str
+    train_dataset: str
+    accuracy: float
+    agreement_rate: float | None = None
+
+
+def evaluate_classifier(
+    classifier: Classifier,
+    train: Dataset,
+    test: Dataset,
+    target_attribute: str | int,
+) -> float:
+    """Train on ``train`` and return accuracy on ``test`` for the given target."""
+    train_features, train_labels, _ = attribute_features(train, target_attribute)
+    test_features, test_labels, _ = attribute_features(test, target_attribute)
+    classifier.fit(train_features, train_labels)
+    return accuracy(classifier.predict(test_features), test_labels)
+
+
+def agreement_rate(
+    first: Classifier, second: Classifier, test: Dataset, target_attribute: str | int
+) -> float:
+    """Fraction of test records on which two fitted classifiers agree."""
+    features, _, _ = attribute_features(test, target_attribute)
+    predictions_first = first.predict(features)
+    predictions_second = second.predict(features)
+    if predictions_first.size == 0:
+        return 0.0
+    return float(np.mean(predictions_first == predictions_second))
+
+
+def distinguishing_game(
+    classifier: Classifier,
+    real: Dataset,
+    synthetic: Dataset,
+    train_size_per_class: int,
+    test_size_per_class: int,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """The real-vs-synthetic distinguishing game of Section 6.4.
+
+    ``train_size_per_class`` records are drawn from each dataset to train a
+    binary classifier (label 0 = real, 1 = synthetic), and its accuracy is
+    evaluated on a disjoint 50/50 mix of ``test_size_per_class`` records per
+    class.  An accuracy of 0.5 means the synthetics are indistinguishable from
+    real records for this adversary.
+    """
+    if train_size_per_class < 1 or test_size_per_class < 1:
+        raise ValueError("train and test sizes must be positive")
+    needed = train_size_per_class + test_size_per_class
+    if len(real) < needed or len(synthetic) < needed:
+        raise ValueError(
+            f"need at least {needed} records per dataset, "
+            f"got {len(real)} real and {len(synthetic)} synthetic"
+        )
+    generator = rng if rng is not None else np.random.default_rng(0)
+
+    real_indices = generator.permutation(len(real))[:needed]
+    synthetic_indices = generator.permutation(len(synthetic))[:needed]
+
+    real_train = real.data[real_indices[:train_size_per_class]]
+    real_test = real.data[real_indices[train_size_per_class:]]
+    synthetic_train = synthetic.data[synthetic_indices[:train_size_per_class]]
+    synthetic_test = synthetic.data[synthetic_indices[train_size_per_class:]]
+
+    train_features = np.vstack([real_train, synthetic_train])
+    train_labels = np.concatenate(
+        [np.zeros(len(real_train), dtype=np.int64), np.ones(len(synthetic_train), dtype=np.int64)]
+    )
+    test_features = np.vstack([real_test, synthetic_test])
+    test_labels = np.concatenate(
+        [np.zeros(len(real_test), dtype=np.int64), np.ones(len(synthetic_test), dtype=np.int64)]
+    )
+
+    shuffle = generator.permutation(len(train_labels))
+    classifier.fit(train_features[shuffle], train_labels[shuffle])
+    return accuracy(classifier.predict(test_features), test_labels)

@@ -1,0 +1,76 @@
+"""Random-forest classifier: bagged decision trees with random feature subsets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated decision trees with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        num_trees: int = 20,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        random_state: int = 0,
+    ):
+        if num_trees < 1:
+            raise ValueError("num_trees must be at least 1")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: list[DecisionTreeClassifier] = []
+        self._num_classes = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "RandomForestClassifier":
+        """Fit ``num_trees`` trees on bootstrap resamples of the training data."""
+        x, y = self._validate_training_data(features, labels)
+        x = x.astype(np.int64, copy=False)
+        y = y.astype(np.int64, copy=False)
+        self._num_classes = int(y.max()) + 1
+        rng = np.random.default_rng(self.random_state)
+        self._trees = []
+        for index in range(self.num_trees):
+            bootstrap = rng.integers(0, len(y), size=len(y))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=self.random_state + index + 1,
+            )
+            tree.fit(x[bootstrap], y[bootstrap])
+            self._trees.append(tree)
+        return self
+
+    def predict_votes(self, features: np.ndarray) -> np.ndarray:
+        """Per-class vote counts, shape (rows, num_classes)."""
+        if not self._trees:
+            raise RuntimeError("the forest must be fitted before predicting")
+        x = np.asarray(features, dtype=np.int64)
+        votes = np.zeros((x.shape[0], self._num_classes), dtype=np.int64)
+        for tree in self._trees:
+            predictions = tree.predict(x)
+            votes[np.arange(x.shape[0]), predictions] += 1
+        return votes
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Majority vote over the ensemble."""
+        votes = self.predict_votes(features)
+        return np.argmax(votes, axis=1).astype(np.int64)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Vote fractions per class (a rough probability estimate)."""
+        votes = self.predict_votes(features)
+        return votes / max(1, self.num_trees)

@@ -1,0 +1,46 @@
+"""Basic classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "error_rate", "confusion_matrix"]
+
+
+def _validate(predictions: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    preds = np.asarray(predictions)
+    targets = np.asarray(labels)
+    if preds.shape != targets.shape:
+        raise ValueError(
+            f"predictions and labels must have the same shape, "
+            f"got {preds.shape} and {targets.shape}"
+        )
+    if preds.ndim != 1:
+        raise ValueError("predictions and labels must be 1-D vectors")
+    return preds, targets
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions equal to the true label."""
+    preds, targets = _validate(predictions, labels)
+    if targets.size == 0:
+        return 0.0
+    return float(np.mean(preds == targets))
+
+
+def error_rate(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of incorrect predictions (1 - accuracy)."""
+    return 1.0 - accuracy(predictions, labels)
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix C with ``C[true, predicted]`` counts."""
+    preds, targets = _validate(predictions, labels)
+    if num_classes is None:
+        num_classes = int(max(preds.max(initial=0), targets.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for true_label, predicted in zip(targets, preds):
+        matrix[int(true_label), int(predicted)] += 1
+    return matrix

@@ -1,0 +1,285 @@
+"""CART-style decision-tree classifier (the paper's "Classification Tree").
+
+Works directly on integer-encoded attribute matrices.  Splits are of the form
+``feature <= threshold``; candidate thresholds are every observed value of the
+feature, found efficiently with per-value class-weight histograms (attribute
+cardinalities are small in the ACS schema).  Supports sample weights, which is
+what AdaBoostM1 needs, and per-node random feature subsets, which is what the
+random forest needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One node of the fitted tree (leaf when ``feature`` is None)."""
+
+    prediction: int
+    feature: int | None = None
+    threshold: int | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(class_weights: np.ndarray) -> float:
+    """Weighted Gini impurity of a class-weight vector."""
+    total = class_weights.sum()
+    if total <= 0:
+        return 0.0
+    proportions = class_weights / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+class DecisionTreeClassifier(Classifier):
+    """Binary-split decision tree with Gini impurity."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = None,
+    ):
+        """Create a decision tree.
+
+        Parameters
+        ----------
+        max_depth:
+            Maximum tree depth (the root is depth 0).
+        min_samples_split:
+            Minimum number of samples required to consider splitting a node.
+        min_samples_leaf:
+            Minimum number of samples each child must receive.
+        max_features:
+            Number of features examined per split: an int, ``"sqrt"``, or
+            ``None`` for all features.  Randomized subsets require
+            ``random_state`` (or are seeded from 0).
+        random_state:
+            Seed for the per-node feature subsampling.
+        """
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._num_classes = 0
+        self._num_features = 0
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def _features_per_split(self) -> int:
+        if self.max_features is None:
+            return self._num_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self._num_features)))
+        count = int(self.max_features)
+        if count < 1:
+            raise ValueError("max_features must be at least 1")
+        return min(count, self._num_features)
+
+    def _best_split(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray,
+        candidate_features: np.ndarray,
+    ) -> tuple[int, int, float] | None:
+        """Best (feature, threshold, impurity decrease) among the candidates."""
+        total_weight = weights.sum()
+        class_weights = np.bincount(labels, weights=weights, minlength=self._num_classes)
+        parent_impurity = _gini(class_weights)
+        best: tuple[int, int, float] | None = None
+
+        for feature in candidate_features:
+            column = features[:, feature]
+            max_value = int(column.max())
+            if max_value == int(column.min()):
+                continue
+            # histogram[v, c] = total weight of samples with column == v, label == c
+            flat = column * self._num_classes + labels
+            histogram = np.bincount(
+                flat, weights=weights, minlength=(max_value + 1) * self._num_classes
+            ).reshape(max_value + 1, self._num_classes)
+            sample_counts = np.bincount(column, minlength=max_value + 1)
+
+            left_class = np.cumsum(histogram, axis=0)[:-1]
+            left_count = np.cumsum(sample_counts)[:-1]
+            right_class = class_weights - left_class
+            right_count = len(labels) - left_count
+            left_weight = left_class.sum(axis=1)
+            right_weight = right_class.sum(axis=1)
+
+            valid = (left_count >= self.min_samples_leaf) & (
+                right_count >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                left_gini = 1.0 - np.sum(
+                    (left_class / np.maximum(left_weight[:, None], 1e-12)) ** 2, axis=1
+                )
+                right_gini = 1.0 - np.sum(
+                    (right_class / np.maximum(right_weight[:, None], 1e-12)) ** 2, axis=1
+                )
+            children_impurity = (
+                left_weight * left_gini + right_weight * right_gini
+            ) / max(total_weight, 1e-12)
+            decrease = parent_impurity - children_impurity
+            decrease[~valid] = -np.inf
+
+            threshold = int(np.argmax(decrease))
+            gain = float(decrease[threshold])
+            if gain > 1e-12 and (best is None or gain > best[2]):
+                best = (int(feature), threshold, gain)
+        return best
+
+    def _build(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        weights: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> _Node:
+        class_weights = np.bincount(labels, weights=weights, minlength=self._num_classes)
+        prediction = int(np.argmax(class_weights))
+        node = _Node(prediction=prediction)
+
+        if (
+            depth >= self.max_depth
+            or len(labels) < self.min_samples_split
+            or np.count_nonzero(class_weights) <= 1
+        ):
+            return node
+
+        num_candidates = self._features_per_split()
+        if num_candidates < self._num_features:
+            candidate_features = rng.choice(
+                self._num_features, size=num_candidates, replace=False
+            )
+        else:
+            candidate_features = np.arange(self._num_features)
+
+        split = self._best_split(features, labels, weights, candidate_features)
+        if split is None:
+            return node
+
+        feature, threshold, _ = split
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(
+            features[mask], labels[mask], weights[mask], depth + 1, rng
+        )
+        node.right = self._build(
+            features[~mask], labels[~mask], weights[~mask], depth + 1, rng
+        )
+        return node
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Fit the tree; ``sample_weight`` enables boosting-style reweighting."""
+        x, y = self._validate_training_data(features, labels)
+        x = x.astype(np.int64, copy=False)
+        y = y.astype(np.int64, copy=False)
+        if y.min() < 0:
+            raise ValueError("labels must be non-negative integers")
+        weights = (
+            np.ones(len(y), dtype=np.float64)
+            if sample_weight is None
+            else np.asarray(sample_weight, dtype=np.float64)
+        )
+        if weights.shape != y.shape:
+            raise ValueError("sample_weight must have one entry per training row")
+        if np.any(weights < 0):
+            raise ValueError("sample weights must be non-negative")
+        self._num_classes = int(y.max()) + 1
+        self._num_features = x.shape[1]
+        rng = np.random.default_rng(self.random_state if self.random_state is not None else 0)
+        self._root = self._build(x, y, weights, depth=0, rng=rng)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict labels for every row of ``features``."""
+        if self._root is None:
+            raise RuntimeError("the tree must be fitted before predicting")
+        x = np.asarray(features, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self._num_features:
+            raise ValueError(
+                f"features must be a 2-D matrix with {self._num_features} columns"
+            )
+        predictions = np.empty(x.shape[0], dtype=np.int64)
+        self._predict_into(self._root, x, np.arange(x.shape[0]), predictions)
+        return predictions
+
+    def _predict_into(
+        self, node: _Node, features: np.ndarray, indices: np.ndarray, out: np.ndarray
+    ) -> None:
+        if indices.size == 0:
+            return
+        if node.is_leaf:
+            out[indices] = node.prediction
+            return
+        assert node.left is not None and node.right is not None
+        mask = features[indices, node.feature] <= node.threshold
+        self._predict_into(node.left, features, indices[mask], out)
+        self._predict_into(node.right, features, indices[~mask], out)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a single leaf)."""
+        if self._root is None:
+            raise RuntimeError("the tree must be fitted first")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    def num_nodes(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        if self._root is None:
+            raise RuntimeError("the tree must be fitted first")
+
+        def _count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return 1 + _count(node.left) + _count(node.right)
+
+        return _count(self._root)

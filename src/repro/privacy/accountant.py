@@ -1,0 +1,169 @@
+"""A privacy-budget ledger for the model-learning pipeline (Section 3.5).
+
+The differentially-private generative model spends privacy budget in three
+places: the noisy entropy values and the noisy record count of structure
+learning (both computed on the DT split), and the noisy configuration counts
+of parameter learning (computed on the DP split).  The paper's overall
+analysis composes homogeneous query groups with advanced composition, distinct
+groups on the *same* data sequentially, and takes the maximum across groups
+computed on *disjoint* data (parallel composition), optionally applying
+amplification by sub-sampling at the end.
+
+:class:`PrivacyAccountant` records each expenditure — tagged with a label (the
+query group) and a scope (which data split it touched) — and can report the
+total (ε, δ) guarantee the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.privacy.composition import (
+    advanced_composition,
+    amplification_by_sampling,
+    sequential_composition,
+)
+
+__all__ = ["BudgetEntry", "PrivacyAccountant"]
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    """One recorded privacy expenditure.
+
+    Parameters
+    ----------
+    label:
+        Name of the query group (e.g. ``"structure/entropy"``).
+    epsilon, delta:
+        Per-query differential-privacy guarantee.
+    count:
+        Number of homogeneous queries in the group.
+    scope:
+        Which data split the queries touched (entries with different scopes
+        are assumed to have used disjoint data when the accountant is asked
+        for a parallel-composition total).
+    """
+
+    label: str
+    epsilon: float
+    delta: float
+    count: int = 1
+    scope: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not 0.0 <= self.delta <= 1.0:
+            raise ValueError("delta must lie in [0, 1]")
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+
+
+@dataclass
+class PrivacyAccountant:
+    """Accumulates per-group budget entries and composes them.
+
+    Parameters
+    ----------
+    delta_slack:
+        The δ'' slack used whenever advanced composition is applied to a group
+        of homogeneous queries.
+    """
+
+    delta_slack: float = 1e-9
+    entries: list[BudgetEntry] = field(default_factory=list)
+
+    def spend(
+        self,
+        label: str,
+        epsilon: float,
+        delta: float = 0.0,
+        count: int = 1,
+        scope: str = "default",
+    ) -> None:
+        """Record ``count`` queries each satisfying (ε, δ)-DP under ``label``."""
+        self.entries.append(BudgetEntry(label, epsilon, delta, count, scope))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def labels(self) -> list[str]:
+        """All distinct labels in recording order."""
+        seen: list[str] = []
+        for entry in self.entries:
+            if entry.label not in seen:
+                seen.append(entry.label)
+        return seen
+
+    def scopes(self) -> list[str]:
+        """All distinct scopes in recording order."""
+        seen: list[str] = []
+        for entry in self.entries:
+            if entry.scope not in seen:
+                seen.append(entry.scope)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+    def _entry_guarantee(self, entry: BudgetEntry, use_advanced: bool) -> tuple[float, float]:
+        sequential = (entry.epsilon * entry.count, min(1.0, entry.delta * entry.count))
+        if not use_advanced or entry.count <= 1:
+            return sequential
+        advanced = advanced_composition(
+            entry.epsilon, entry.delta, entry.count, self.delta_slack
+        )
+        # Both bounds are valid; report whichever is tighter in ε.
+        return advanced if advanced[0] < sequential[0] else sequential
+
+    def phase_guarantee(self, label: str, use_advanced: bool = True) -> tuple[float, float]:
+        """Composed guarantee of all entries recorded under one label."""
+        matching = [entry for entry in self.entries if entry.label == label]
+        if not matching:
+            raise KeyError(f"no budget entries recorded under label {label!r}")
+        return sequential_composition(
+            self._entry_guarantee(entry, use_advanced) for entry in matching
+        )
+
+    def scope_guarantee(self, scope: str, use_advanced: bool = True) -> tuple[float, float]:
+        """Composed guarantee of all entries that touched one data scope."""
+        matching = [entry for entry in self.entries if entry.scope == scope]
+        if not matching:
+            raise KeyError(f"no budget entries recorded under scope {scope!r}")
+        return sequential_composition(
+            self._entry_guarantee(entry, use_advanced) for entry in matching
+        )
+
+    def total_guarantee(
+        self,
+        use_advanced: bool = True,
+        disjoint_scopes: bool = False,
+        sampling_probability: float | None = None,
+    ) -> tuple[float, float]:
+        """Overall (ε, δ) guarantee across every recorded expenditure.
+
+        Parameters
+        ----------
+        use_advanced:
+            Apply advanced composition within each homogeneous query group.
+        disjoint_scopes:
+            When entries in different scopes were computed on *disjoint*
+            subsets of the data (as DT and DP are in the paper), parallel
+            composition applies and the total is the maximum over scopes
+            rather than their sum.
+        sampling_probability:
+            If the data each scope saw was a random p-subsample of the full
+            dataset, apply Theorem 4 amplification to the final guarantee.
+        """
+        if not self.entries:
+            raise ValueError("no privacy budget has been spent yet")
+        per_scope = [self.scope_guarantee(scope, use_advanced) for scope in self.scopes()]
+        if disjoint_scopes:
+            epsilon = max(eps for eps, _ in per_scope)
+            delta = max(delta for _, delta in per_scope)
+        else:
+            epsilon, delta = sequential_composition(per_scope)
+        if sampling_probability is not None:
+            epsilon, delta = amplification_by_sampling(epsilon, delta, sampling_probability)
+        return epsilon, delta

@@ -1,0 +1,99 @@
+"""Differential-privacy composition theorems (Appendix A of the paper).
+
+Three results are used by the paper's privacy analysis (Section 3.5):
+
+* **sequential composition** (Theorem 2): epsilons and deltas add up;
+* **advanced composition** (Theorem 3): k invocations of an (ε, δ)-DP
+  mechanism are (ε', kδ + δ'')-DP for
+  ε' = ε sqrt(2 k ln(1/δ'')) + k ε (e^ε - 1);
+* **amplification by sub-sampling** (Theorem 4): running an (ε, δ)-DP
+  mechanism on a p-subsample is (ln(1 + p(e^ε - 1)), pδ)-DP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = [
+    "sequential_composition",
+    "advanced_composition",
+    "amplification_by_sampling",
+]
+
+
+def _validate_pair(epsilon: float, delta: float) -> None:
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if not 0.0 <= delta <= 1.0:
+        raise ValueError("delta must lie in [0, 1]")
+
+
+def sequential_composition(
+    guarantees: Iterable[tuple[float, float]]
+) -> tuple[float, float]:
+    """Compose a sequence of (ε_i, δ_i) guarantees sequentially (Theorem 2)."""
+    total_epsilon = 0.0
+    total_delta = 0.0
+    count = 0
+    for epsilon, delta in guarantees:
+        _validate_pair(epsilon, delta)
+        total_epsilon += epsilon
+        total_delta += delta
+        count += 1
+    if count == 0:
+        raise ValueError("at least one guarantee is required")
+    return total_epsilon, min(1.0, total_delta)
+
+
+def advanced_composition(
+    epsilon: float,
+    delta: float,
+    num_queries: int,
+    delta_slack: float,
+) -> tuple[float, float]:
+    """Advanced composition (Theorem 3) of ``num_queries`` (ε, δ)-DP queries.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Per-query guarantee.
+    num_queries:
+        Number of adaptive queries (k in the theorem statement).
+    delta_slack:
+        The δ'' slack term; must be in (0, 1).
+
+    Returns
+    -------
+    (ε', δ') with
+    ε' = ε sqrt(2 k ln(1/δ'')) + k ε (e^ε - 1) and δ' = k δ + δ''.
+    """
+    _validate_pair(epsilon, delta)
+    if num_queries < 1:
+        raise ValueError("num_queries must be at least 1")
+    if not 0.0 < delta_slack < 1.0:
+        raise ValueError("delta_slack must lie strictly between 0 and 1")
+    k = float(num_queries)
+    epsilon_prime = epsilon * math.sqrt(2.0 * k * math.log(1.0 / delta_slack))
+    epsilon_prime += k * epsilon * (math.exp(epsilon) - 1.0)
+    delta_prime = min(1.0, k * delta + delta_slack)
+    return epsilon_prime, delta_prime
+
+
+def amplification_by_sampling(
+    epsilon: float,
+    delta: float,
+    sampling_probability: float,
+) -> tuple[float, float]:
+    """Privacy amplification by sub-sampling (Theorem 4).
+
+    Running an (ε, δ)-DP mechanism on a dataset where each record was included
+    independently with probability ``p`` yields
+    (ln(1 + p(e^ε - 1)), pδ)-DP overall.
+    """
+    _validate_pair(epsilon, delta)
+    if not 0.0 < sampling_probability <= 1.0:
+        raise ValueError("sampling_probability must lie in (0, 1]")
+    p = sampling_probability
+    epsilon_prime = math.log(1.0 + p * (math.exp(epsilon) - 1.0))
+    return epsilon_prime, p * delta

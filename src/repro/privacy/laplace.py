@@ -1,0 +1,72 @@
+"""The Laplace mechanism, the basic building block of the DP model learner.
+
+Sections 3.3.1 and 3.4.1 of the paper protect entropy values, record counts
+and Dirichlet-multinomial counts by adding Laplace noise scaled to the L1
+sensitivity of each quantity (Theorem 3.6 of Dwork & Roth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["laplace_noise", "laplace_mechanism", "laplace_tail_probability"]
+
+
+def laplace_noise(
+    scale: float,
+    rng: np.random.Generator,
+    size: int | tuple[int, ...] | None = None,
+) -> float | np.ndarray:
+    """Draw noise from Lap(scale): density (1 / 2b) exp(-|z| / b), mean 0.
+
+    Parameters
+    ----------
+    scale:
+        The shape parameter ``b``.  Must be positive.
+    rng:
+        Source of randomness.
+    size:
+        Shape of the returned sample; ``None`` returns a scalar.
+    """
+    if scale <= 0:
+        raise ValueError("Laplace scale must be positive")
+    sample = rng.laplace(loc=0.0, scale=scale, size=size)
+    return float(sample) if size is None else sample
+
+
+def laplace_mechanism(
+    value: float | np.ndarray,
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> float | np.ndarray:
+    """Release ``value`` with ε-differential privacy via the Laplace mechanism.
+
+    Adds independent Lap(sensitivity / epsilon) noise to each component of the
+    value.  The caller is responsible for ``sensitivity`` being a valid L1
+    sensitivity for the function that computed ``value``.
+    """
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be non-negative")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    arr = np.asarray(value, dtype=np.float64)
+    if sensitivity == 0:
+        return float(arr) if arr.ndim == 0 else arr.copy()
+    noise = rng.laplace(loc=0.0, scale=sensitivity / epsilon, size=arr.shape)
+    noisy = arr + noise
+    return float(noisy) if noisy.ndim == 0 else noisy
+
+
+def laplace_tail_probability(threshold: float, scale: float) -> float:
+    """Pr[L >= threshold] for L ~ Lap(scale) with mean 0.
+
+    Used in the analysis of the randomized privacy test: the probability of
+    passing the test when there are ``c`` plausible seeds is
+    Pr[Lap(1/ε0) >= k - c].
+    """
+    if scale <= 0:
+        raise ValueError("Laplace scale must be positive")
+    if threshold >= 0:
+        return 0.5 * np.exp(-threshold / scale)
+    return 1.0 - 0.5 * np.exp(threshold / scale)

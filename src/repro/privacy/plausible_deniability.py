@@ -1,0 +1,396 @@
+"""Plausible deniability: Definition 1, Privacy Tests 1-2 and Theorem 1 algebra.
+
+This is the heart of the paper.  A seed-based generative model M transforms an
+input record d into a synthetic record y with probability Pr{y = M(d)}.  A
+candidate synthetic y generated from seed d is *(k, γ)-plausibly deniable*
+(Definition 1) with respect to dataset D if at least k - 1 other records of D
+could have generated y with a probability within a factor γ of each other.
+
+Both privacy tests work with *partition numbers*: given y, every record d with
+Pr{y = M(d)} > 0 falls into the unique geometric bucket i >= 0 such that
+
+    γ^-(i+1) < Pr{y = M(d)} <= γ^-i .
+
+The deterministic test (Privacy Test 1) counts the records that share the
+seed's bucket and passes iff the count is at least k.  The randomized test
+(Privacy Test 2) perturbs k with Laplace(1/ε0) noise, which — by Theorem 1 —
+makes the whole synthesis mechanism (ε, δ)-differentially private with
+
+    ε = ε0 + ln(1 + γ / t),      δ = e^(-ε0 (k - t)),    for any 1 <= t < k .
+
+The functions here are deliberately decoupled from any particular generative
+model: they consume plain probability values / arrays.  The mechanism in
+:mod:`repro.core.mechanism` wires them to a model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.privacy.laplace import laplace_noise
+
+__all__ = [
+    "PlausibleDeniabilityParams",
+    "PrivacyTestResult",
+    "DeterministicPrivacyTest",
+    "RandomizedPrivacyTest",
+    "partition_number",
+    "partition_numbers",
+    "plausible_seed_count",
+    "satisfies_plausible_deniability",
+    "theorem1_epsilon",
+    "theorem1_delta",
+    "theorem1_guarantee",
+    "minimum_k_for_delta",
+]
+
+#: Partition index used for records that cannot generate the candidate at all.
+_NO_PARTITION = -1
+
+#: Relative tolerance used when a probability sits exactly on a bucket boundary.
+_BOUNDARY_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class PlausibleDeniabilityParams:
+    """Privacy parameters of the plausible-deniability mechanism.
+
+    Parameters
+    ----------
+    k:
+        Minimum number of plausible seeds (including the true seed) required
+        for a candidate synthetic to be releasable.  Larger k means a larger
+        indistinguishability set.
+    gamma:
+        Width of the probability buckets; must be > 1.  The closer to 1 the
+        stronger the indistinguishability between plausible seeds.
+    epsilon0:
+        Randomization parameter of Privacy Test 2.  ``None`` selects the
+        deterministic Privacy Test 1 (plausible deniability only, no DP
+        guarantee for the release decision itself).
+    max_check_plausible:
+        Examine at most this many candidate seed records when counting
+        plausible seeds (performance knob of the paper's tool, Section 5).
+    max_plausible:
+        Stop counting as soon as this many plausible seeds have been found
+        (second performance knob; must be >= k to be meaningful).
+    """
+
+    k: int
+    gamma: float
+    epsilon0: float | None = None
+    max_check_plausible: int | None = None
+    max_plausible: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be a positive integer")
+        if self.gamma <= 1.0:
+            raise ValueError("gamma must be strictly greater than 1")
+        if self.epsilon0 is not None and self.epsilon0 <= 0:
+            raise ValueError("epsilon0 must be positive when provided")
+        if self.max_check_plausible is not None and self.max_check_plausible < 1:
+            raise ValueError("max_check_plausible must be positive when provided")
+        if self.max_plausible is not None and self.max_plausible < self.k:
+            raise ValueError("max_plausible must be at least k to be meaningful")
+
+    @property
+    def is_randomized(self) -> bool:
+        """Whether the randomized (differentially private) test is selected."""
+        return self.epsilon0 is not None
+
+
+@dataclass(frozen=True)
+class PrivacyTestResult:
+    """Outcome of running a privacy test on one candidate synthetic record."""
+
+    passed: bool
+    plausible_seeds: int
+    partition_index: int
+    threshold: float
+    records_checked: int
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+# --------------------------------------------------------------------------- #
+# Partition-number algebra
+# --------------------------------------------------------------------------- #
+def partition_number(probability: float, gamma: float) -> int:
+    """Bucket index i >= 0 with γ^-(i+1) < probability <= γ^-i.
+
+    Returns ``-1`` when the probability is zero (the record cannot have
+    generated the candidate and therefore belongs to no partition).
+    """
+    if gamma <= 1.0:
+        raise ValueError("gamma must be strictly greater than 1")
+    if probability < 0.0 or probability > 1.0 + 1e-12:
+        raise ValueError("probability must lie in [0, 1]")
+    if probability <= 0.0:
+        return _NO_PARTITION
+    index = math.floor(-math.log(probability) / math.log(gamma) + _BOUNDARY_TOLERANCE)
+    return max(0, int(index))
+
+
+def partition_numbers(probabilities: np.ndarray, gamma: float) -> np.ndarray:
+    """Vectorized :func:`partition_number` over an array of probabilities."""
+    if gamma <= 1.0:
+        raise ValueError("gamma must be strictly greater than 1")
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.size and (probs.min() < 0.0 or probs.max() > 1.0 + 1e-12):
+        raise ValueError("probabilities must lie in [0, 1]")
+    result = np.full(probs.shape, _NO_PARTITION, dtype=np.int64)
+    positive = probs > 0.0
+    if np.any(positive):
+        indices = np.floor(
+            -np.log(probs[positive]) / math.log(gamma) + _BOUNDARY_TOLERANCE
+        ).astype(np.int64)
+        result[positive] = np.maximum(0, indices)
+    return result
+
+
+def plausible_seed_count(
+    seed_probability: float,
+    dataset_probabilities: np.ndarray,
+    gamma: float,
+    max_check_plausible: int | None = None,
+    max_plausible: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, int, int]:
+    """Count dataset records in the same probability bucket as the seed.
+
+    Parameters
+    ----------
+    seed_probability:
+        Pr{y = M(d)} for the true seed d.  Must be positive (the seed did
+        generate the candidate).
+    dataset_probabilities:
+        Pr{y = M(da)} for every record da in D (including the seed itself).
+    gamma:
+        Bucket width.
+    max_check_plausible, max_plausible:
+        Early-termination knobs (Section 5); when either is set the records
+        are scanned in random order and counting stops early.  These affect
+        performance and the pass rate but never the privacy guarantee.
+    rng:
+        Randomness for the scan order (only needed with early termination).
+
+    Returns
+    -------
+    (plausible_count, partition_index, records_checked)
+    """
+    if seed_probability <= 0.0:
+        raise ValueError("the seed must have positive probability of generating y")
+    seed_partition = partition_number(seed_probability, gamma)
+    probs = np.asarray(dataset_probabilities, dtype=np.float64)
+    if probs.ndim != 1:
+        raise ValueError("dataset_probabilities must be a 1-D array")
+
+    if max_check_plausible is None and max_plausible is None:
+        partitions = partition_numbers(probs, gamma)
+        count = int(np.sum(partitions == seed_partition))
+        return count, seed_partition, probs.size
+
+    generator = rng if rng is not None else np.random.default_rng(0)
+    order = generator.permutation(probs.size)
+    limit = probs.size if max_check_plausible is None else min(probs.size, max_check_plausible)
+    count = 0
+    checked = 0
+    for index in order[:limit]:
+        checked += 1
+        if partition_number(float(probs[index]), gamma) == seed_partition:
+            count += 1
+            if max_plausible is not None and count >= max_plausible:
+                break
+    return count, seed_partition, checked
+
+
+def satisfies_plausible_deniability(
+    seed_probability: float,
+    dataset_probabilities: np.ndarray,
+    k: int,
+    gamma: float,
+) -> bool:
+    """Direct check of Definition 1 via the bucket-counting criterion.
+
+    The bucket criterion of Privacy Test 1 is sufficient for Definition 1:
+    any k records in one geometric bucket pairwise satisfy
+    γ^-1 <= p_i / p_j <= γ.
+    """
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    count, _, _ = plausible_seed_count(seed_probability, dataset_probabilities, gamma)
+    return count >= k
+
+
+# --------------------------------------------------------------------------- #
+# Privacy tests
+# --------------------------------------------------------------------------- #
+class DeterministicPrivacyTest:
+    """Privacy Test 1: pass iff the seed's bucket holds at least k records."""
+
+    def __init__(self, params: PlausibleDeniabilityParams):
+        self._params = params
+
+    @property
+    def params(self) -> PlausibleDeniabilityParams:
+        """The privacy parameters this test enforces."""
+        return self._params
+
+    def __call__(
+        self,
+        seed_probability: float,
+        dataset_probabilities: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> PrivacyTestResult:
+        params = self._params
+        count, partition, checked = plausible_seed_count(
+            seed_probability,
+            dataset_probabilities,
+            params.gamma,
+            params.max_check_plausible,
+            params.max_plausible,
+            rng,
+        )
+        return PrivacyTestResult(
+            passed=count >= params.k,
+            plausible_seeds=count,
+            partition_index=partition,
+            threshold=float(params.k),
+            records_checked=checked,
+        )
+
+
+class RandomizedPrivacyTest:
+    """Privacy Test 2: like Test 1 but with a Laplace-noised threshold.
+
+    With threshold noise Lap(1/ε0) the overall mechanism satisfies
+    (ε, δ)-differential privacy per Theorem 1.
+    """
+
+    def __init__(self, params: PlausibleDeniabilityParams):
+        if params.epsilon0 is None:
+            raise ValueError("RandomizedPrivacyTest requires params.epsilon0")
+        self._params = params
+
+    @property
+    def params(self) -> PlausibleDeniabilityParams:
+        """The privacy parameters this test enforces."""
+        return self._params
+
+    def __call__(
+        self,
+        seed_probability: float,
+        dataset_probabilities: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> PrivacyTestResult:
+        params = self._params
+        generator = rng if rng is not None else np.random.default_rng()
+        noisy_threshold = params.k + laplace_noise(1.0 / params.epsilon0, generator)
+        count, partition, checked = plausible_seed_count(
+            seed_probability,
+            dataset_probabilities,
+            params.gamma,
+            params.max_check_plausible,
+            params.max_plausible,
+            generator,
+        )
+        return PrivacyTestResult(
+            passed=count >= noisy_threshold,
+            plausible_seeds=count,
+            partition_index=partition,
+            threshold=float(noisy_threshold),
+            records_checked=checked,
+        )
+
+
+def make_privacy_test(
+    params: PlausibleDeniabilityParams,
+) -> DeterministicPrivacyTest | RandomizedPrivacyTest:
+    """Build the privacy test selected by the parameters."""
+    if params.is_randomized:
+        return RandomizedPrivacyTest(params)
+    return DeterministicPrivacyTest(params)
+
+
+# --------------------------------------------------------------------------- #
+# Theorem 1 algebra
+# --------------------------------------------------------------------------- #
+def theorem1_epsilon(epsilon0: float, gamma: float, t: int) -> float:
+    """ε of Theorem 1: ε = ε0 + ln(1 + γ / t)."""
+    if epsilon0 <= 0:
+        raise ValueError("epsilon0 must be positive")
+    if gamma <= 1.0:
+        raise ValueError("gamma must be strictly greater than 1")
+    if t < 1:
+        raise ValueError("t must be a positive integer")
+    return epsilon0 + math.log(1.0 + gamma / t)
+
+
+def theorem1_delta(epsilon0: float, k: int, t: int) -> float:
+    """δ of Theorem 1: δ = e^(-ε0 (k - t)); requires 1 <= t < k."""
+    if epsilon0 <= 0:
+        raise ValueError("epsilon0 must be positive")
+    if k < 1:
+        raise ValueError("k must be a positive integer")
+    if not 1 <= t < k:
+        raise ValueError("t must satisfy 1 <= t < k")
+    return math.exp(-epsilon0 * (k - t))
+
+
+def theorem1_guarantee(
+    k: int,
+    gamma: float,
+    epsilon0: float,
+    t: int | None = None,
+) -> tuple[float, float, int]:
+    """The (ε, δ) guarantee of Mechanism 1 with the randomized test.
+
+    When ``t`` is omitted the trade-off parameter is chosen to minimise ε + lnδ
+    pressure in a simple way: every admissible t is evaluated and the one with
+    the smallest ε subject to δ <= 1/k² is preferred, falling back to the
+    smallest δ when none qualifies.
+
+    Returns ``(epsilon, delta, t)``.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2 so that some 1 <= t < k exists")
+    candidates = range(1, k) if t is None else [t]
+    best: tuple[float, float, int] | None = None
+    fallback: tuple[float, float, int] | None = None
+    delta_target = 1.0 / (k * k)
+    for candidate in candidates:
+        epsilon = theorem1_epsilon(epsilon0, gamma, candidate)
+        delta = theorem1_delta(epsilon0, k, candidate)
+        entry = (epsilon, delta, candidate)
+        if delta <= delta_target and (best is None or epsilon < best[0]):
+            best = entry
+        if fallback is None or delta < fallback[1]:
+            fallback = entry
+    chosen = best if best is not None else fallback
+    assert chosen is not None
+    return chosen
+
+
+def minimum_k_for_delta(
+    delta_target: float,
+    epsilon0: float,
+    t: int,
+) -> int:
+    """Smallest k such that δ = e^(-ε0 (k - t)) <= delta_target.
+
+    The paper notes that to get δ <= n^-c one may set k >= t + (c/ε0) ln n;
+    this helper solves the inequality exactly.
+    """
+    if not 0.0 < delta_target < 1.0:
+        raise ValueError("delta_target must lie strictly between 0 and 1")
+    if epsilon0 <= 0:
+        raise ValueError("epsilon0 must be positive")
+    if t < 1:
+        raise ValueError("t must be a positive integer")
+    k = t + math.log(1.0 / delta_target) / epsilon0
+    return int(math.ceil(k))

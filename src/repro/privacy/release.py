@@ -1,0 +1,128 @@
+"""Privacy accounting for releasing an entire synthetic *dataset*.
+
+Theorem 1 bounds the privacy loss of releasing a *single* synthetic record.
+Section 8 of the paper notes that the composition theorems extend the
+guarantee to arbitrarily large synthetic datasets provided the budget is
+increased accordingly, and leaves better composition strategies as future
+work.  This module implements that extension: given the per-record Theorem 1
+guarantee and the number of released records, it reports the total (ε, δ)
+under basic and advanced composition and can invert the computation to find
+how many records fit a target budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.privacy.composition import advanced_composition, sequential_composition
+from repro.privacy.plausible_deniability import theorem1_guarantee
+
+__all__ = ["DatasetReleaseGuarantee", "dataset_release_guarantee", "max_releasable_records"]
+
+
+@dataclass(frozen=True)
+class DatasetReleaseGuarantee:
+    """Total privacy guarantee of releasing ``num_records`` synthetic records."""
+
+    num_records: int
+    per_record_epsilon: float
+    per_record_delta: float
+    t: int
+    basic_epsilon: float
+    basic_delta: float
+    advanced_epsilon: float
+    advanced_delta: float
+
+    @property
+    def epsilon(self) -> float:
+        """The tighter of the two composed ε bounds."""
+        return min(self.basic_epsilon, self.advanced_epsilon)
+
+    @property
+    def delta(self) -> float:
+        """The δ corresponding to the tighter ε bound."""
+        if self.basic_epsilon <= self.advanced_epsilon:
+            return self.basic_delta
+        return self.advanced_delta
+
+
+def dataset_release_guarantee(
+    num_records: int,
+    k: int,
+    gamma: float,
+    epsilon0: float,
+    t: int | None = None,
+    delta_slack: float = 1e-9,
+) -> DatasetReleaseGuarantee:
+    """Compose the Theorem 1 per-record guarantee over a whole release.
+
+    Parameters
+    ----------
+    num_records:
+        Number of synthetic records released from the same input dataset.
+    k, gamma, epsilon0:
+        The plausible-deniability parameters of the mechanism.
+    t:
+        Theorem 1 trade-off parameter (chosen automatically when omitted).
+    delta_slack:
+        The δ'' slack of advanced composition.
+    """
+    if num_records < 1:
+        raise ValueError("num_records must be a positive integer")
+    per_epsilon, per_delta, chosen_t = theorem1_guarantee(k, gamma, epsilon0, t)
+    basic_epsilon, basic_delta = sequential_composition(
+        [(per_epsilon, per_delta)] * num_records
+    )
+    if num_records > 1:
+        advanced_epsilon, advanced_delta = advanced_composition(
+            per_epsilon, per_delta, num_records, delta_slack
+        )
+    else:
+        advanced_epsilon, advanced_delta = per_epsilon, per_delta
+    return DatasetReleaseGuarantee(
+        num_records=num_records,
+        per_record_epsilon=per_epsilon,
+        per_record_delta=per_delta,
+        t=chosen_t,
+        basic_epsilon=basic_epsilon,
+        basic_delta=basic_delta,
+        advanced_epsilon=advanced_epsilon,
+        advanced_delta=advanced_delta,
+    )
+
+
+def max_releasable_records(
+    epsilon_budget: float,
+    k: int,
+    gamma: float,
+    epsilon0: float,
+    t: int | None = None,
+    delta_slack: float = 1e-9,
+    upper_bound: int = 1_000_000,
+) -> int:
+    """Largest number of records whose composed release ε stays within budget.
+
+    Solved by bisection on the monotone composed guarantee.  Returns 0 when
+    even a single record exceeds the budget.
+    """
+    if epsilon_budget <= 0:
+        raise ValueError("epsilon_budget must be positive")
+    if upper_bound < 1:
+        raise ValueError("upper_bound must be positive")
+
+    def fits(count: int) -> bool:
+        guarantee = dataset_release_guarantee(count, k, gamma, epsilon0, t, delta_slack)
+        return guarantee.epsilon <= epsilon_budget
+
+    if not fits(1):
+        return 0
+    low, high = 1, upper_bound
+    if fits(high):
+        return high
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+    return low

@@ -1,0 +1,48 @@
+"""Statistical substrate: entropy, correlation and distribution-distance measures.
+
+This package contains the information-theoretic primitives used by the
+structure-learning algorithm (Section 3.3 of the paper) and the
+distribution-comparison metrics used throughout the evaluation (Section 6.2).
+
+Everything operates on discrete (integer-encoded) data, which matches the
+pre-processed ACS dataset used in the paper where all attributes are either
+categorical or bucketized numerical values.
+"""
+
+from repro.stats.contingency import (
+    joint_counts,
+    marginal_counts,
+    pairwise_joint_distribution,
+)
+from repro.stats.distance import (
+    jensen_shannon_divergence,
+    pairwise_attribute_distances,
+    single_attribute_distances,
+    total_variation_distance,
+)
+from repro.stats.entropy import (
+    conditional_entropy,
+    entropy,
+    entropy_from_counts,
+    entropy_sensitivity_bound,
+    joint_entropy,
+    mutual_information,
+    symmetrical_uncertainty,
+)
+
+__all__ = [
+    "conditional_entropy",
+    "entropy",
+    "entropy_from_counts",
+    "entropy_sensitivity_bound",
+    "joint_entropy",
+    "mutual_information",
+    "symmetrical_uncertainty",
+    "total_variation_distance",
+    "jensen_shannon_divergence",
+    "single_attribute_distances",
+    "pairwise_attribute_distances",
+    "joint_counts",
+    "marginal_counts",
+    "pairwise_joint_distribution",
+]

@@ -1,0 +1,132 @@
+"""Count tables (marginals, joints and contingency tables) for discrete data.
+
+All functions accept integer-encoded value arrays.  Values are assumed to lie
+in ``[0, cardinality)``; callers that work with :class:`repro.datasets.Dataset`
+objects get this for free because datasets encode every attribute that way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "marginal_counts",
+    "marginal_distribution",
+    "joint_counts",
+    "joint_distribution",
+    "pairwise_joint_distribution",
+    "contingency_table",
+]
+
+
+def _as_int_array(values: np.ndarray) -> np.ndarray:
+    """Validate and coerce an input column to a 1-D integer array."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D array of values, got shape {arr.shape}")
+    if arr.size and arr.min() < 0:
+        raise ValueError("encoded values must be non-negative integers")
+    return arr.astype(np.int64, copy=False)
+
+
+def marginal_counts(values: np.ndarray, cardinality: int | None = None) -> np.ndarray:
+    """Return the histogram of a single encoded attribute.
+
+    Parameters
+    ----------
+    values:
+        1-D array of non-negative integer codes.
+    cardinality:
+        Number of bins.  If omitted, ``max(values) + 1`` is used.
+    """
+    arr = _as_int_array(values)
+    if cardinality is None:
+        cardinality = int(arr.max()) + 1 if arr.size else 0
+    if arr.size and arr.max() >= cardinality:
+        raise ValueError(
+            f"value {int(arr.max())} out of range for cardinality {cardinality}"
+        )
+    return np.bincount(arr, minlength=cardinality).astype(np.int64)
+
+
+def marginal_distribution(
+    values: np.ndarray, cardinality: int | None = None
+) -> np.ndarray:
+    """Return the empirical marginal distribution of a single attribute."""
+    counts = marginal_counts(values, cardinality)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("cannot build a distribution from an empty column")
+    return counts / total
+
+
+def joint_counts(
+    first: np.ndarray,
+    second: np.ndarray,
+    first_cardinality: int | None = None,
+    second_cardinality: int | None = None,
+) -> np.ndarray:
+    """Return the 2-D contingency table of two encoded attributes."""
+    a = _as_int_array(first)
+    b = _as_int_array(second)
+    if a.shape != b.shape:
+        raise ValueError("both columns must have the same number of rows")
+    if first_cardinality is None:
+        first_cardinality = int(a.max()) + 1 if a.size else 0
+    if second_cardinality is None:
+        second_cardinality = int(b.max()) + 1 if b.size else 0
+    flat = a * second_cardinality + b
+    counts = np.bincount(flat, minlength=first_cardinality * second_cardinality)
+    return counts.reshape(first_cardinality, second_cardinality).astype(np.int64)
+
+
+def joint_distribution(
+    first: np.ndarray,
+    second: np.ndarray,
+    first_cardinality: int | None = None,
+    second_cardinality: int | None = None,
+) -> np.ndarray:
+    """Return the empirical joint distribution of two attributes."""
+    counts = joint_counts(first, second, first_cardinality, second_cardinality)
+    total = counts.sum()
+    if total == 0:
+        raise ValueError("cannot build a distribution from empty columns")
+    return counts / total
+
+
+def pairwise_joint_distribution(
+    matrix: np.ndarray,
+    i: int,
+    j: int,
+    cardinalities: list[int] | tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Joint distribution of columns ``i`` and ``j`` of an encoded data matrix."""
+    data = np.asarray(matrix)
+    if data.ndim != 2:
+        raise ValueError("matrix must be 2-D (rows x attributes)")
+    card_i = cardinalities[i] if cardinalities is not None else None
+    card_j = cardinalities[j] if cardinalities is not None else None
+    return joint_distribution(data[:, i], data[:, j], card_i, card_j)
+
+
+def contingency_table(
+    matrix: np.ndarray,
+    columns: list[int] | tuple[int, ...],
+    cardinalities: list[int] | tuple[int, ...],
+) -> np.ndarray:
+    """N-way contingency table over a subset of columns.
+
+    The result has one axis per requested column, in the given order, with the
+    axis length equal to that column's cardinality.
+    """
+    data = np.asarray(matrix)
+    if data.ndim != 2:
+        raise ValueError("matrix must be 2-D (rows x attributes)")
+    if not columns:
+        raise ValueError("at least one column is required")
+    shape = tuple(int(cardinalities[c]) for c in columns)
+    flat_index = np.zeros(data.shape[0], dtype=np.int64)
+    for col, card in zip(columns, shape):
+        flat_index = flat_index * card + data[:, col].astype(np.int64)
+    counts = np.bincount(flat_index, minlength=int(np.prod(shape)))
+    return counts.reshape(shape).astype(np.int64)

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the ACS-like dataset, fitted generative models) are
+session-scoped so the whole suite stays fast; individual tests that need to
+mutate state build their own small instances instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.acs import load_acs
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Attribute, AttributeType, Schema
+from repro.datasets.splits import split_dataset
+from repro.generative.builder import GenerativeModelSpec, fit_bayesian_network, fit_marginal_model
+
+
+@pytest.fixture(scope="session")
+def toy_schema() -> Schema:
+    """A small 4-attribute schema with one bucketized numerical attribute."""
+    return Schema(
+        [
+            Attribute("age", AttributeType.NUMERICAL, tuple(range(20)), bucket_size=5),
+            Attribute("color", AttributeType.CATEGORICAL, ("red", "green", "blue")),
+            Attribute("size", AttributeType.CATEGORICAL, ("small", "large")),
+            Attribute("label", AttributeType.CATEGORICAL, ("no", "yes")),
+        ]
+    )
+
+
+def _toy_matrix(num_records: int, seed: int) -> np.ndarray:
+    """Correlated toy data: size depends on age, label depends on size and color."""
+    rng = np.random.default_rng(seed)
+    age = rng.integers(0, 20, size=num_records)
+    color = rng.integers(0, 3, size=num_records)
+    size = (age >= 10).astype(np.int64)
+    flip = rng.random(num_records) < 0.15
+    size = np.where(flip, 1 - size, size)
+    label_probability = 0.15 + 0.55 * size + 0.15 * (color == 2)
+    label = (rng.random(num_records) < label_probability).astype(np.int64)
+    return np.column_stack([age, color, size, label])
+
+
+@pytest.fixture(scope="session")
+def toy_dataset(toy_schema: Schema) -> Dataset:
+    """A 2000-record correlated toy dataset."""
+    return Dataset(toy_schema, _toy_matrix(2000, seed=0))
+
+
+@pytest.fixture(scope="session")
+def toy_dataset_small(toy_schema: Schema) -> Dataset:
+    """A 300-record correlated toy dataset (for quick structural tests)."""
+    return Dataset(toy_schema, _toy_matrix(300, seed=1))
+
+
+@pytest.fixture(scope="session")
+def acs_dataset() -> Dataset:
+    """A small cleaned ACS-like dataset shared across the suite."""
+    return load_acs(num_records=6000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def acs_splits(acs_dataset: Dataset):
+    """DS / DT / DP / test splits of the shared ACS-like dataset."""
+    return split_dataset(acs_dataset, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="session")
+def unnoised_model(acs_splits):
+    """A non-private Bayesian-network synthesizer fitted on the shared splits."""
+    spec = GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None)
+    return fit_bayesian_network(
+        acs_splits.structure, acs_splits.parameters, spec=spec, rng=np.random.default_rng(4)
+    )
+
+
+@pytest.fixture(scope="session")
+def marginal_model(acs_splits):
+    """A non-private marginals baseline fitted on the shared splits."""
+    return fit_marginal_model(acs_splits.parameters, epsilon=None, rng=np.random.default_rng(5))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

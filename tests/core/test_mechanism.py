@@ -1,0 +1,123 @@
+"""Tests for Mechanism 1 (seed -> candidate -> privacy test -> release)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import SynthesisMechanism
+from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+
+@pytest.fixture(scope="module")
+def mechanism(unnoised_model, acs_splits):
+    params = PlausibleDeniabilityParams(k=20, gamma=4.0, epsilon0=1.0)
+    return SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+
+
+class TestConstruction:
+    def test_requires_matching_schema(self, unnoised_model, toy_dataset):
+        params = PlausibleDeniabilityParams(k=5, gamma=2.0)
+        with pytest.raises(ValueError):
+            SynthesisMechanism(unnoised_model, toy_dataset, params)
+
+    def test_requires_at_least_k_seed_records(self, unnoised_model, acs_splits):
+        params = PlausibleDeniabilityParams(k=10_000_000, gamma=2.0)
+        with pytest.raises(ValueError):
+            SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+
+    def test_exposes_components(self, mechanism, unnoised_model, acs_splits):
+        assert mechanism.model is unnoised_model
+        assert mechanism.seed_dataset is acs_splits.seeds
+        assert mechanism.params.k == 20
+
+
+class TestPropose:
+    def test_propose_returns_valid_attempt(self, mechanism, rng):
+        attempt = mechanism.propose(rng)
+        assert 0 <= attempt.seed_index < len(mechanism.seed_dataset)
+        assert attempt.candidate.shape == (11,)
+        assert attempt.test.plausible_seeds >= 0
+
+    def test_plausible_seed_count_counts_matching_records(self, mechanism, rng):
+        attempt = mechanism.propose(rng)
+        # Recompute the plausible-seed count directly from the model.
+        model = mechanism.model
+        seeds = mechanism.seed_dataset
+        probabilities = model.batch_seed_probabilities(seeds.data, attempt.candidate)
+        seed_probability = model.seed_probability(
+            seeds.record(attempt.seed_index), attempt.candidate
+        )
+        from repro.privacy.plausible_deniability import partition_numbers
+
+        partitions = partition_numbers(probabilities, mechanism.params.gamma)
+        seed_partition = partition_numbers(
+            np.array([seed_probability]), mechanism.params.gamma
+        )[0]
+        assert attempt.test.plausible_seeds == int(np.sum(partitions == seed_partition))
+
+    def test_evaluate_candidate_with_external_record(self, mechanism, rng):
+        candidate = mechanism.seed_dataset.record(0).copy()
+        attempt = mechanism.evaluate_candidate(0, candidate, rng)
+        assert attempt.candidate is candidate
+
+
+class TestGenerate:
+    def test_generate_until_target_released(self, mechanism, rng):
+        report = mechanism.generate(10, rng)
+        assert report.num_released >= 10 or report.num_attempts >= 1000
+
+    def test_generate_respects_max_attempts(self, unnoised_model, acs_splits, rng):
+        # Impossible parameters: k equal to the seed-set size cannot be met by
+        # a seed-dependent candidate, so the mechanism must stop at the limit.
+        params = PlausibleDeniabilityParams(k=len(acs_splits.seeds), gamma=4.0)
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        report = mechanism.generate(5, rng, max_attempts=20)
+        assert report.num_attempts == 20
+        assert report.num_released < 5
+
+    def test_generate_zero_records(self, mechanism, rng):
+        report = mechanism.generate(0, rng)
+        assert report.num_attempts == 0
+
+    def test_generate_negative_rejected(self, mechanism, rng):
+        with pytest.raises(ValueError):
+            mechanism.generate(-1, rng)
+
+    def test_run_attempts_exact_count(self, mechanism, rng):
+        report = mechanism.run_attempts(25, rng)
+        assert report.num_attempts == 25
+
+    def test_run_attempts_negative_rejected(self, mechanism, rng):
+        with pytest.raises(ValueError):
+            mechanism.run_attempts(-1, rng)
+
+    def test_released_records_satisfy_plausible_deniability(self, unnoised_model, acs_splits, rng):
+        # Deterministic test: every released record must have at least k
+        # plausible seeds (Definition 1 via the bucket criterion).
+        params = PlausibleDeniabilityParams(k=15, gamma=4.0)
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        report = mechanism.run_attempts(40, rng)
+        for attempt in report.attempts:
+            if attempt.released:
+                assert attempt.test.plausible_seeds >= 15
+
+    def test_lower_k_gives_higher_pass_rate(self, unnoised_model, acs_splits):
+        lenient = SynthesisMechanism(
+            unnoised_model, acs_splits.seeds, PlausibleDeniabilityParams(k=5, gamma=4.0)
+        ).run_attempts(60, np.random.default_rng(0))
+        strict = SynthesisMechanism(
+            unnoised_model, acs_splits.seeds, PlausibleDeniabilityParams(k=500, gamma=4.0)
+        ).run_attempts(60, np.random.default_rng(0))
+        assert lenient.pass_rate >= strict.pass_rate
+
+    def test_early_termination_knobs_do_not_release_implausible_records(
+        self, unnoised_model, acs_splits, rng
+    ):
+        params = PlausibleDeniabilityParams(
+            k=10, gamma=4.0, max_plausible=10, max_check_plausible=2000
+        )
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        report = mechanism.run_attempts(30, rng)
+        for attempt in report.attempts:
+            if attempt.released:
+                assert attempt.test.plausible_seeds >= 10
+            assert attempt.test.records_checked <= 2000

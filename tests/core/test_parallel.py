@@ -1,0 +1,63 @@
+"""Tests for parallel generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import ParallelGenerationTask, _run_worker, generate_in_parallel
+from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0)
+
+
+class TestWorker:
+    def test_worker_runs_requested_attempts(self, unnoised_model, acs_splits, params):
+        task = ParallelGenerationTask(
+            model=unnoised_model,
+            seed_data=acs_splits.seeds.data,
+            schema_attributes=tuple(acs_splits.seeds.schema.attributes),
+            params=params,
+            num_attempts=7,
+            rng_seed=0,
+        )
+        report = _run_worker(task)
+        assert report.num_attempts == 7
+
+
+class TestGenerateInParallel:
+    def test_single_worker_in_process(self, unnoised_model, acs_splits, params):
+        report = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, num_attempts=12, num_workers=1
+        )
+        assert report.num_attempts == 12
+
+    def test_attempts_split_across_workers(self, unnoised_model, acs_splits, params):
+        report = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, num_attempts=9, num_workers=2
+        )
+        assert report.num_attempts == 9
+
+    def test_zero_attempts(self, unnoised_model, acs_splits, params):
+        report = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, num_attempts=0, num_workers=2
+        )
+        assert report.num_attempts == 0
+
+    def test_validation(self, unnoised_model, acs_splits, params):
+        with pytest.raises(ValueError):
+            generate_in_parallel(unnoised_model, acs_splits.seeds, params, -1)
+        with pytest.raises(ValueError):
+            generate_in_parallel(unnoised_model, acs_splits.seeds, params, 5, num_workers=0)
+
+    def test_reproducible_for_fixed_base_seed(self, unnoised_model, acs_splits, params):
+        first = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, 10, num_workers=1, base_seed=3
+        )
+        second = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, 10, num_workers=1, base_seed=3
+        )
+        assert np.array_equal(
+            first.all_candidates_dataset().data, second.all_candidates_dataset().data
+        )

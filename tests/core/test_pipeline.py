@@ -1,0 +1,89 @@
+"""Tests for the end-to-end synthesis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import GenerationConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.generative.builder import GenerativeModelSpec
+from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline(acs_dataset):
+    config = GenerationConfig(
+        privacy=PlausibleDeniabilityParams(k=20, gamma=4.0, epsilon0=1.0),
+        model=GenerativeModelSpec.with_total_epsilon(1.0, num_attributes=11, omega=9),
+    )
+    return SynthesisPipeline(acs_dataset, config, rng=np.random.default_rng(0)).fit()
+
+
+class TestLifecycle:
+    def test_accessors_require_fit(self, acs_dataset):
+        pipeline = SynthesisPipeline(acs_dataset)
+        with pytest.raises(RuntimeError):
+            _ = pipeline.model
+        with pytest.raises(RuntimeError):
+            _ = pipeline.splits
+        with pytest.raises(RuntimeError):
+            _ = pipeline.mechanism
+        with pytest.raises(RuntimeError):
+            _ = pipeline.marginal_model
+
+    def test_fit_populates_components(self, fitted_pipeline):
+        assert len(fitted_pipeline.model.tables) == 11
+        assert len(fitted_pipeline.marginal_model.marginals) == 11
+        assert fitted_pipeline.splits.total_records > 0
+        assert fitted_pipeline.timings.model_learning_seconds > 0
+
+    def test_generate_releases_requested_records(self, fitted_pipeline):
+        report = fitted_pipeline.generate(20)
+        assert report.num_released == 20
+        released = report.released_dataset()
+        assert released.schema == fitted_pipeline.splits.seeds.schema
+        assert fitted_pipeline.timings.synthesis_seconds > 0
+
+    def test_generate_marginals(self, fitted_pipeline):
+        dataset = fitted_pipeline.generate_marginals(100)
+        assert len(dataset) == 100
+
+    def test_generate_without_fit_triggers_fit(self, acs_dataset):
+        pipeline = SynthesisPipeline(
+            acs_dataset,
+            GenerationConfig(
+                privacy=PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0),
+                model=GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None),
+            ),
+            rng=np.random.default_rng(1),
+        )
+        report = pipeline.generate(5)
+        assert report.num_released == 5
+
+
+class TestPrivacyReporting:
+    def test_model_guarantee_respects_configured_budget(self, fitted_pipeline):
+        epsilon, delta = fitted_pipeline.model_privacy_guarantee()
+        assert epsilon <= 1.0 + 1e-6
+        assert delta <= 1e-8
+
+    def test_release_guarantee_matches_theorem1(self, fitted_pipeline):
+        epsilon, delta, t = fitted_pipeline.release_privacy_guarantee()
+        params = fitted_pipeline.config.privacy
+        from repro.privacy.plausible_deniability import theorem1_delta, theorem1_epsilon
+
+        assert epsilon == pytest.approx(theorem1_epsilon(params.epsilon0, params.gamma, t))
+        assert delta == pytest.approx(theorem1_delta(params.epsilon0, params.k, t))
+
+    def test_release_guarantee_requires_randomized_test(self, acs_dataset):
+        config = GenerationConfig(
+            privacy=PlausibleDeniabilityParams(k=10, gamma=4.0),
+            model=GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None),
+        )
+        pipeline = SynthesisPipeline(acs_dataset, config)
+        with pytest.raises(ValueError):
+            pipeline.release_privacy_guarantee()
+
+    def test_baseline_budget_tracked_separately(self, fitted_pipeline):
+        # The marginals baseline must not inflate the main model's ledger.
+        labels = fitted_pipeline.accountant.labels()
+        assert "marginals/counts" not in labels

@@ -1,0 +1,69 @@
+"""Tests for synthesis-run bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import SynthesisAttempt, SynthesisReport
+from repro.privacy.plausible_deniability import PrivacyTestResult
+
+
+def make_attempt(schema, passed=True, seed_index=0, value=0):
+    candidate = np.full(len(schema), value % 2, dtype=np.int64)
+    result = PrivacyTestResult(
+        passed=passed, plausible_seeds=10, partition_index=1, threshold=5.0, records_checked=100
+    )
+    return SynthesisAttempt(seed_index=seed_index, candidate=candidate, test=result)
+
+
+class TestSynthesisAttempt:
+    def test_released_mirrors_test_outcome(self, toy_schema):
+        assert make_attempt(toy_schema, passed=True).released
+        assert not make_attempt(toy_schema, passed=False).released
+
+
+class TestSynthesisReport:
+    def test_empty_report(self, toy_schema):
+        report = SynthesisReport(schema=toy_schema)
+        assert report.num_attempts == 0
+        assert report.num_released == 0
+        assert report.pass_rate == 0.0
+        assert report.mean_plausible_seeds == 0.0
+        assert len(report.released_dataset()) == 0
+        assert len(report.all_candidates_dataset()) == 0
+
+    def test_counts_and_pass_rate(self, toy_schema):
+        report = SynthesisReport(schema=toy_schema)
+        report.record(make_attempt(toy_schema, passed=True))
+        report.record(make_attempt(toy_schema, passed=False))
+        report.record(make_attempt(toy_schema, passed=True))
+        assert report.num_attempts == 3
+        assert report.num_released == 2
+        assert report.pass_rate == pytest.approx(2 / 3)
+
+    def test_released_dataset_contains_only_passing_candidates(self, toy_schema):
+        report = SynthesisReport(schema=toy_schema)
+        report.record(make_attempt(toy_schema, passed=True, value=1))
+        report.record(make_attempt(toy_schema, passed=False, value=0))
+        released = report.released_dataset()
+        assert len(released) == 1
+        assert len(report.all_candidates_dataset()) == 2
+
+    def test_mean_plausible_seeds(self, toy_schema):
+        report = SynthesisReport(schema=toy_schema)
+        report.record(make_attempt(toy_schema))
+        assert report.mean_plausible_seeds == 10.0
+
+    def test_merge(self, toy_schema):
+        first = SynthesisReport(schema=toy_schema)
+        first.record(make_attempt(toy_schema, passed=True))
+        second = SynthesisReport(schema=toy_schema)
+        second.record(make_attempt(toy_schema, passed=False))
+        merged = first.merge(second)
+        assert merged.num_attempts == 2
+        assert merged.num_released == 1
+
+    def test_merge_requires_same_schema(self, toy_schema, acs_dataset):
+        first = SynthesisReport(schema=toy_schema)
+        second = SynthesisReport(schema=acs_dataset.schema)
+        with pytest.raises(ValueError):
+            first.merge(second)

@@ -1,0 +1,140 @@
+"""Tests for the ACS-like population model and cleaning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.acs import (
+    ACS_SCHEMA,
+    MISSING,
+    AcsPopulationModel,
+    clean_acs,
+    load_acs,
+    sample_raw_acs,
+)
+from repro.stats.entropy import mutual_information
+
+
+class TestSchema:
+    def test_has_eleven_attributes(self):
+        assert len(ACS_SCHEMA) == 11
+
+    def test_cardinalities_match_table1(self):
+        expected = {
+            "AGEP": 80,
+            "COW": 8,
+            "SCHL": 24,
+            "MAR": 5,
+            "OCCP": 25,
+            "RELP": 18,
+            "RAC1P": 5,
+            "SEX": 2,
+            "WKHP": 100,
+            "WAOB": 8,
+            "WAGP": 2,
+        }
+        for name, cardinality in expected.items():
+            assert ACS_SCHEMA[name].cardinality == cardinality
+
+    def test_possible_records_matches_table2_order_of_magnitude(self):
+        # The paper reports ~5.4e11 possible records for this schema.
+        assert 1e11 < ACS_SCHEMA.possible_records() < 1e12
+
+    def test_age_and_hours_are_bucketized_for_structure_learning(self):
+        assert ACS_SCHEMA["AGEP"].bucketized_cardinality == 8
+        assert ACS_SCHEMA["WKHP"].bucketized_cardinality == 7
+
+    def test_education_buckets_aggregate_low_levels(self):
+        education = ACS_SCHEMA["SCHL"]
+        buckets = education.bucketize(np.arange(education.cardinality))
+        # Everything below a high-school diploma lands in a single bucket.
+        assert len(set(buckets[:15].tolist())) == 1
+        assert education.bucketized_cardinality < education.cardinality
+
+
+class TestSampling:
+    def test_sample_raw_shape(self):
+        raw = sample_raw_acs(500, seed=0)
+        assert raw.shape == (500, 11)
+
+    def test_sample_raw_is_deterministic_per_seed(self):
+        assert np.array_equal(sample_raw_acs(200, seed=3), sample_raw_acs(200, seed=3))
+        assert not np.array_equal(sample_raw_acs(200, seed=3), sample_raw_acs(200, seed=4))
+
+    def test_raw_sample_contains_missing_values(self):
+        raw = sample_raw_acs(2000, seed=1)
+        assert (raw == MISSING).any()
+
+    def test_missing_rate_zero_gives_clean_data(self):
+        model = AcsPopulationModel(missing_rate=0.0, underage_rate=0.0)
+        raw = sample_raw_acs(500, seed=2, model=model)
+        assert not (raw == MISSING).any()
+
+    def test_sample_encoded_values_in_domain(self):
+        model = AcsPopulationModel()
+        encoded = model.sample_encoded(1000, np.random.default_rng(0))
+        for col, attribute in enumerate(ACS_SCHEMA):
+            assert encoded[:, col].min() >= 0
+            assert encoded[:, col].max() < attribute.cardinality
+
+    def test_zero_records(self):
+        model = AcsPopulationModel()
+        assert model.sample_encoded(0, np.random.default_rng(0)).shape[0] == 0
+
+    def test_negative_records_rejected(self):
+        model = AcsPopulationModel()
+        with pytest.raises(ValueError):
+            model.sample_encoded(-1, np.random.default_rng(0))
+
+
+class TestCleaning:
+    def test_clean_drops_rows_with_missing(self):
+        raw = sample_raw_acs(2000, seed=5)
+        clean = clean_acs(raw)
+        assert len(clean) < 2000
+        assert not (clean.data == MISSING).any()
+
+    def test_clean_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            clean_acs(np.zeros((10, 4), dtype=np.int64))
+
+    def test_load_acs_returns_dataset_with_acs_schema(self):
+        dataset = load_acs(1500, seed=9)
+        assert dataset.schema == ACS_SCHEMA
+        assert 0 < len(dataset) <= 1500
+
+
+class TestPopulationStructure:
+    """The simulated population must carry the correlations the paper relies on."""
+
+    @pytest.fixture(scope="class")
+    def population(self):
+        return load_acs(20_000, seed=17)
+
+    def test_income_depends_on_education(self, population):
+        education = population.schema["SCHL"].bucketize(population.column("SCHL"))
+        income = population.column("WAGP")
+        assert mutual_information(income, education) > 0.02
+
+    def test_income_depends_on_hours_worked(self, population):
+        hours = population.schema["WKHP"].bucketize(population.column("WKHP"))
+        income = population.column("WAGP")
+        assert mutual_information(income, hours) > 0.01
+
+    def test_marital_status_depends_on_age(self, population):
+        age = population.schema["AGEP"].bucketize(population.column("AGEP"))
+        marital = population.column("MAR")
+        assert mutual_information(marital, age) > 0.05
+
+    def test_occupation_depends_on_education(self, population):
+        education = population.schema["SCHL"].bucketize(population.column("SCHL"))
+        occupation = population.column("OCCP")
+        assert mutual_information(occupation, education) > 0.05
+
+    def test_high_income_rate_is_plausible(self, population):
+        high_income_rate = population.column("WAGP").mean()
+        assert 0.05 < high_income_rate < 0.6
+
+    def test_most_records_are_unique(self, population):
+        # Table 2: a large fraction of records is unique (68.4% in the paper,
+        # higher here because the sample is much smaller than the population).
+        assert population.unique_fraction() > 0.5

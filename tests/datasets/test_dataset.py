@@ -1,0 +1,132 @@
+"""Tests for the encoded Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Attribute, AttributeType, Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema(
+        [
+            Attribute("num", AttributeType.NUMERICAL, (10, 20, 30)),
+            Attribute("cat", AttributeType.CATEGORICAL, ("a", "b")),
+        ]
+    )
+
+
+@pytest.fixture()
+def dataset(schema):
+    return Dataset(schema, np.array([[0, 1], [2, 0], [1, 1]]))
+
+
+class TestConstruction:
+    def test_basic_shape_properties(self, dataset):
+        assert len(dataset) == 3
+        assert dataset.num_records == 3
+        assert dataset.num_attributes == 2
+
+    def test_rejects_wrong_column_count(self, schema):
+        with pytest.raises(ValueError):
+            Dataset(schema, np.zeros((2, 3), dtype=np.int64))
+
+    def test_rejects_out_of_range_codes(self, schema):
+        with pytest.raises(ValueError):
+            Dataset(schema, np.array([[5, 0]]))
+
+    def test_rejects_non_2d_data(self, schema):
+        with pytest.raises(ValueError):
+            Dataset(schema, np.array([0, 1]))
+
+    def test_from_records_encodes_raw_values(self, schema):
+        dataset = Dataset.from_records(schema, [[20, "b"], [10, "a"]])
+        assert dataset.data.tolist() == [[1, 1], [0, 0]]
+
+    def test_from_records_empty(self, schema):
+        dataset = Dataset.from_records(schema, [])
+        assert len(dataset) == 0
+
+    def test_equality(self, schema, dataset):
+        clone = Dataset(schema, dataset.data.copy())
+        assert clone == dataset
+        different = Dataset(schema, np.array([[0, 0]]))
+        assert different != dataset
+
+
+class TestAccess:
+    def test_column_by_name_and_index(self, dataset):
+        assert dataset.column("cat").tolist() == [1, 0, 1]
+        assert dataset.column(0).tolist() == [0, 2, 1]
+
+    def test_record(self, dataset):
+        assert dataset.record(1).tolist() == [2, 0]
+
+    def test_decoded_records(self, dataset):
+        assert dataset.decoded_records() == [[10, "b"], [30, "a"], [20, "b"]]
+
+    def test_bucketized_matches_schema_buckets(self, toy_dataset):
+        bucketized = toy_dataset.bucketized()
+        assert bucketized.shape == toy_dataset.data.shape
+        # The age column (bucket size 5) is compressed into 4 buckets.
+        assert bucketized[:, 0].max() <= 3
+        # Unbucketized columns are unchanged.
+        assert np.array_equal(bucketized[:, 1], toy_dataset.data[:, 1])
+
+
+class TestTransformation:
+    def test_take_preserves_order(self, dataset):
+        subset = dataset.take(np.array([2, 0]))
+        assert subset.data.tolist() == [[1, 1], [0, 1]]
+
+    def test_head(self, dataset):
+        assert len(dataset.head(2)) == 2
+
+    def test_sample_without_replacement(self, dataset, rng):
+        sample = dataset.sample(2, rng)
+        assert len(sample) == 2
+
+    def test_sample_too_many_raises(self, dataset, rng):
+        with pytest.raises(ValueError):
+            dataset.sample(10, rng)
+
+    def test_sample_with_replacement_allows_more(self, dataset, rng):
+        sample = dataset.sample(10, rng, replace=True)
+        assert len(sample) == 10
+
+    def test_concat(self, dataset):
+        combined = dataset.concat(dataset)
+        assert len(combined) == 6
+
+    def test_concat_requires_same_schema(self, dataset, toy_dataset):
+        with pytest.raises(ValueError):
+            dataset.concat(toy_dataset)
+
+    def test_unique_fraction(self, schema):
+        data = Dataset(schema, np.array([[0, 0], [0, 0], [1, 1]]))
+        assert data.unique_fraction() == pytest.approx(1 / 3)
+
+    def test_unique_fraction_empty(self, schema):
+        data = Dataset(schema, np.empty((0, 2), dtype=np.int64))
+        assert data.unique_fraction() == 0.0
+
+
+class TestCsvRoundTrip:
+    def test_to_csv_and_back(self, dataset, tmp_path):
+        path = tmp_path / "data.csv"
+        dataset.to_csv(path)
+        loaded = Dataset.from_csv(dataset.schema, path)
+        assert loaded == dataset
+
+    def test_from_csv_rejects_wrong_header(self, dataset, tmp_path, schema):
+        path = tmp_path / "data.csv"
+        path.write_text("wrong,header\n1,a\n")
+        with pytest.raises(ValueError, match="header"):
+            Dataset.from_csv(schema, path)
+
+    def test_from_csv_rejects_empty_file(self, tmp_path, schema):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            Dataset.from_csv(schema, path)

@@ -1,0 +1,52 @@
+"""Tests for JSON schema metadata."""
+
+import pytest
+
+from repro.datasets.acs import ACS_SCHEMA
+from repro.datasets.metadata import (
+    read_metadata,
+    schema_from_metadata,
+    schema_to_metadata,
+    write_metadata,
+)
+
+
+class TestRoundTrip:
+    def test_toy_schema_round_trip(self, toy_schema):
+        rebuilt = schema_from_metadata(schema_to_metadata(toy_schema))
+        assert rebuilt == toy_schema
+
+    def test_acs_schema_round_trip(self):
+        rebuilt = schema_from_metadata(schema_to_metadata(ACS_SCHEMA))
+        assert rebuilt == ACS_SCHEMA
+
+    def test_file_round_trip(self, toy_schema, tmp_path):
+        path = tmp_path / "metadata.json"
+        write_metadata(toy_schema, path)
+        assert read_metadata(path) == toy_schema
+
+    def test_bucketization_preserved(self):
+        metadata = schema_to_metadata(ACS_SCHEMA)
+        rebuilt = schema_from_metadata(metadata)
+        assert rebuilt["AGEP"].bucket_size == 10
+        assert rebuilt["SCHL"].bucket_map == ACS_SCHEMA["SCHL"].bucket_map
+
+
+class TestValidation:
+    def test_missing_attributes_key(self):
+        with pytest.raises(ValueError):
+            schema_from_metadata({})
+
+    def test_empty_attribute_list(self):
+        with pytest.raises(ValueError):
+            schema_from_metadata({"attributes": []})
+
+    def test_missing_field(self):
+        with pytest.raises(ValueError, match="missing"):
+            schema_from_metadata({"attributes": [{"name": "x", "values": [1]}]})
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            schema_from_metadata(
+                {"attributes": [{"name": "x", "type": "weird", "values": [1]}]}
+            )

@@ -1,0 +1,76 @@
+"""Tests for DS / DT / DP / test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.splits import DataSplits, split_dataset, train_test_split
+
+
+class TestSplitDataset:
+    def test_splits_are_disjoint_and_cover_everything(self, toy_dataset, rng):
+        splits = split_dataset(toy_dataset, rng=rng)
+        assert splits.total_records == len(toy_dataset)
+        combined = np.vstack(
+            [splits.seeds.data, splits.structure.data, splits.parameters.data, splits.test.data]
+        )
+        # Sorting rows lexicographically must reproduce the original multiset.
+        original = toy_dataset.data[np.lexsort(toy_dataset.data.T)]
+        recombined = combined[np.lexsort(combined.T)]
+        assert np.array_equal(original, recombined)
+
+    def test_default_fractions_match_paper_proportions(self, toy_dataset, rng):
+        splits = split_dataset(toy_dataset, rng=rng)
+        n = len(toy_dataset)
+        assert len(splits.seeds) == pytest.approx(0.55 * n, abs=2)
+        assert len(splits.structure) == pytest.approx(0.175 * n, abs=2)
+        assert len(splits.parameters) == pytest.approx(0.175 * n, abs=2)
+        assert len(splits.test) == pytest.approx(0.10 * n, abs=3)
+
+    def test_custom_fractions(self, toy_dataset, rng):
+        splits = split_dataset(
+            toy_dataset, seed_fraction=0.5, structure_fraction=0.3, parameter_fraction=0.2, rng=rng
+        )
+        assert len(splits.test) == 0
+
+    def test_rejects_fractions_above_one(self, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            split_dataset(toy_dataset, seed_fraction=0.8, structure_fraction=0.3, rng=rng)
+
+    def test_rejects_negative_fractions(self, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            split_dataset(toy_dataset, seed_fraction=-0.1, rng=rng)
+
+    def test_reproducible_with_same_rng_seed(self, toy_dataset):
+        first = split_dataset(toy_dataset, rng=np.random.default_rng(5))
+        second = split_dataset(toy_dataset, rng=np.random.default_rng(5))
+        assert np.array_equal(first.seeds.data, second.seeds.data)
+
+    def test_data_splits_require_consistent_schema(self, toy_dataset, acs_dataset, rng):
+        splits = split_dataset(toy_dataset, rng=rng)
+        with pytest.raises(ValueError):
+            DataSplits(
+                seeds=splits.seeds,
+                structure=splits.structure,
+                parameters=splits.parameters,
+                test=acs_dataset,
+            )
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, toy_dataset, rng):
+        train, test = train_test_split(toy_dataset, test_fraction=0.25, rng=rng)
+        assert len(test) == pytest.approx(0.25 * len(toy_dataset), abs=1)
+        assert len(train) + len(test) == len(toy_dataset)
+
+    def test_rejects_degenerate_fraction(self, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            train_test_split(toy_dataset, test_fraction=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            train_test_split(toy_dataset, test_fraction=1.0, rng=rng)
+
+    def test_disjoint(self, toy_dataset, rng):
+        train, test = train_test_split(toy_dataset, test_fraction=0.5, rng=rng)
+        combined = np.vstack([train.data, test.data])
+        original = toy_dataset.data[np.lexsort(toy_dataset.data.T)]
+        recombined = combined[np.lexsort(combined.T)]
+        assert np.array_equal(original, recombined)

@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (results tables and shared context)."""
+
+import pytest
+
+from repro.experiments.harness import OMEGA_VARIANTS, ExperimentContext, ExperimentResult
+
+
+class TestExperimentResult:
+    def test_add_row_and_columns(self):
+        result = ExperimentResult(name="demo", headers=["name", "value"])
+        result.add_row("a", 1.0)
+        result.add_row("b", 2.0)
+        assert result.column("value") == [1.0, 2.0]
+        assert result.row_by_key("b") == ["b", 2.0]
+
+    def test_add_row_validates_width(self):
+        result = ExperimentResult(name="demo", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_unknown_column_and_row(self):
+        result = ExperimentResult(name="demo", headers=["a"])
+        result.add_row(1)
+        with pytest.raises(KeyError):
+            result.column("missing")
+        with pytest.raises(KeyError):
+            result.row_by_key("missing")
+
+    def test_to_text_contains_headers_rows_and_notes(self):
+        result = ExperimentResult(name="demo", headers=["key", "value"], notes="a note")
+        result.add_row("x", 0.123456)
+        text = result.to_text()
+        assert "demo" in text
+        assert "key" in text
+        assert "0.1235" in text
+        assert "a note" in text
+
+    def test_to_text_with_no_rows(self):
+        result = ExperimentResult(name="empty", headers=["a"])
+        assert "empty" in result.to_text()
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return ExperimentContext(
+            num_raw_records=4000, synthetic_records=150, k=10, seed=3
+        )
+
+    def test_omega_variants_cover_the_paper_settings(self):
+        assert set(OMEGA_VARIANTS) == {
+            "omega=11",
+            "omega=10",
+            "omega=9",
+            "omega in [9-11]",
+            "omega in [5-11]",
+        }
+
+    def test_dataset_and_splits_are_cached(self, context):
+        assert context.dataset is context.dataset
+        assert context.splits is context.splits
+
+    def test_model_cached_per_variant(self, context):
+        assert context.model("omega=9") is context.model("omega=9")
+        assert context.model("omega=9") is not context.model("omega=10")
+
+    def test_unknown_variant_rejected(self, context):
+        with pytest.raises(KeyError):
+            context.model("omega=99")
+
+    def test_model_for_arbitrary_omega(self, context):
+        model = context.model_for_omega(7)
+        assert model.omegas == (7,)
+
+    def test_synthetic_dataset_has_requested_size(self, context):
+        synthetic = context.synthetic_dataset("omega=11")
+        assert len(synthetic) == context.synthetic_records
+
+    def test_marginals_dataset_size(self, context):
+        assert len(context.marginals_dataset) == context.synthetic_records
+
+    def test_reals_dataset_size(self, context):
+        assert len(context.reals_dataset()) == context.synthetic_records
+
+    def test_comparison_datasets_keys(self, context):
+        datasets = context.comparison_datasets(["omega=11"])
+        assert set(datasets) == {"reals", "marginals", "omega=11"}
+
+    def test_max_table_cells_adaptive_and_disableable(self, context):
+        assert context.max_table_cells() >= 100
+        fixed = ExperimentContext(num_raw_records=4000, adaptive_table_cells=False)
+        assert fixed.max_table_cells() is None
+
+    def test_generation_config_reflects_context(self, context):
+        config = context.generation_config()
+        assert config.privacy.k == context.k

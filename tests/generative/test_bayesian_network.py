@@ -1,0 +1,206 @@
+"""Tests for the seed-based Bayesian-network synthesizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generative.builder import GenerativeModelSpec, fit_bayesian_network
+from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+
+
+@pytest.fixture(scope="module")
+def toy_model(toy_dataset):
+    spec = GenerativeModelSpec(omega=2, epsilon_structure=None, epsilon_parameters=None)
+    return fit_bayesian_network(toy_dataset, toy_dataset, spec=spec, rng=np.random.default_rng(0))
+
+
+class TestConstruction:
+    def test_omega_validation(self, toy_model):
+        with pytest.raises(ValueError):
+            BayesianNetworkSynthesizer(
+                toy_model.schema, toy_model.structure, toy_model.tables, omega=99
+            )
+        with pytest.raises(ValueError):
+            BayesianNetworkSynthesizer(
+                toy_model.schema, toy_model.structure, toy_model.tables, omega=()
+            )
+
+    def test_omega_accepts_iterable(self, toy_model):
+        model = BayesianNetworkSynthesizer(
+            toy_model.schema, toy_model.structure, toy_model.tables, omega=(1, 2, 3)
+        )
+        assert model.omegas == (1, 2, 3)
+
+    def test_table_count_must_match_schema(self, toy_model):
+        with pytest.raises(ValueError):
+            BayesianNetworkSynthesizer(
+                toy_model.schema, toy_model.structure, toy_model.tables[:-1], omega=2
+            )
+
+    def test_tables_must_match_structure_parents(self, toy_model):
+        reordered = list(toy_model.tables)
+        reordered[0], reordered[1] = reordered[1], reordered[0]
+        with pytest.raises(ValueError):
+            BayesianNetworkSynthesizer(
+                toy_model.schema, toy_model.structure, reordered, omega=2
+            )
+
+
+class TestGeneration:
+    def test_generated_record_is_in_domain(self, toy_model, toy_dataset, rng):
+        seed = toy_dataset.record(0)
+        candidate = toy_model.generate(seed, rng)
+        assert candidate.shape == seed.shape
+        for value, attribute in zip(candidate, toy_model.schema):
+            assert 0 <= value < attribute.cardinality
+
+    def test_omega_zero_copies_the_seed(self, toy_model, toy_dataset, rng):
+        seed = toy_dataset.record(5)
+        candidate = toy_model.generate_with_omega(seed, 0, rng)
+        assert np.array_equal(candidate, seed)
+
+    def test_fixed_attributes_are_copied(self, toy_model, toy_dataset, rng):
+        seed = toy_dataset.record(3)
+        omega = 2
+        fixed = list(toy_model.structure.order[: len(toy_model.schema) - omega])
+        for _ in range(10):
+            candidate = toy_model.generate_with_omega(seed, omega, rng)
+            assert np.array_equal(candidate[fixed], seed[fixed])
+
+    def test_generate_does_not_mutate_seed(self, toy_model, toy_dataset, rng):
+        seed = toy_dataset.record(3)
+        original = seed.copy()
+        toy_model.generate(seed, rng)
+        assert np.array_equal(seed, original)
+
+    def test_invalid_omega_rejected(self, toy_model, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            toy_model.generate_with_omega(toy_dataset.record(0), 9, rng)
+
+    def test_invalid_seed_shape_rejected(self, toy_model, rng):
+        with pytest.raises(ValueError):
+            toy_model.generate(np.array([0, 1]), rng)
+
+    def test_sample_record_is_full_resample(self, toy_model, rng):
+        record = toy_model.sample_record(rng)
+        assert record.shape == (len(toy_model.schema),)
+
+    def test_generation_is_reproducible_with_same_rng(self, toy_model, toy_dataset):
+        seed = toy_dataset.record(7)
+        first = toy_model.generate(seed, np.random.default_rng(42))
+        second = toy_model.generate(seed, np.random.default_rng(42))
+        assert np.array_equal(first, second)
+
+
+class TestSeedProbabilities:
+    def test_seed_probability_zero_when_fixed_attributes_differ(self, toy_model, toy_dataset, rng):
+        omega = 1
+        seed = toy_dataset.record(0)
+        candidate = toy_model.generate_with_omega(seed, omega, rng)
+        fixed = list(toy_model.structure.order[:-1])
+        other = candidate.copy()
+        other[fixed[0]] = (other[fixed[0]] + 1) % toy_model.schema[fixed[0]].cardinality
+        assert toy_model.seed_probability_with_omega(other, candidate, omega) == 0.0
+
+    def test_seed_probability_positive_for_true_seed(self, toy_model, toy_dataset, rng):
+        seed = toy_dataset.record(1)
+        candidate = toy_model.generate_with_omega(seed, 2, rng)
+        assert toy_model.seed_probability_with_omega(seed, candidate, 2) > 0.0
+
+    def test_matching_seeds_share_the_same_probability(self, toy_model, toy_dataset, rng):
+        # All plausible seeds of a candidate have identical generation
+        # probability under the seed-based synthesizer (the key efficiency
+        # property the paper exploits).
+        omega = 2
+        seed = toy_dataset.record(2)
+        candidate = toy_model.generate_with_omega(seed, omega, rng)
+        probabilities = toy_model.batch_seed_probabilities_with_omega(
+            toy_dataset.data, candidate, omega
+        )
+        positive = probabilities[probabilities > 0]
+        assert positive.size >= 1
+        assert np.allclose(positive, positive[0])
+
+    def test_batch_matches_scalar(self, toy_model, toy_dataset, rng):
+        candidate = toy_model.generate(toy_dataset.record(0), rng)
+        batch = toy_model.batch_seed_probabilities(toy_dataset.data[:50], candidate)
+        scalar = [
+            toy_model.seed_probability(toy_dataset.record(row), candidate) for row in range(50)
+        ]
+        assert np.allclose(batch, scalar)
+
+    def test_omega_equal_to_m_makes_every_record_a_plausible_seed(self, toy_model, toy_dataset, rng):
+        full_resample = BayesianNetworkSynthesizer(
+            toy_model.schema, toy_model.structure, toy_model.tables, omega=len(toy_model.schema)
+        )
+        candidate = full_resample.generate(toy_dataset.record(0), rng)
+        probabilities = full_resample.batch_seed_probabilities(toy_dataset.data[:100], candidate)
+        assert np.all(probabilities > 0)
+        assert np.allclose(probabilities, probabilities[0])
+
+    def test_omega_mixture_probability_is_average(self, toy_model, toy_dataset, rng):
+        mixture = BayesianNetworkSynthesizer(
+            toy_model.schema, toy_model.structure, toy_model.tables, omega=(1, 3)
+        )
+        seed = toy_dataset.record(0)
+        candidate = mixture.generate(seed, rng)
+        expected = 0.5 * (
+            mixture.seed_probability_with_omega(seed, candidate, 1)
+            + mixture.seed_probability_with_omega(seed, candidate, 3)
+        )
+        assert mixture.seed_probability(seed, candidate) == pytest.approx(expected)
+
+    def test_candidate_factor_is_product_of_resampled_conditionals(self, toy_model, toy_dataset, rng):
+        seed = toy_dataset.record(0)
+        candidate = toy_model.generate_with_omega(seed, 2, rng)
+        factor = toy_model.candidate_factor(candidate, 2)
+        assert 0.0 < factor <= 1.0
+        assert toy_model.seed_probability_with_omega(seed, candidate, 2) == pytest.approx(factor)
+
+    @given(omega=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_probabilities_always_in_unit_interval(self, toy_model, toy_dataset, omega):
+        rng = np.random.default_rng(omega)
+        seed = toy_dataset.record(int(rng.integers(len(toy_dataset))))
+        candidate = toy_model.generate_with_omega(seed, omega, rng)
+        probabilities = toy_model.batch_seed_probabilities_with_omega(
+            toy_dataset.data[:100], candidate, omega
+        )
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0 + 1e-12)
+
+
+class TestPrediction:
+    def test_most_likely_value_in_domain(self, toy_model, toy_dataset):
+        for attribute in range(len(toy_model.schema)):
+            value = toy_model.most_likely_value(toy_dataset.record(0), attribute)
+            assert 0 <= value < toy_model.schema[attribute].cardinality
+
+    def test_prediction_uses_the_evidence(self, toy_model, toy_schema):
+        # size (attribute 2) strongly depends on age (attribute 0) in the toy
+        # data: young -> small (0), old -> large (1).
+        young_record = np.array([2, 0, 0, 0])
+        old_record = np.array([18, 0, 0, 0])
+        assert toy_model.most_likely_value(young_record, 2) == 0
+        assert toy_model.most_likely_value(old_record, 2) == 1
+
+    def test_conditional_scores_shape(self, toy_model, toy_dataset):
+        scores = toy_model.conditional_scores(toy_dataset.record(0), 0)
+        assert scores.shape == (toy_model.schema[0].cardinality,)
+        assert np.all(scores >= 0)
+
+    def test_acs_model_predicts_better_than_chance(self, unnoised_model, acs_splits):
+        test = acs_splits.test
+        schema = unnoised_model.schema
+        income_index = schema.index_of("WAGP")
+        correct = 0
+        total = 150
+        for row in range(total):
+            record = test.record(row)
+            if unnoised_model.most_likely_value(record, income_index) == record[income_index]:
+                correct += 1
+        majority_rate = max(
+            np.mean(test.data[:total, income_index] == 0),
+            np.mean(test.data[:total, income_index] == 1),
+        )
+        assert correct / total >= majority_rate - 0.05

@@ -1,0 +1,119 @@
+"""Tests for end-to-end model fitting and privacy-budget calibration."""
+
+import numpy as np
+import pytest
+
+from repro.generative.builder import (
+    GenerativeModelSpec,
+    calibrate_parameter_epsilon,
+    calibrate_structure_epsilon,
+    fit_bayesian_network,
+    fit_marginal_model,
+)
+from repro.generative.structure import DependencyStructure, StructureLearningConfig
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.composition import advanced_composition, sequential_composition
+
+
+class TestCalibration:
+    def test_structure_calibration_respects_budget(self):
+        epsilon_entropy, epsilon_count = calibrate_structure_epsilon(1.0, num_attributes=11)
+        m = 11
+        num_queries = 2 * m + m * (m - 1) + (m * (m - 1)) // 2
+        advanced, _ = advanced_composition(epsilon_entropy, 0.0, num_queries, 1e-9)
+        sequential = epsilon_entropy * num_queries
+        composed = min(advanced, sequential)
+        total, _ = sequential_composition([(composed, 0.0), (epsilon_count, 0.0)])
+        assert total <= 1.0 + 1e-6
+
+    def test_parameter_calibration_respects_budget(self):
+        epsilon_p = calibrate_parameter_epsilon(1.0, num_attributes=11)
+        advanced, _ = advanced_composition(epsilon_p, 0.0, 11, 1e-9)
+        sequential = epsilon_p * 11
+        assert min(advanced, sequential) <= 1.0 + 1e-6
+
+    def test_parameter_calibration_uses_tighter_composition(self):
+        # For few queries plain sequential composition dominates: eps/m.
+        epsilon_p = calibrate_parameter_epsilon(1.0, num_attributes=11)
+        assert epsilon_p == pytest.approx(1.0 / 11, rel=1e-3)
+
+    def test_calibration_scales_with_budget(self):
+        small = calibrate_parameter_epsilon(0.1, 11)
+        large = calibrate_parameter_epsilon(1.0, 11)
+        assert large > small
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_structure_epsilon(1.0, 0)
+        with pytest.raises(ValueError):
+            calibrate_structure_epsilon(1.0, 11, count_fraction=1.5)
+        with pytest.raises(ValueError):
+            calibrate_parameter_epsilon(1.0, 0)
+
+    def test_with_total_epsilon_builds_consistent_spec(self):
+        spec = GenerativeModelSpec.with_total_epsilon(1.0, num_attributes=11, omega=9)
+        assert spec.omega == 9
+        assert spec.epsilon_structure == spec.structure.epsilon_entropy
+        assert spec.epsilon_parameters == pytest.approx(1.0 / 11, rel=1e-3)
+
+    def test_with_total_epsilon_preserves_structure_knobs(self):
+        spec = GenerativeModelSpec.with_total_epsilon(
+            1.0,
+            num_attributes=11,
+            omega=9,
+            structure=StructureLearningConfig(max_parent_cost=50, max_table_cells=500),
+        )
+        assert spec.structure.max_parent_cost == 50
+        assert spec.structure.max_table_cells == 500
+
+
+class TestFitBayesianNetwork:
+    def test_unnoised_fit(self, acs_splits):
+        spec = GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None)
+        model = fit_bayesian_network(acs_splits.structure, acs_splits.parameters, spec=spec)
+        assert len(model.tables) == 11
+        assert model.omegas == (9,)
+
+    def test_dp_fit_records_budget_and_respects_target(self, acs_splits):
+        accountant = PrivacyAccountant()
+        spec = GenerativeModelSpec.with_total_epsilon(1.0, num_attributes=11, omega=9)
+        fit_bayesian_network(
+            acs_splits.structure, acs_splits.parameters, spec=spec, accountant=accountant
+        )
+        epsilon, delta = accountant.total_guarantee(disjoint_scopes=True)
+        assert epsilon <= 1.0 + 1e-6
+        assert delta <= 1e-8
+
+    def test_reusing_a_precomputed_structure(self, acs_splits):
+        structure = DependencyStructure.empty(11)
+        spec = GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None)
+        model = fit_bayesian_network(
+            acs_splits.structure, acs_splits.parameters, spec=spec, structure=structure
+        )
+        assert model.structure.num_edges == 0
+
+    def test_mismatched_schemas_rejected(self, acs_splits, toy_dataset):
+        with pytest.raises(ValueError):
+            fit_bayesian_network(acs_splits.structure, toy_dataset)
+
+    def test_fit_is_deterministic_given_rng(self, acs_splits):
+        spec = GenerativeModelSpec.with_total_epsilon(1.0, num_attributes=11, omega=9)
+        first = fit_bayesian_network(
+            acs_splits.structure, acs_splits.parameters, spec=spec, rng=np.random.default_rng(11)
+        )
+        second = fit_bayesian_network(
+            acs_splits.structure, acs_splits.parameters, spec=spec, rng=np.random.default_rng(11)
+        )
+        assert first.structure.parents == second.structure.parents
+        for a, b in zip(first.tables, second.tables):
+            assert np.allclose(a.table, b.table)
+
+
+class TestFitMarginalModel:
+    def test_fit_marginal_model(self, acs_splits):
+        model = fit_marginal_model(acs_splits.parameters, epsilon=0.5)
+        assert len(model.marginals) == 11
+
+    def test_fit_marginal_model_without_noise(self, acs_splits):
+        model = fit_marginal_model(acs_splits.parameters, epsilon=None)
+        assert len(model.marginals) == 11

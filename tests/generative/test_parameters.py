@@ -1,0 +1,200 @@
+"""Tests for Dirichlet-multinomial parameter learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generative.parameters import ConditionalParameters, ParameterLearner
+from repro.generative.structure import DependencyStructure
+from repro.privacy.accountant import PrivacyAccountant
+
+
+@pytest.fixture()
+def toy_structure():
+    # size (2) depends on age (0); label (3) depends on size (2) and color (1).
+    return DependencyStructure.from_parent_map({2: (0,), 3: (2, 1)}, 4)
+
+
+@pytest.fixture()
+def learned_tables(toy_dataset, toy_structure):
+    return ParameterLearner().learn(toy_dataset, toy_structure, np.random.default_rng(0))
+
+
+class TestConditionalParameters:
+    def test_root_attribute_has_single_configuration(self, learned_tables):
+        age_table = learned_tables[0]
+        assert age_table.parents == ()
+        assert age_table.num_configurations == 1
+        assert age_table.cardinality == 20
+
+    def test_child_configuration_count(self, learned_tables):
+        label_table = learned_tables[3]
+        assert label_table.parents == (2, 1)
+        assert label_table.num_configurations == 2 * 3
+
+    def test_rows_are_distributions(self, learned_tables):
+        for table in learned_tables:
+            assert np.allclose(table.table.sum(axis=1), 1.0)
+            assert np.all(table.table >= 0)
+
+    def test_configuration_index_round_trip(self, learned_tables):
+        label_table = learned_tables[3]
+        seen = set()
+        for size in range(2):
+            for color in range(3):
+                seen.add(label_table.configuration_index(np.array([size, color])))
+        assert seen == set(range(6))
+
+    def test_configuration_index_validation(self, learned_tables):
+        label_table = learned_tables[3]
+        with pytest.raises(ValueError):
+            label_table.configuration_index(np.array([0]))
+        with pytest.raises(ValueError):
+            label_table.configuration_index(np.array([5, 0]))
+
+    def test_configuration_indices_vectorized(self, learned_tables):
+        label_table = learned_tables[3]
+        matrix = np.array([[0, 0], [1, 2], [0, 1]])
+        expected = [label_table.configuration_index(row) for row in matrix]
+        assert label_table.configuration_indices(matrix).tolist() == expected
+
+    def test_distribution_requires_parents_for_child(self, learned_tables):
+        with pytest.raises(ValueError):
+            learned_tables[3].distribution(None)
+
+    def test_probability_lookup(self, learned_tables):
+        label_table = learned_tables[3]
+        distribution = label_table.distribution(np.array([1, 0]))
+        assert label_table.probability(1, np.array([1, 0])) == pytest.approx(distribution[1])
+        with pytest.raises(ValueError):
+            label_table.probability(9, np.array([1, 0]))
+
+    def test_sample_stays_in_domain(self, learned_tables, rng):
+        label_table = learned_tables[3]
+        samples = [label_table.sample(rng, np.array([1, 2])) for _ in range(100)]
+        assert set(samples) <= {0, 1}
+
+    def test_resample_table_produces_valid_distributions(self, learned_tables, rng):
+        resampled = learned_tables[3].resample_table(rng)
+        assert np.allclose(resampled.table.sum(axis=1), 1.0)
+        assert resampled.table.shape == learned_tables[3].table.shape
+
+    def test_table_shape_validation(self):
+        with pytest.raises(ValueError):
+            ConditionalParameters(
+                attribute_index=0,
+                parents=(1,),
+                parent_cardinalities=(3,),
+                table=np.full((2, 2), 0.5),
+                counts=np.zeros((2, 2)),
+            )
+
+    def test_rows_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ConditionalParameters(
+                attribute_index=0,
+                parents=(),
+                parent_cardinalities=(),
+                table=np.array([[0.5, 0.4]]),
+                counts=np.zeros((1, 2)),
+            )
+
+
+class TestParameterLearner:
+    def test_learned_conditionals_reflect_planted_dependence(self, toy_dataset, toy_structure):
+        tables = ParameterLearner().learn(toy_dataset, toy_structure, np.random.default_rng(0))
+        size_table = tables[2]
+        # In the toy data, size is almost always 0 for young ages and 1 for old
+        # ages; the conditional table must capture that switch.
+        young_bucket = np.array([0])
+        old_bucket = np.array([3])
+        assert size_table.probability(0, young_bucket) > 0.7
+        assert size_table.probability(1, old_bucket) > 0.7
+
+    def test_marginal_prior_used_for_unseen_configurations(self, toy_schema, toy_structure):
+        # Build a dataset where one parent configuration never occurs; its
+        # conditional must fall back to the attribute's marginal, not uniform.
+        from repro.datasets.dataset import Dataset
+
+        rng = np.random.default_rng(0)
+        age = rng.integers(0, 5, size=500)  # only the first age bucket occurs
+        color = rng.integers(0, 3, size=500)
+        size = np.zeros(500, dtype=np.int64)
+        size[:50] = 1  # marginal strongly favours size=0
+        label = rng.integers(0, 2, size=500)
+        dataset = Dataset(toy_schema, np.column_stack([age, color, size, label]))
+        tables = ParameterLearner(alpha=1.0).learn(dataset, toy_structure, rng)
+        unseen_configuration = np.array([3])  # age bucket 3 never appears
+        distribution = tables[2].distribution(unseen_configuration)
+        assert distribution[0] > 0.8
+
+    def test_dp_noise_changes_counts(self, toy_dataset, toy_structure):
+        exact = ParameterLearner().learn(toy_dataset, toy_structure, np.random.default_rng(1))
+        noisy = ParameterLearner(epsilon=0.5).learn(
+            toy_dataset, toy_structure, np.random.default_rng(1)
+        )
+        assert not np.allclose(exact[3].table, noisy[3].table)
+
+    def test_dp_with_huge_epsilon_matches_exact(self, toy_dataset, toy_structure):
+        exact = ParameterLearner(truncation_multiplier=0.0).learn(
+            toy_dataset, toy_structure, np.random.default_rng(1)
+        )
+        nearly_exact = ParameterLearner(epsilon=1e7, truncation_multiplier=0.0).learn(
+            toy_dataset, toy_structure, np.random.default_rng(1)
+        )
+        for first, second in zip(exact, nearly_exact):
+            assert np.allclose(first.table, second.table, atol=1e-3)
+
+    def test_dp_learning_records_budget_per_attribute(self, toy_dataset, toy_structure):
+        accountant = PrivacyAccountant()
+        ParameterLearner(epsilon=0.5, accountant=accountant).learn(
+            toy_dataset, toy_structure, np.random.default_rng(0)
+        )
+        entry = accountant.entries[0]
+        assert entry.label == "parameters/counts"
+        assert entry.count == 4
+        assert entry.scope == "parameter-data"
+
+    def test_non_dp_learning_spends_nothing(self, toy_dataset, toy_structure):
+        accountant = PrivacyAccountant()
+        ParameterLearner(accountant=accountant).learn(
+            toy_dataset, toy_structure, np.random.default_rng(0)
+        )
+        assert accountant.entries == []
+
+    def test_sampled_parameters_are_valid_distributions(self, toy_dataset, toy_structure):
+        tables = ParameterLearner(sample_parameters=True).learn(
+            toy_dataset, toy_structure, np.random.default_rng(0)
+        )
+        for table in tables:
+            assert np.allclose(table.table.sum(axis=1), 1.0)
+
+    def test_empty_dataset_rejected(self, toy_schema, toy_structure):
+        from repro.datasets.dataset import Dataset
+
+        empty = Dataset(toy_schema, np.empty((0, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            ParameterLearner().learn(empty, toy_structure)
+
+    def test_structure_size_mismatch_rejected(self, toy_dataset):
+        wrong_structure = DependencyStructure.empty(3)
+        with pytest.raises(ValueError):
+            ParameterLearner().learn(toy_dataset, wrong_structure)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ParameterLearner(epsilon=0.0)
+        with pytest.raises(ValueError):
+            ParameterLearner(alpha=0.0)
+        with pytest.raises(ValueError):
+            ParameterLearner(truncation_multiplier=-1.0)
+
+    @given(alpha=st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_tables_always_normalized_for_any_alpha(self, toy_dataset_small, alpha):
+        structure = DependencyStructure.from_parent_map({2: (0,)}, 4)
+        tables = ParameterLearner(alpha=alpha).learn(
+            toy_dataset_small, structure, np.random.default_rng(0)
+        )
+        for table in tables:
+            assert np.allclose(table.table.sum(axis=1), 1.0)

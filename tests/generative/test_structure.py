@@ -1,0 +1,179 @@
+"""Tests for dependency structures and CFS structure learning."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.generative.structure import (
+    DependencyStructure,
+    StructureLearner,
+    StructureLearningConfig,
+)
+from repro.privacy.accountant import PrivacyAccountant
+
+
+class TestDependencyStructure:
+    def test_empty_structure(self):
+        structure = DependencyStructure.empty(4)
+        assert structure.num_attributes == 4
+        assert structure.num_edges == 0
+        assert sorted(structure.order) == [0, 1, 2, 3]
+
+    def test_from_parent_map_builds_topological_order(self):
+        structure = DependencyStructure.from_parent_map({2: (0, 1), 1: (0,)}, 3)
+        assert structure.parents == ((), (0,), (0, 1))
+        position = {a: i for i, a in enumerate(structure.order)}
+        assert position[0] < position[1] < position[2]
+
+    def test_from_parent_map_rejects_cycle(self):
+        with pytest.raises(ValueError, match="cycle"):
+            DependencyStructure.from_parent_map({0: (1,), 1: (0,)}, 2)
+
+    def test_rejects_non_topological_order(self):
+        with pytest.raises(ValueError):
+            DependencyStructure(parents=((1,), ()), order=(0, 1))
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError):
+            DependencyStructure(parents=((0,), ()), order=(0, 1))
+
+    def test_rejects_bad_order_permutation(self):
+        with pytest.raises(ValueError):
+            DependencyStructure(parents=((), ()), order=(0, 0))
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(ValueError):
+            DependencyStructure(parents=((), (5,)), order=(0, 1))
+
+    def test_as_digraph(self):
+        structure = DependencyStructure.from_parent_map({2: (0,), 1: (0,)}, 3)
+        graph = structure.as_digraph()
+        assert set(graph.edges()) == {(0, 2), (0, 1)}
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_num_edges(self):
+        structure = DependencyStructure.from_parent_map({2: (0, 1)}, 3)
+        assert structure.num_edges == 2
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = StructureLearningConfig()
+        assert config.max_parent_cost >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StructureLearningConfig(max_parent_cost=0)
+        with pytest.raises(ValueError):
+            StructureLearningConfig(max_parents=-1)
+        with pytest.raises(ValueError):
+            StructureLearningConfig(epsilon_entropy=0.0)
+        with pytest.raises(ValueError):
+            StructureLearningConfig(epsilon_count=0.0)
+        with pytest.raises(ValueError):
+            StructureLearningConfig(max_table_cells=0)
+
+
+class TestMeritAndCost:
+    def test_parent_cost_is_product_of_bucketized_cardinalities(self):
+        assert StructureLearner.parent_cost((0, 2), [4, 3, 5]) == 20
+        assert StructureLearner.parent_cost((), [4, 3, 5]) == 1
+
+    def test_merit_of_empty_set_is_zero(self):
+        tables = type("T", (), {"target_parent": np.zeros((2, 2)), "parent_parent": np.zeros((2, 2))})
+        assert StructureLearner.merit_score(0, (), tables) == 0.0
+
+    def test_merit_rewards_relevance_and_penalizes_redundancy(self):
+        class Tables:
+            target_parent = np.array([[0.0, 0.5, 0.5], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+            parent_parent = np.zeros((3, 3))
+
+        independent_parents = StructureLearner.merit_score(0, (1, 2), Tables())
+
+        class RedundantTables(Tables):
+            parent_parent = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 0.9], [0.0, 0.9, 0.0]])
+
+        redundant_parents = StructureLearner.merit_score(0, (1, 2), RedundantTables())
+        assert independent_parents > redundant_parents
+
+
+class TestLearning:
+    def test_learns_the_planted_dependencies(self, toy_dataset):
+        learner = StructureLearner(StructureLearningConfig(max_parents=2))
+        structure = learner.learn(toy_dataset, np.random.default_rng(0))
+        # size depends on age and label depends on size in the toy generator;
+        # the learner must recover at least one of these as an edge (in either
+        # direction, since CFS edges are about correlation).
+        graph = structure.as_digraph().to_undirected()
+        assert graph.has_edge(0, 2) or graph.has_edge(2, 3)
+
+    def test_result_is_acyclic_with_valid_order(self, toy_dataset):
+        structure = StructureLearner().learn(toy_dataset, np.random.default_rng(0))
+        assert nx.is_directed_acyclic_graph(structure.as_digraph())
+        position = {a: i for i, a in enumerate(structure.order)}
+        for child, parents in enumerate(structure.parents):
+            for parent in parents:
+                assert position[parent] < position[child]
+
+    def test_respects_max_parents(self, toy_dataset):
+        structure = StructureLearner(StructureLearningConfig(max_parents=1)).learn(
+            toy_dataset, np.random.default_rng(0)
+        )
+        assert all(len(parents) <= 1 for parents in structure.parents)
+
+    def test_respects_max_parent_cost(self, acs_splits):
+        config = StructureLearningConfig(max_parent_cost=10)
+        structure = StructureLearner(config).learn(
+            acs_splits.structure, np.random.default_rng(0)
+        )
+        bucket_cards = acs_splits.structure.schema.bucketized_cardinalities
+        for parents in structure.parents:
+            assert StructureLearner.parent_cost(parents, bucket_cards) <= 10
+
+    def test_respects_max_table_cells(self, acs_splits):
+        config = StructureLearningConfig(max_table_cells=200)
+        structure = StructureLearner(config).learn(
+            acs_splits.structure, np.random.default_rng(0)
+        )
+        schema = acs_splits.structure.schema
+        bucket_cards = schema.bucketized_cardinalities
+        for attribute, parents in enumerate(structure.parents):
+            cells = StructureLearner.parent_cost(parents, bucket_cards) * schema.cardinalities[attribute]
+            assert cells <= 200
+
+    def test_empty_dataset_rejected(self, toy_schema):
+        empty = Dataset(toy_schema, np.empty((0, 4), dtype=np.int64))
+        with pytest.raises(ValueError):
+            StructureLearner().learn(empty)
+
+    def test_dp_learning_records_budget(self, toy_dataset):
+        accountant = PrivacyAccountant()
+        config = StructureLearningConfig(epsilon_entropy=0.5, epsilon_count=0.1)
+        StructureLearner(config, accountant).learn(toy_dataset, np.random.default_rng(0))
+        labels = accountant.labels()
+        assert "structure/entropy" in labels
+        assert "structure/count" in labels
+        # m=4 attributes: 2m + m(m-1) + m(m-1)/2 = 8 + 12 + 6 = 26 entropy values.
+        entropy_entry = next(e for e in accountant.entries if e.label == "structure/entropy")
+        assert entropy_entry.count == 26
+
+    def test_non_dp_learning_spends_nothing(self, toy_dataset):
+        accountant = PrivacyAccountant()
+        StructureLearner(StructureLearningConfig(), accountant).learn(
+            toy_dataset, np.random.default_rng(0)
+        )
+        assert accountant.entries == []
+
+    def test_dp_learning_with_large_epsilon_matches_unnoised_structure(self, toy_dataset):
+        unnoised = StructureLearner().learn(toy_dataset, np.random.default_rng(0))
+        nearly_exact = StructureLearner(
+            StructureLearningConfig(epsilon_entropy=1e6, epsilon_count=1e6)
+        ).learn(toy_dataset, np.random.default_rng(0))
+        assert unnoised.parents == nearly_exact.parents
+
+    def test_dp_learning_is_deterministic_given_rng(self, toy_dataset):
+        config = StructureLearningConfig(epsilon_entropy=0.5)
+        first = StructureLearner(config).learn(toy_dataset, np.random.default_rng(7))
+        second = StructureLearner(config).learn(toy_dataset, np.random.default_rng(7))
+        assert first.parents == second.parents

@@ -1,0 +1,68 @@
+"""Tests for AdaBoostM1."""
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostM1Classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def interaction_data(num_records=800, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.integers(0, 2, size=(num_records, 4))
+    labels = (features[:, 0] ^ features[:, 1]) | features[:, 3]
+    flip = rng.random(num_records) < 0.05
+    return features, np.where(flip, 1 - labels, labels).astype(np.int64)
+
+
+class TestAdaBoost:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostM1Classifier(num_rounds=0)
+        with pytest.raises(ValueError):
+            AdaBoostM1Classifier(base_max_depth=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaBoostM1Classifier().predict(np.zeros((1, 2)))
+
+    def test_boosting_beats_a_single_stump(self):
+        features, labels = interaction_data()
+        stump = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        booster = AdaBoostM1Classifier(num_rounds=20, base_max_depth=1, random_state=0)
+        booster.fit(features, labels)
+        assert booster.score(features, labels) > stump.score(features, labels)
+
+    def test_stops_on_perfect_weak_learner(self):
+        features = np.arange(100).reshape(-1, 1)
+        labels = (features[:, 0] >= 50).astype(np.int64)
+        booster = AdaBoostM1Classifier(num_rounds=10, base_max_depth=2).fit(features, labels)
+        assert booster.num_learners == 1
+        assert booster.score(features, labels) == 1.0
+
+    def test_keeps_at_least_one_learner_on_impossible_data(self):
+        rng = np.random.default_rng(0)
+        features = rng.integers(0, 2, size=(200, 1))
+        labels = rng.integers(0, 2, size=200)
+        booster = AdaBoostM1Classifier(num_rounds=5, base_max_depth=1).fit(features, labels)
+        assert booster.num_learners >= 1
+        predictions = booster.predict(features)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_decision_scores_shape(self):
+        features, labels = interaction_data(200)
+        booster = AdaBoostM1Classifier(num_rounds=5).fit(features, labels)
+        scores = booster.decision_scores(features[:15])
+        assert scores.shape == (15, 2)
+        assert np.all(scores >= 0)
+
+    def test_reproducible_for_fixed_seed(self):
+        features, labels = interaction_data(300)
+        first = AdaBoostM1Classifier(num_rounds=8, random_state=7).fit(features, labels)
+        second = AdaBoostM1Classifier(num_rounds=8, random_state=7).fit(features, labels)
+        assert np.array_equal(first.predict(features), second.predict(features))
+
+    def test_learner_count_bounded_by_rounds(self):
+        features, labels = interaction_data(400, seed=2)
+        booster = AdaBoostM1Classifier(num_rounds=6, base_max_depth=1).fit(features, labels)
+        assert booster.num_learners <= 6

@@ -1,0 +1,121 @@
+"""Tests for the Chaudhuri et al. DP-ERM mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dp_erm import DPTrainingConfig, objective_perturbation, output_perturbation
+from repro.ml.encoding import normalize_rows
+
+
+def erm_data(num_records=500, seed=0):
+    rng = np.random.default_rng(seed)
+    features = normalize_rows(rng.normal(size=(num_records, 4)))
+    weights = np.array([1.0, -1.0, 0.5, 0.0])
+    labels = np.where(features @ weights > 0, 1.0, -1.0)
+    return features, labels
+
+
+def erm_accuracy(classifier, features, labels):
+    predictions = np.sign(classifier.decision_function(features))
+    predictions[predictions == 0] = 1.0
+    return float(np.mean(predictions == labels))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPTrainingConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            DPTrainingConfig(regularization=0.0)
+        with pytest.raises(ValueError):
+            DPTrainingConfig(loss="tree")
+        with pytest.raises(ValueError):
+            DPTrainingConfig(huber_h=0.0)
+
+    def test_curvature_constants(self):
+        assert DPTrainingConfig(loss="logistic").curvature_constant == pytest.approx(0.25)
+        assert DPTrainingConfig(loss="svm", huber_h=0.5).curvature_constant == pytest.approx(1.0)
+
+    def test_make_classifier_matches_loss(self):
+        from repro.ml.linear import LinearSVMClassifier, LogisticRegressionClassifier
+
+        assert isinstance(DPTrainingConfig(loss="logistic").make_classifier(), LogisticRegressionClassifier)
+        assert isinstance(DPTrainingConfig(loss="svm").make_classifier(), LinearSVMClassifier)
+
+
+@pytest.mark.parametrize("trainer", [output_perturbation, objective_perturbation])
+@pytest.mark.parametrize("loss", ["logistic", "svm"])
+class TestMechanisms:
+    def test_returns_usable_classifier(self, trainer, loss):
+        features, labels = erm_data()
+        config = DPTrainingConfig(epsilon=2.0, regularization=1e-2, loss=loss)
+        classifier = trainer(features, labels, config, np.random.default_rng(0))
+        assert classifier.weights is not None
+        assert classifier.decision_function(features).shape == (len(labels),)
+
+    def test_large_epsilon_preserves_accuracy(self, trainer, loss):
+        features, labels = erm_data(800)
+        config = DPTrainingConfig(epsilon=50.0, regularization=1e-3, loss=loss)
+        classifier = trainer(features, labels, config, np.random.default_rng(1))
+        assert erm_accuracy(classifier, features, labels) > 0.85
+
+    def test_tiny_epsilon_destroys_the_model(self, trainer, loss):
+        features, labels = erm_data(300)
+        config = DPTrainingConfig(epsilon=1e-4, regularization=1e-3, loss=loss)
+        accuracies = [
+            erm_accuracy(
+                trainer(features, labels, config, np.random.default_rng(seed)), features, labels
+            )
+            for seed in range(5)
+        ]
+        # With essentially no budget the released model is close to random.
+        assert np.mean(accuracies) < 0.8
+
+    def test_randomness_matters(self, trainer, loss):
+        features, labels = erm_data(300)
+        config = DPTrainingConfig(epsilon=1.0, regularization=1e-3, loss=loss)
+        first = trainer(features, labels, config, np.random.default_rng(1))
+        second = trainer(features, labels, config, np.random.default_rng(2))
+        assert not np.allclose(first.weights, second.weights)
+
+
+class TestInputValidation:
+    def test_rejects_unnormalized_features(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(50, 3)) * 10
+        labels = np.where(features[:, 0] > 0, 1.0, -1.0)
+        config = DPTrainingConfig()
+        with pytest.raises(ValueError, match="norm"):
+            output_perturbation(features, labels, config, rng)
+
+    def test_rejects_non_binary_labels(self):
+        features, _ = erm_data(50)
+        labels = np.arange(50, dtype=np.float64)
+        with pytest.raises(ValueError):
+            objective_perturbation(features, labels, DPTrainingConfig(), np.random.default_rng(0))
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError):
+            output_perturbation(
+                np.zeros((0, 3)), np.zeros(0), DPTrainingConfig(), np.random.default_rng(0)
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            output_perturbation(
+                np.zeros((5, 3)), np.zeros(4), DPTrainingConfig(), np.random.default_rng(0)
+            )
+
+
+class TestOutputPerturbationNoiseScale:
+    def test_noise_scale_shrinks_with_more_data_and_budget(self):
+        config_small = DPTrainingConfig(epsilon=0.5, regularization=1e-3)
+        config_large = DPTrainingConfig(epsilon=5.0, regularization=1e-3)
+        features, labels = erm_data(2000, seed=3)
+        deviations = {}
+        for name, config in (("small", config_small), ("large", config_large)):
+            non_private = config.make_classifier()
+            baseline = non_private.train_weights(features, labels)
+            noisy = output_perturbation(features, labels, config, np.random.default_rng(0))
+            deviations[name] = np.linalg.norm(noisy.weights - baseline)
+        assert deviations["large"] < deviations["small"]

@@ -1,0 +1,76 @@
+"""Tests for feature encoding."""
+
+import numpy as np
+import pytest
+
+from repro.ml.encoding import (
+    attribute_features,
+    normalize_rows,
+    one_hot_encode,
+    prepare_erm_data,
+)
+
+
+class TestAttributeFeatures:
+    def test_splits_target_from_features(self, toy_dataset):
+        features, labels, target_index = attribute_features(toy_dataset, "label")
+        assert target_index == 3
+        assert features.shape == (len(toy_dataset), 3)
+        assert np.array_equal(labels, toy_dataset.column("label"))
+
+    def test_accepts_integer_target(self, toy_dataset):
+        features, labels, target_index = attribute_features(toy_dataset, 0)
+        assert target_index == 0
+        assert features.shape[1] == 3
+
+
+class TestOneHot:
+    def test_categorical_columns_expand(self, toy_dataset):
+        encoded = one_hot_encode(toy_dataset, exclude="label")
+        # age is numerical (1 column), color has 3, size has 2 -> 6 columns.
+        assert encoded.shape == (len(toy_dataset), 6)
+
+    def test_numerical_column_scaled_to_unit_interval(self, toy_dataset):
+        encoded = one_hot_encode(toy_dataset)
+        assert encoded[:, 0].min() >= 0.0
+        assert encoded[:, 0].max() <= 1.0
+
+    def test_indicator_blocks_sum_to_one(self, toy_dataset):
+        encoded = one_hot_encode(toy_dataset, exclude="label")
+        color_block = encoded[:, 1:4]
+        assert np.allclose(color_block.sum(axis=1), 1.0)
+
+    def test_without_exclusion_keeps_all_attributes(self, toy_dataset):
+        assert one_hot_encode(toy_dataset).shape[1] == 1 + 3 + 2 + 2
+
+
+class TestNormalizeRows:
+    def test_norms_bounded_by_max_norm(self, rng):
+        matrix = rng.normal(size=(50, 8)) * 10
+        normalized = normalize_rows(matrix)
+        assert np.all(np.linalg.norm(normalized, axis=1) <= 1.0 + 1e-9)
+
+    def test_small_rows_unchanged(self):
+        matrix = np.array([[0.1, 0.2], [0.0, 0.0]])
+        assert np.allclose(normalize_rows(matrix), matrix)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normalize_rows(np.zeros((2, 2)), max_norm=0.0)
+        with pytest.raises(ValueError):
+            normalize_rows(np.zeros(3))
+
+
+class TestPrepareErmData:
+    def test_labels_are_plus_minus_one(self, toy_dataset):
+        features, labels = prepare_erm_data(toy_dataset, "label")
+        assert set(np.unique(labels)) <= {-1.0, 1.0}
+        assert features.shape[0] == len(toy_dataset)
+
+    def test_rows_have_unit_norm_at_most(self, toy_dataset):
+        features, _ = prepare_erm_data(toy_dataset, "label")
+        assert np.all(np.linalg.norm(features, axis=1) <= 1.0 + 1e-9)
+
+    def test_requires_binary_target(self, toy_dataset):
+        with pytest.raises(ValueError):
+            prepare_erm_data(toy_dataset, "color")

@@ -1,0 +1,94 @@
+"""Tests for the ML evaluation helpers (accuracy, agreement, distinguishing game)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.dataset import Dataset
+from repro.ml.evaluation import agreement_rate, distinguishing_game, evaluate_classifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestEvaluateClassifier:
+    def test_trains_and_scores(self, toy_dataset):
+        train = toy_dataset.head(1500)
+        test = toy_dataset.take(np.arange(1500, len(toy_dataset)))
+        accuracy = evaluate_classifier(
+            DecisionTreeClassifier(max_depth=5, random_state=0), train, test, "label"
+        )
+        assert 0.5 < accuracy <= 1.0
+
+
+class TestAgreementRate:
+    def test_identical_classifiers_agree_fully(self, toy_dataset):
+        train = toy_dataset.head(1000)
+        first = DecisionTreeClassifier(max_depth=5, random_state=0)
+        second = DecisionTreeClassifier(max_depth=5, random_state=0)
+        from repro.ml.encoding import attribute_features
+
+        features, labels, _ = attribute_features(train, "label")
+        first.fit(features, labels)
+        second.fit(features, labels)
+        assert agreement_rate(first, second, toy_dataset, "label") == 1.0
+
+    def test_agreement_between_different_models_is_below_one(self, toy_dataset):
+        from repro.ml.encoding import attribute_features
+
+        train = toy_dataset.head(1000)
+        features, labels, _ = attribute_features(train, "label")
+        deep = DecisionTreeClassifier(max_depth=8, random_state=0).fit(features, labels)
+        constant_model = DecisionTreeClassifier(max_depth=1, min_samples_leaf=499, random_state=0)
+        constant_model.fit(features, labels)
+        rate = agreement_rate(deep, constant_model, toy_dataset, "label")
+        assert 0.0 < rate < 1.0
+
+
+class TestDistinguishingGame:
+    def test_identical_datasets_are_indistinguishable(self, toy_dataset, rng):
+        accuracy = distinguishing_game(
+            DecisionTreeClassifier(max_depth=6, random_state=0),
+            real=toy_dataset,
+            synthetic=toy_dataset,
+            train_size_per_class=600,
+            test_size_per_class=300,
+            rng=rng,
+        )
+        assert abs(accuracy - 0.5) < 0.1
+
+    def test_obviously_fake_data_is_easily_distinguished(self, toy_dataset, toy_schema, rng):
+        fake = Dataset(
+            toy_schema,
+            np.column_stack(
+                [
+                    np.full(1000, 19, dtype=np.int64),
+                    np.zeros(1000, dtype=np.int64),
+                    np.zeros(1000, dtype=np.int64),
+                    np.ones(1000, dtype=np.int64),
+                ]
+            ),
+        )
+        accuracy = distinguishing_game(
+            DecisionTreeClassifier(max_depth=6, random_state=0),
+            real=toy_dataset,
+            synthetic=fake,
+            train_size_per_class=500,
+            test_size_per_class=200,
+            rng=rng,
+        )
+        assert accuracy > 0.9
+
+    def test_requires_enough_records(self, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            distinguishing_game(
+                DecisionTreeClassifier(),
+                real=toy_dataset,
+                synthetic=toy_dataset.head(10),
+                train_size_per_class=100,
+                test_size_per_class=50,
+                rng=rng,
+            )
+
+    def test_rejects_non_positive_sizes(self, toy_dataset, rng):
+        with pytest.raises(ValueError):
+            distinguishing_game(
+                DecisionTreeClassifier(), toy_dataset, toy_dataset, 0, 10, rng
+            )

@@ -1,0 +1,65 @@
+"""Tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def noisy_rule_data(num_records=800, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.integers(0, 5, size=(num_records, 4))
+    labels = ((features[:, 0] + features[:, 2]) >= 5).astype(np.int64)
+    flip = rng.random(num_records) < 0.1
+    return features, np.where(flip, 1 - labels, labels)
+
+
+class TestRandomForest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(num_trees=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_learns_a_noisy_rule(self):
+        features, labels = noisy_rule_data()
+        forest = RandomForestClassifier(num_trees=10, max_depth=6, random_state=0)
+        forest.fit(features, labels)
+        assert forest.score(features, labels) > 0.85
+
+    def test_votes_shape_and_total(self):
+        features, labels = noisy_rule_data(200)
+        forest = RandomForestClassifier(num_trees=7, max_depth=4).fit(features, labels)
+        votes = forest.predict_votes(features[:10])
+        assert votes.shape == (10, 2)
+        assert np.all(votes.sum(axis=1) == 7)
+
+    def test_predict_proba_rows_sum_to_one(self):
+        features, labels = noisy_rule_data(200)
+        forest = RandomForestClassifier(num_trees=5, max_depth=4).fit(features, labels)
+        probabilities = forest.predict_proba(features[:20])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_reproducible_for_fixed_seed(self):
+        features, labels = noisy_rule_data(300)
+        first = RandomForestClassifier(num_trees=5, random_state=3).fit(features, labels)
+        second = RandomForestClassifier(num_trees=5, random_state=3).fit(features, labels)
+        assert np.array_equal(first.predict(features), second.predict(features))
+
+    def test_different_seeds_give_different_forests(self):
+        features, labels = noisy_rule_data(300)
+        first = RandomForestClassifier(num_trees=3, random_state=1).fit(features, labels)
+        second = RandomForestClassifier(num_trees=3, random_state=2).fit(features, labels)
+        assert not np.array_equal(
+            first.predict_votes(features), second.predict_votes(features)
+        )
+
+    def test_forest_at_least_as_good_as_single_default_tree_on_noisy_data(self):
+        features, labels = noisy_rule_data(1000, seed=5)
+        train, test = (features[:700], labels[:700]), (features[700:], labels[700:])
+        tree = DecisionTreeClassifier(max_depth=6, random_state=0).fit(*train)
+        forest = RandomForestClassifier(num_trees=15, max_depth=6, random_state=0).fit(*train)
+        assert forest.score(*test) >= tree.score(*test) - 0.03

@@ -1,0 +1,126 @@
+"""Tests for the logistic-regression and linear-SVM trainers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import (
+    LinearSVMClassifier,
+    LogisticRegressionClassifier,
+    huber_hinge_loss_gradient,
+    logistic_loss_gradient,
+)
+
+
+def separable_data(num_records=400, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(num_records, 3)) * 0.3
+    weights = np.array([1.0, -0.5, 0.25])
+    labels = (features @ weights > 0).astype(np.int64)
+    return features, labels
+
+
+class TestLossFunctions:
+    def test_logistic_loss_at_zero_margin(self):
+        losses, derivatives = logistic_loss_gradient(np.array([0.0]))
+        assert losses[0] == pytest.approx(np.log(2))
+        assert derivatives[0] == pytest.approx(-0.5)
+
+    def test_logistic_loss_decreasing_in_margin(self):
+        losses, _ = logistic_loss_gradient(np.array([-2.0, 0.0, 2.0]))
+        assert losses[0] > losses[1] > losses[2]
+
+    def test_huber_hinge_regions(self):
+        margins = np.array([-1.0, 1.0, 2.0])
+        losses, derivatives = huber_hinge_loss_gradient(margins, huber_h=0.5)
+        assert losses[0] == pytest.approx(2.0)  # linear region: 1 - margin
+        assert derivatives[0] == -1.0
+        assert 0.0 < losses[1] < 1.0  # quadratic band around margin 1
+        assert losses[2] == 0.0  # beyond 1 + h: no loss
+        assert derivatives[2] == 0.0
+
+    def test_huber_hinge_continuity_at_band_edges(self):
+        h = 0.5
+        eps = 1e-6
+        for edge in (1.0 - h, 1.0 + h):
+            below, _ = huber_hinge_loss_gradient(np.array([edge - eps]), h)
+            above, _ = huber_hinge_loss_gradient(np.array([edge + eps]), h)
+            assert below[0] == pytest.approx(above[0], abs=1e-4)
+
+    def test_huber_hinge_rejects_bad_h(self):
+        with pytest.raises(ValueError):
+            huber_hinge_loss_gradient(np.array([0.0]), huber_h=0.0)
+
+
+@pytest.mark.parametrize("classifier_class", [LogisticRegressionClassifier, LinearSVMClassifier])
+class TestLinearClassifiers:
+    def test_learns_a_separable_problem(self, classifier_class):
+        features, labels = separable_data()
+        classifier = classifier_class(regularization=1e-4, num_iterations=300)
+        classifier.fit(features, labels)
+        assert classifier.score(features, labels) > 0.9
+
+    def test_predictions_use_original_label_values(self, classifier_class):
+        features, labels = separable_data()
+        shifted_labels = labels + 5  # classes {5, 6}
+        classifier = classifier_class().fit(features, shifted_labels)
+        assert set(np.unique(classifier.predict(features))) <= {5, 6}
+
+    def test_requires_exactly_two_classes(self, classifier_class):
+        features, _ = separable_data(60)
+        labels = np.arange(60) % 3
+        with pytest.raises(ValueError):
+            classifier_class().fit(features, labels)
+
+    def test_decision_function_sign_matches_prediction(self, classifier_class):
+        features, labels = separable_data()
+        classifier = classifier_class().fit(features, labels)
+        scores = classifier.decision_function(features)
+        predictions = classifier.predict(features)
+        assert np.all((scores >= 0) == (predictions == 1))
+
+    def test_predict_before_fit_raises(self, classifier_class):
+        with pytest.raises(RuntimeError):
+            classifier_class().predict(np.zeros((1, 3)))
+
+    def test_strong_regularization_shrinks_weights(self, classifier_class):
+        features, labels = separable_data()
+        weak = classifier_class(regularization=1e-6).fit(features, labels)
+        strong = classifier_class(regularization=10.0).fit(features, labels)
+        assert np.linalg.norm(strong.weights) < np.linalg.norm(weak.weights)
+
+    def test_validation(self, classifier_class):
+        with pytest.raises(ValueError):
+            classifier_class(regularization=-1.0)
+        with pytest.raises(ValueError):
+            classifier_class(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            classifier_class(num_iterations=0)
+
+
+class TestObjectiveMachinery:
+    def test_gradient_descent_reduces_objective(self):
+        features, labels = separable_data()
+        signed = np.where(labels == 1, 1.0, -1.0)
+        classifier = LogisticRegressionClassifier(regularization=1e-3, fit_intercept=False)
+        initial = classifier.objective(np.zeros(features.shape[1]), features, signed)
+        weights = classifier.train_weights(features, signed)
+        final = classifier.objective(weights, features, signed)
+        assert final < initial
+
+    def test_extra_ridge_term_shrinks_solution(self):
+        features, labels = separable_data()
+        signed = np.where(labels == 1, 1.0, -1.0)
+        classifier = LogisticRegressionClassifier(regularization=1e-4, fit_intercept=False)
+        plain = classifier.train_weights(features, signed)
+        ridged = classifier.train_weights(features, signed, extra_regularization=5.0)
+        assert np.linalg.norm(ridged) < np.linalg.norm(plain)
+
+    def test_set_weights_installs_external_solution(self):
+        features, labels = separable_data(100)
+        classifier = LinearSVMClassifier(fit_intercept=False)
+        classifier.set_weights(np.array([1.0, -0.5, 0.25]), classes=np.array([0, 1]))
+        assert classifier.score(features, labels) > 0.9
+
+    def test_svm_huber_h_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(huber_h=0.0)

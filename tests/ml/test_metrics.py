@@ -1,0 +1,52 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy, confusion_matrix, error_rate
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        labels = np.array([0, 1, 1, 0])
+        assert accuracy(labels, labels) == 1.0
+        assert accuracy(1 - labels, labels) == 0.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 0, 1])) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_error_rate_complement(self):
+        predictions = np.array([0, 1, 0, 1])
+        labels = np.array([0, 0, 0, 1])
+        assert accuracy(predictions, labels) + error_rate(predictions, labels) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestConfusionMatrix:
+    def test_counts_by_true_and_predicted(self):
+        predictions = np.array([0, 1, 1, 0, 1])
+        labels = np.array([0, 0, 1, 1, 1])
+        matrix = confusion_matrix(predictions, labels)
+        assert matrix.tolist() == [[1, 1], [1, 2]]
+        assert matrix.sum() == 5
+
+    def test_explicit_num_classes(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), num_classes=3)
+        assert matrix.shape == (3, 3)
+
+    def test_diagonal_sum_equals_correct_predictions(self):
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 3, size=100)
+        labels = rng.integers(0, 3, size=100)
+        matrix = confusion_matrix(predictions, labels, num_classes=3)
+        assert np.trace(matrix) == np.sum(predictions == labels)

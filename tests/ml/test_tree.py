@@ -1,0 +1,126 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def xor_data(num_records=600, noise=0.0, seed=0):
+    """A dataset whose label is the XOR of two binary features (needs depth 2)."""
+    rng = np.random.default_rng(seed)
+    features = rng.integers(0, 2, size=(num_records, 3))
+    labels = features[:, 0] ^ features[:, 1]
+    flip = rng.random(num_records) < noise
+    labels = np.where(flip, 1 - labels, labels)
+    return features, labels
+
+
+class TestFitting:
+    def test_learns_a_simple_threshold_rule(self):
+        features = np.arange(100).reshape(-1, 1)
+        labels = (features[:, 0] >= 50).astype(np.int64)
+        tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        assert tree.score(features, labels) == 1.0
+
+    def test_learns_xor_with_enough_depth(self):
+        features, labels = xor_data()
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        assert tree.score(features, labels) > 0.95
+
+    def test_depth_one_cannot_learn_xor(self):
+        features, labels = xor_data()
+        stump = DecisionTreeClassifier(max_depth=1).fit(features, labels)
+        assert stump.score(features, labels) < 0.7
+
+    def test_pure_node_becomes_leaf(self):
+        features = np.array([[0], [1], [2]])
+        labels = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(features, labels)
+        assert tree.num_nodes() == 1
+        assert tree.predict(np.array([[5]])).tolist() == [1]
+
+    def test_max_depth_respected(self):
+        features, labels = xor_data(noise=0.2)
+        tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        features, labels = xor_data(200)
+        tree = DecisionTreeClassifier(min_samples_leaf=50).fit(features, labels)
+        assert tree.depth() <= 3  # large leaves force a shallow tree
+
+    def test_sample_weights_steer_the_fit(self):
+        # Two contradictory blocks: weights decide which one the stump follows.
+        features = np.array([[0], [0], [1], [1]])
+        labels = np.array([0, 1, 0, 1])
+        weights_favour_one = np.array([0.1, 10.0, 0.1, 10.0])
+        tree = DecisionTreeClassifier(max_depth=1).fit(
+            features, labels, sample_weight=weights_favour_one
+        )
+        assert tree.predict(np.array([[0], [1]])).tolist() == [1, 1]
+
+    def test_multiclass_labels(self):
+        features = np.array([[0], [1], [2], [0], [1], [2]] * 20)
+        labels = features[:, 0]
+        tree = DecisionTreeClassifier(max_depth=3).fit(features, labels)
+        assert tree.score(features, labels) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+        tree = DecisionTreeClassifier()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.zeros(2))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.array([-1, 0, 1]))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.zeros(3), sample_weight=np.array([1.0, -1.0, 1.0]))
+
+
+class TestPrediction:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_predict_checks_feature_count(self):
+        features, labels = xor_data(100)
+        tree = DecisionTreeClassifier(max_depth=2).fit(features, labels)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((5, 7)))
+
+    def test_predictions_are_known_labels(self):
+        features, labels = xor_data(300)
+        tree = DecisionTreeClassifier(max_depth=4).fit(features, labels)
+        predictions = tree.predict(features)
+        assert set(np.unique(predictions)) <= set(np.unique(labels))
+
+    def test_feature_subsampling_is_deterministic_per_seed(self):
+        features, labels = xor_data(300)
+        first = DecisionTreeClassifier(max_depth=4, max_features=1, random_state=5).fit(
+            features, labels
+        )
+        second = DecisionTreeClassifier(max_depth=4, max_features=1, random_state=5).fit(
+            features, labels
+        )
+        assert np.array_equal(first.predict(features), second.predict(features))
+
+    def test_income_prediction_on_acs_beats_chance(self, acs_splits):
+        train = acs_splits.structure.concat(acs_splits.parameters)
+        test = acs_splits.test
+        income = train.schema.index_of("WAGP")
+        feature_columns = [c for c in range(11) if c != income]
+        tree = DecisionTreeClassifier(max_depth=8, min_samples_leaf=10, random_state=0).fit(
+            train.data[:, feature_columns], train.data[:, income]
+        )
+        predictions = tree.predict(test.data[:, feature_columns])
+        accuracy = np.mean(predictions == test.data[:, income])
+        majority = max(np.mean(test.data[:, income] == 0), np.mean(test.data[:, income] == 1))
+        assert accuracy >= majority - 0.05
+        assert accuracy > 0.5

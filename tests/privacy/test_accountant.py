@@ -1,0 +1,96 @@
+"""Tests for the privacy-budget accountant."""
+
+import pytest
+
+from repro.privacy.accountant import BudgetEntry, PrivacyAccountant
+
+
+class TestBudgetEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetEntry("x", epsilon=-1.0, delta=0.0)
+        with pytest.raises(ValueError):
+            BudgetEntry("x", epsilon=0.1, delta=2.0)
+        with pytest.raises(ValueError):
+            BudgetEntry("x", epsilon=0.1, delta=0.0, count=0)
+
+    def test_defaults(self):
+        entry = BudgetEntry("x", 0.1, 0.0)
+        assert entry.count == 1
+        assert entry.scope == "default"
+
+
+class TestAccountant:
+    def test_empty_accountant_raises(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant().total_guarantee()
+
+    def test_single_entry_total(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("query", 0.5)
+        assert accountant.total_guarantee() == (0.5, 0.0)
+
+    def test_sequential_total_across_labels(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 0.3)
+        accountant.spend("b", 0.2)
+        epsilon, _ = accountant.total_guarantee()
+        assert epsilon == pytest.approx(0.5)
+
+    def test_phase_guarantee_by_label(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 0.3)
+        accountant.spend("a", 0.1)
+        accountant.spend("b", 0.2)
+        assert accountant.phase_guarantee("a")[0] == pytest.approx(0.4)
+
+    def test_unknown_label_raises(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 0.1)
+        with pytest.raises(KeyError):
+            accountant.phase_guarantee("missing")
+        with pytest.raises(KeyError):
+            accountant.scope_guarantee("missing")
+
+    def test_advanced_composition_used_when_tighter(self):
+        accountant = PrivacyAccountant(delta_slack=1e-9)
+        accountant.spend("entropy", 0.01, count=2000)
+        epsilon, delta = accountant.phase_guarantee("entropy")
+        assert epsilon < 0.01 * 2000
+        assert delta == pytest.approx(1e-9)
+
+    def test_sequential_used_when_tighter_for_few_queries(self):
+        accountant = PrivacyAccountant(delta_slack=1e-9)
+        accountant.spend("counts", 0.05, count=5)
+        epsilon, delta = accountant.phase_guarantee("counts")
+        assert epsilon == pytest.approx(0.25)
+        assert delta == 0.0
+
+    def test_disjoint_scopes_take_maximum(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("structure", 0.6, scope="structure-data")
+        accountant.spend("parameters", 0.9, scope="parameter-data")
+        epsilon, _ = accountant.total_guarantee(disjoint_scopes=True)
+        assert epsilon == pytest.approx(0.9)
+
+    def test_same_scope_composes_sequentially_even_with_disjoint_flag(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("entropy", 0.4, scope="structure-data")
+        accountant.spend("count", 0.1, scope="structure-data")
+        epsilon, _ = accountant.total_guarantee(disjoint_scopes=True)
+        assert epsilon == pytest.approx(0.5)
+
+    def test_sampling_amplification_applied_last(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 1.0)
+        amplified, _ = accountant.total_guarantee(sampling_probability=0.1)
+        plain, _ = accountant.total_guarantee()
+        assert amplified < plain
+
+    def test_labels_and_scopes_in_order(self):
+        accountant = PrivacyAccountant()
+        accountant.spend("b", 0.1, scope="s2")
+        accountant.spend("a", 0.1, scope="s1")
+        accountant.spend("b", 0.1, scope="s2")
+        assert accountant.labels() == ["b", "a"]
+        assert accountant.scopes() == ["s2", "s1"]

@@ -1,0 +1,110 @@
+"""Tests for the DP composition theorems (Appendix A)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.privacy.composition import (
+    advanced_composition,
+    amplification_by_sampling,
+    sequential_composition,
+)
+
+
+class TestSequentialComposition:
+    def test_sums_epsilons_and_deltas(self):
+        epsilon, delta = sequential_composition([(0.5, 1e-6), (0.25, 1e-6), (0.25, 0.0)])
+        assert epsilon == pytest.approx(1.0)
+        assert delta == pytest.approx(2e-6)
+
+    def test_single_guarantee_is_unchanged(self):
+        assert sequential_composition([(0.3, 0.0)]) == (0.3, 0.0)
+
+    def test_delta_capped_at_one(self):
+        _, delta = sequential_composition([(0.1, 0.7), (0.1, 0.7)])
+        assert delta == 1.0
+
+    def test_requires_at_least_one_guarantee(self):
+        with pytest.raises(ValueError):
+            sequential_composition([])
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            sequential_composition([(-0.1, 0.0)])
+
+    def test_rejects_delta_out_of_range(self):
+        with pytest.raises(ValueError):
+            sequential_composition([(0.1, 1.5)])
+
+
+class TestAdvancedComposition:
+    def test_matches_theorem3_formula(self):
+        epsilon, delta = advanced_composition(0.1, 0.0, num_queries=100, delta_slack=1e-6)
+        expected = 0.1 * math.sqrt(2 * 100 * math.log(1e6)) + 100 * 0.1 * (math.exp(0.1) - 1)
+        assert epsilon == pytest.approx(expected)
+        assert delta == pytest.approx(1e-6)
+
+    def test_delta_accumulates(self):
+        _, delta = advanced_composition(0.1, 1e-8, num_queries=10, delta_slack=1e-6)
+        assert delta == pytest.approx(1e-6 + 10 * 1e-8)
+
+    def test_beats_sequential_for_many_small_queries(self):
+        per_query = 0.01
+        k = 2000
+        advanced, _ = advanced_composition(per_query, 0.0, k, delta_slack=1e-9)
+        sequential = per_query * k
+        assert advanced < sequential
+
+    def test_single_query(self):
+        epsilon, _ = advanced_composition(0.5, 0.0, num_queries=1, delta_slack=1e-9)
+        assert epsilon >= 0.5  # advanced composition is not free for one query
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 0.0, num_queries=0, delta_slack=1e-6)
+        with pytest.raises(ValueError):
+            advanced_composition(0.1, 0.0, num_queries=5, delta_slack=0.0)
+        with pytest.raises(ValueError):
+            advanced_composition(-0.1, 0.0, num_queries=5, delta_slack=1e-6)
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.5),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=50)
+    def test_monotone_in_num_queries(self, epsilon, num_queries):
+        smaller, _ = advanced_composition(epsilon, 0.0, num_queries, 1e-9)
+        larger, _ = advanced_composition(epsilon, 0.0, num_queries + 1, 1e-9)
+        assert larger >= smaller
+
+
+class TestAmplification:
+    def test_matches_theorem4_formula(self):
+        epsilon, delta = amplification_by_sampling(1.0, 1e-6, sampling_probability=0.1)
+        assert epsilon == pytest.approx(math.log(1 + 0.1 * (math.e - 1)))
+        assert delta == pytest.approx(1e-7)
+
+    def test_full_sampling_changes_nothing(self):
+        epsilon, delta = amplification_by_sampling(0.7, 1e-6, sampling_probability=1.0)
+        assert epsilon == pytest.approx(0.7)
+        assert delta == pytest.approx(1e-6)
+
+    def test_amplification_always_helps(self):
+        epsilon, _ = amplification_by_sampling(1.0, 0.0, sampling_probability=0.5)
+        assert epsilon < 1.0
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            amplification_by_sampling(1.0, 0.0, sampling_probability=0.0)
+        with pytest.raises(ValueError):
+            amplification_by_sampling(1.0, 0.0, sampling_probability=1.5)
+
+    @given(
+        st.floats(min_value=0.01, max_value=3.0),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=50)
+    def test_amplified_epsilon_below_original(self, epsilon, probability):
+        amplified, _ = amplification_by_sampling(epsilon, 0.0, probability)
+        assert amplified <= epsilon + 1e-12

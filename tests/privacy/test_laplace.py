@@ -1,0 +1,72 @@
+"""Tests for the Laplace mechanism primitives."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.laplace import laplace_mechanism, laplace_noise, laplace_tail_probability
+
+
+class TestLaplaceNoise:
+    def test_scalar_and_array_shapes(self, rng):
+        assert isinstance(laplace_noise(1.0, rng), float)
+        assert laplace_noise(1.0, rng, size=5).shape == (5,)
+        assert laplace_noise(1.0, rng, size=(2, 3)).shape == (2, 3)
+
+    def test_rejects_non_positive_scale(self, rng):
+        with pytest.raises(ValueError):
+            laplace_noise(0.0, rng)
+
+    def test_empirical_mean_and_scale(self):
+        rng = np.random.default_rng(0)
+        samples = laplace_noise(2.0, rng, size=200_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        # For Lap(b), E|X| = b.
+        assert np.mean(np.abs(samples)) == pytest.approx(2.0, rel=0.05)
+
+
+class TestLaplaceMechanism:
+    def test_scalar_output(self, rng):
+        value = laplace_mechanism(10.0, sensitivity=1.0, epsilon=1.0, rng=rng)
+        assert isinstance(value, float)
+
+    def test_array_output_shape(self, rng):
+        noisy = laplace_mechanism(np.zeros(4), sensitivity=1.0, epsilon=0.5, rng=rng)
+        assert noisy.shape == (4,)
+
+    def test_zero_sensitivity_returns_exact_value(self, rng):
+        assert laplace_mechanism(3.5, sensitivity=0.0, epsilon=1.0, rng=rng) == 3.5
+
+    def test_rejects_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, sensitivity=-1.0, epsilon=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            laplace_mechanism(1.0, sensitivity=1.0, epsilon=0.0, rng=rng)
+
+    def test_noise_scale_tracks_sensitivity_over_epsilon(self):
+        rng = np.random.default_rng(1)
+        noisy = laplace_mechanism(np.zeros(100_000), sensitivity=2.0, epsilon=0.5, rng=rng)
+        assert np.mean(np.abs(noisy)) == pytest.approx(4.0, rel=0.05)
+
+
+class TestTailProbability:
+    def test_at_zero_is_half(self):
+        assert laplace_tail_probability(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_symmetric_tails(self):
+        assert laplace_tail_probability(2.0, 1.0) + laplace_tail_probability(-2.0, 1.0) == (
+            pytest.approx(1.0)
+        )
+
+    def test_monotone_decreasing_in_threshold(self):
+        values = [laplace_tail_probability(x, 1.0) for x in (-3, -1, 0, 1, 3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_empirical_frequency(self):
+        rng = np.random.default_rng(2)
+        samples = rng.laplace(0.0, 2.0, size=200_000)
+        empirical = np.mean(samples >= 3.0)
+        assert laplace_tail_probability(3.0, 2.0) == pytest.approx(empirical, abs=0.01)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            laplace_tail_probability(1.0, 0.0)

@@ -1,0 +1,75 @@
+"""Tests for whole-dataset release accounting (the Section 8 extension)."""
+
+import pytest
+
+from repro.privacy.plausible_deniability import theorem1_guarantee
+from repro.privacy.release import (
+    dataset_release_guarantee,
+    max_releasable_records,
+)
+
+
+class TestDatasetReleaseGuarantee:
+    def test_single_record_matches_theorem1(self):
+        guarantee = dataset_release_guarantee(1, k=50, gamma=4.0, epsilon0=1.0)
+        epsilon, delta, t = theorem1_guarantee(50, 4.0, 1.0)
+        assert guarantee.epsilon == pytest.approx(epsilon)
+        assert guarantee.delta == pytest.approx(delta)
+        assert guarantee.t == t
+
+    def test_epsilon_grows_with_release_size(self):
+        sizes = [1, 10, 100, 1000]
+        epsilons = [
+            dataset_release_guarantee(n, k=50, gamma=4.0, epsilon0=1.0).epsilon for n in sizes
+        ]
+        assert epsilons == sorted(epsilons)
+
+    def test_advanced_composition_wins_for_large_releases(self):
+        guarantee = dataset_release_guarantee(5000, k=100, gamma=4.0, epsilon0=0.1)
+        assert guarantee.advanced_epsilon < guarantee.basic_epsilon
+        assert guarantee.epsilon == guarantee.advanced_epsilon
+
+    def test_basic_composition_wins_for_tiny_releases(self):
+        guarantee = dataset_release_guarantee(2, k=50, gamma=4.0, epsilon0=1.0)
+        assert guarantee.epsilon == guarantee.basic_epsilon
+
+    def test_reports_both_bounds(self):
+        guarantee = dataset_release_guarantee(10, k=50, gamma=4.0, epsilon0=1.0)
+        assert guarantee.basic_epsilon == pytest.approx(10 * guarantee.per_record_epsilon)
+        assert 0 < guarantee.basic_delta <= 1
+        assert 0 < guarantee.advanced_delta <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dataset_release_guarantee(0, k=50, gamma=4.0, epsilon0=1.0)
+
+
+class TestMaxReleasableRecords:
+    def test_inverts_the_composition(self):
+        budget = 50.0
+        count = max_releasable_records(budget, k=50, gamma=4.0, epsilon0=1.0)
+        assert count >= 1
+        within = dataset_release_guarantee(count, k=50, gamma=4.0, epsilon0=1.0)
+        beyond = dataset_release_guarantee(count + 1, k=50, gamma=4.0, epsilon0=1.0)
+        assert within.epsilon <= budget
+        assert beyond.epsilon > budget
+
+    def test_zero_when_even_one_record_is_too_expensive(self):
+        assert max_releasable_records(0.01, k=50, gamma=4.0, epsilon0=1.0) == 0
+
+    def test_upper_bound_respected(self):
+        count = max_releasable_records(
+            1e9, k=50, gamma=4.0, epsilon0=1.0, upper_bound=500
+        )
+        assert count == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_releasable_records(0.0, k=50, gamma=4.0, epsilon0=1.0)
+        with pytest.raises(ValueError):
+            max_releasable_records(1.0, k=50, gamma=4.0, epsilon0=1.0, upper_bound=0)
+
+    def test_larger_budget_allows_more_records(self):
+        small = max_releasable_records(10.0, k=50, gamma=4.0, epsilon0=1.0)
+        large = max_releasable_records(100.0, k=50, gamma=4.0, epsilon0=1.0)
+        assert large > small

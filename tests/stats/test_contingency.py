@@ -1,0 +1,96 @@
+"""Tests for count tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.contingency import (
+    contingency_table,
+    joint_counts,
+    joint_distribution,
+    marginal_counts,
+    marginal_distribution,
+    pairwise_joint_distribution,
+)
+
+
+class TestMarginalCounts:
+    def test_basic_histogram(self):
+        counts = marginal_counts(np.array([0, 1, 1, 2]), cardinality=4)
+        assert counts.tolist() == [1, 2, 1, 0]
+
+    def test_infers_cardinality(self):
+        assert marginal_counts(np.array([0, 3])).tolist() == [1, 0, 0, 1]
+
+    def test_rejects_values_beyond_cardinality(self):
+        with pytest.raises(ValueError):
+            marginal_counts(np.array([5]), cardinality=3)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            marginal_counts(np.array([-1]))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            marginal_counts(np.zeros((2, 2)))
+
+    def test_distribution_sums_to_one(self):
+        distribution = marginal_distribution(np.array([0, 0, 1, 2]), cardinality=3)
+        assert distribution.sum() == pytest.approx(1.0)
+        assert distribution.tolist() == [0.5, 0.25, 0.25]
+
+    def test_distribution_empty_raises(self):
+        with pytest.raises(ValueError):
+            marginal_distribution(np.array([], dtype=np.int64), cardinality=3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=50))
+    def test_counts_sum_to_number_of_records(self, values):
+        counts = marginal_counts(np.array(values), cardinality=6)
+        assert counts.sum() == len(values)
+
+
+class TestJointCounts:
+    def test_basic_table(self):
+        first = np.array([0, 0, 1])
+        second = np.array([1, 0, 1])
+        table = joint_counts(first, second, 2, 2)
+        assert table.tolist() == [[1, 1], [0, 1]]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            joint_counts(np.array([0]), np.array([0, 1]))
+
+    def test_joint_distribution_sums_to_one(self):
+        dist = joint_distribution(np.array([0, 1, 1]), np.array([0, 0, 1]), 2, 2)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_marginalizing_joint_recovers_marginals(self):
+        rng = np.random.default_rng(0)
+        first = rng.integers(0, 4, size=200)
+        second = rng.integers(0, 3, size=200)
+        joint = joint_counts(first, second, 4, 3)
+        assert np.array_equal(joint.sum(axis=1), marginal_counts(first, 4))
+        assert np.array_equal(joint.sum(axis=0), marginal_counts(second, 3))
+
+
+class TestMatrixHelpers:
+    def test_pairwise_joint_distribution(self, toy_dataset):
+        dist = pairwise_joint_distribution(
+            toy_dataset.data, 1, 2, toy_dataset.schema.cardinalities
+        )
+        assert dist.shape == (3, 2)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_contingency_table_shape_and_total(self, toy_dataset):
+        cards = toy_dataset.schema.cardinalities
+        table = contingency_table(toy_dataset.data, [1, 2, 3], cards)
+        assert table.shape == (3, 2, 2)
+        assert table.sum() == len(toy_dataset)
+
+    def test_contingency_table_requires_columns(self, toy_dataset):
+        with pytest.raises(ValueError):
+            contingency_table(toy_dataset.data, [], toy_dataset.schema.cardinalities)
+
+    def test_contingency_table_requires_2d_matrix(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.array([1, 2, 3]), [0], [4])

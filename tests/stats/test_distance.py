@@ -1,0 +1,118 @@
+"""Tests for the distribution-distance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.distance import (
+    jensen_shannon_divergence,
+    pairwise_attribute_distances,
+    single_attribute_distances,
+    total_variation_distance,
+)
+
+
+def _random_distribution(draw_values):
+    weights = np.array(draw_values, dtype=np.float64) + 1e-9
+    return weights / weights.sum()
+
+
+distributions = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=12
+).map(_random_distribution)
+
+
+class TestTotalVariationDistance:
+    def test_identical_distributions(self):
+        p = np.array([0.25, 0.75])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_supports_give_one(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_known_value(self):
+        assert total_variation_distance(
+            np.array([0.5, 0.5]), np.array([0.75, 0.25])
+        ) == pytest.approx(0.25)
+
+    def test_rejects_mismatched_support(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([0.5, 0.4]), np.array([0.5, 0.5]))
+
+    @given(distributions, distributions)
+    @settings(max_examples=60)
+    def test_axioms(self, p, q):
+        if p.size != q.size:
+            return
+        distance = total_variation_distance(p, q)
+        assert 0.0 <= distance <= 1.0
+        assert distance == pytest.approx(total_variation_distance(q, p))
+        assert total_variation_distance(p, p) == pytest.approx(0.0)
+
+    @given(distributions, distributions, distributions)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, p, q, r):
+        sizes = {p.size, q.size, r.size}
+        if len(sizes) != 1:
+            return
+        assert total_variation_distance(p, r) <= (
+            total_variation_distance(p, q) + total_variation_distance(q, r) + 1e-9
+        )
+
+
+class TestJensenShannon:
+    def test_identical_distributions(self):
+        p = np.array([0.3, 0.7])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_supports_give_one_bit(self):
+        assert jensen_shannon_divergence(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    @given(distributions, distributions)
+    @settings(max_examples=40)
+    def test_bounded_and_symmetric(self, p, q):
+        if p.size != q.size:
+            return
+        value = jensen_shannon_divergence(p, q)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(jensen_shannon_divergence(q, p))
+
+
+class TestDatasetDistances:
+    def test_single_attribute_distances_of_identical_data(self, toy_dataset):
+        cards = toy_dataset.schema.cardinalities
+        distances = single_attribute_distances(toy_dataset.data, toy_dataset.data, cards)
+        assert len(distances) == toy_dataset.num_attributes
+        assert all(d == pytest.approx(0.0) for d in distances)
+
+    def test_pairwise_distances_of_identical_data(self, toy_dataset):
+        cards = toy_dataset.schema.cardinalities
+        distances = pairwise_attribute_distances(toy_dataset.data, toy_dataset.data, cards)
+        m = toy_dataset.num_attributes
+        assert len(distances) == m * (m - 1) // 2
+        assert all(d == pytest.approx(0.0) for d in distances.values())
+
+    def test_shuffled_column_breaks_pairwise_but_not_single(self, toy_dataset, rng):
+        cards = toy_dataset.schema.cardinalities
+        shuffled = toy_dataset.data.copy()
+        rng.shuffle(shuffled[:, 2])  # break the age-size correlation
+        single = single_attribute_distances(toy_dataset.data, shuffled, cards)
+        pairs = pairwise_attribute_distances(toy_dataset.data, shuffled, cards)
+        assert max(single) == pytest.approx(0.0, abs=1e-9)
+        assert pairs[(0, 2)] > 0.1
+
+    def test_mismatched_attribute_counts_rejected(self, toy_dataset):
+        with pytest.raises(ValueError):
+            single_attribute_distances(
+                toy_dataset.data, toy_dataset.data[:, :2], toy_dataset.schema.cardinalities
+            )
+
+    def test_cardinality_list_must_match(self, toy_dataset):
+        with pytest.raises(ValueError):
+            pairwise_attribute_distances(toy_dataset.data, toy_dataset.data, [2, 2])

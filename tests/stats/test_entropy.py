@@ -1,0 +1,152 @@
+"""Tests for entropy, mutual information, symmetrical uncertainty and Lemma 1."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.entropy import (
+    conditional_entropy,
+    entropy,
+    entropy_from_counts,
+    entropy_from_distribution,
+    entropy_sensitivity_bound,
+    joint_entropy,
+    mutual_information,
+    symmetrical_uncertainty,
+    symmetrical_uncertainty_from_entropies,
+)
+
+
+class TestEntropy:
+    def test_uniform_distribution_has_log_cardinality_bits(self):
+        assert entropy_from_distribution(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_deterministic_distribution_has_zero_entropy(self):
+        assert entropy_from_distribution(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_empty_distribution(self):
+        assert entropy_from_distribution(np.array([])) == 0.0
+
+    def test_rejects_negative_probabilities(self):
+        with pytest.raises(ValueError):
+            entropy_from_distribution(np.array([1.2, -0.2]))
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(ValueError):
+            entropy_from_distribution(np.array([0.5, 0.2]))
+
+    def test_entropy_from_counts(self):
+        assert entropy_from_counts(np.array([5, 5])) == pytest.approx(1.0)
+        assert entropy_from_counts(np.array([0, 0])) == 0.0
+
+    def test_entropy_of_column(self):
+        values = np.array([0, 0, 1, 1])
+        assert entropy(values, 2) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=80),
+    )
+    @settings(max_examples=40)
+    def test_entropy_bounds(self, values):
+        column = np.array(values)
+        h = entropy(column, 5)
+        assert 0.0 <= h <= math.log2(5) + 1e-9
+
+
+class TestJointAndConditional:
+    def test_joint_entropy_of_independent_uniform(self, rng):
+        first = rng.integers(0, 2, size=4000)
+        second = rng.integers(0, 2, size=4000)
+        assert joint_entropy(first, second, 2, 2) == pytest.approx(2.0, abs=0.05)
+
+    def test_joint_entropy_of_identical_variables(self, rng):
+        values = rng.integers(0, 4, size=2000)
+        assert joint_entropy(values, values, 4, 4) == pytest.approx(entropy(values, 4))
+
+    def test_conditional_entropy_of_identical_is_zero(self, rng):
+        values = rng.integers(0, 4, size=1000)
+        assert conditional_entropy(values, values, 4, 4) == pytest.approx(0.0, abs=1e-9)
+
+    def test_conditional_entropy_is_at_most_marginal(self, rng):
+        first = rng.integers(0, 5, size=1000)
+        second = rng.integers(0, 3, size=1000)
+        assert conditional_entropy(first, second, 5, 3) <= entropy(first, 5) + 1e-9
+
+
+class TestMutualInformation:
+    def test_independent_variables_have_near_zero_mi(self, rng):
+        first = rng.integers(0, 3, size=5000)
+        second = rng.integers(0, 3, size=5000)
+        assert mutual_information(first, second, 3, 3) < 0.01
+
+    def test_identical_variables_have_mi_equal_to_entropy(self, rng):
+        values = rng.integers(0, 4, size=2000)
+        assert mutual_information(values, values, 4, 4) == pytest.approx(entropy(values, 4))
+
+    def test_mi_is_symmetric(self, rng):
+        first = rng.integers(0, 4, size=1000)
+        second = (first + rng.integers(0, 2, size=1000)) % 4
+        assert mutual_information(first, second, 4, 4) == pytest.approx(
+            mutual_information(second, first, 4, 4)
+        )
+
+
+class TestSymmetricalUncertainty:
+    def test_identical_variables_give_one(self, rng):
+        values = rng.integers(0, 4, size=2000)
+        assert symmetrical_uncertainty(values, values, 4, 4) == pytest.approx(1.0, abs=1e-6)
+
+    def test_independent_variables_give_near_zero(self, rng):
+        first = rng.integers(0, 4, size=5000)
+        second = rng.integers(0, 4, size=5000)
+        assert symmetrical_uncertainty(first, second, 4, 4) < 0.02
+
+    def test_clamped_to_unit_interval_with_noisy_entropies(self):
+        # Noisy entropy values can make the raw formula leave [0, 1]; the
+        # helper must clamp (this is what the DP structure learner relies on).
+        assert symmetrical_uncertainty_from_entropies(1.0, 1.0, 2.5) == 0.0
+        assert symmetrical_uncertainty_from_entropies(1.0, 1.0, 0.5) == 1.0
+
+    def test_zero_entropy_denominator(self):
+        assert symmetrical_uncertainty_from_entropies(0.0, 0.0, 0.0) == 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=0.0, max_value=16.0),
+    )
+    def test_always_in_unit_interval(self, h1, h2, h12):
+        value = symmetrical_uncertainty_from_entropies(h1, h2, h12)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSensitivityBound:
+    def test_matches_lemma1_formula(self):
+        n = 1000
+        expected = (2 + 1 / math.log(2) + 2 * math.log2(n)) / n
+        assert entropy_sensitivity_bound(n) == pytest.approx(expected)
+
+    def test_decreasing_in_n(self):
+        values = [entropy_sensitivity_bound(n) for n in (10, 100, 1000, 10_000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ValueError):
+            entropy_sensitivity_bound(0)
+
+    def test_empirically_bounds_neighbor_entropy_difference(self, rng):
+        # Moving one record between two histogram bins never changes the
+        # entropy by more than the Lemma 1 bound.
+        n = 500
+        for _ in range(20):
+            counts = rng.multinomial(n, np.full(6, 1 / 6))
+            donors = np.flatnonzero(counts > 0)
+            source = int(rng.choice(donors))
+            target = int(rng.integers(0, 6))
+            neighbor = counts.copy()
+            neighbor[source] -= 1
+            neighbor[target] += 1
+            difference = abs(entropy_from_counts(counts) - entropy_from_counts(neighbor))
+            assert difference <= entropy_sensitivity_bound(n) + 1e-12

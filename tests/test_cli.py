@@ -1,0 +1,69 @@
+"""Tests for the command-line generator tool."""
+
+import json
+
+import pytest
+
+from repro.cli import build_config, main
+from repro.datasets.dataset import Dataset
+from repro.datasets.metadata import read_metadata
+
+
+class TestBuildConfig:
+    def test_defaults_match_paper(self):
+        config = build_config({}, num_attributes=11)
+        assert config.privacy.k == 50
+        assert config.privacy.gamma == 4.0
+        assert config.model.omega == 9
+
+    def test_overrides_applied(self):
+        config = build_config(
+            {"k": 10, "gamma": 2.0, "omega": [5, 6], "total_epsilon": 0.5}, num_attributes=11
+        )
+        assert config.privacy.k == 10
+        assert config.model.omega == (5, 6)
+
+    def test_unnoised_model_when_total_epsilon_is_null(self):
+        config = build_config({"total_epsilon": None}, num_attributes=11)
+        assert config.model.epsilon_structure is None
+        assert config.model.epsilon_parameters is None
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            build_config({"not_a_key": 1}, num_attributes=11)
+
+
+class TestEndToEndCli:
+    def test_sample_data_then_generate(self, tmp_path, capsys):
+        demo_dir = tmp_path / "demo"
+        exit_code = main(
+            ["sample-data", "--output-dir", str(demo_dir), "--records", "4000", "--seed", "3"]
+        )
+        assert exit_code == 0
+        assert (demo_dir / "acs.csv").exists()
+        assert (demo_dir / "metadata.json").exists()
+        assert (demo_dir / "config.json").exists()
+
+        config_path = demo_dir / "config.json"
+        config_path.write_text(
+            json.dumps({"k": 10, "gamma": 4.0, "epsilon0": 1.0, "omega": 9, "total_epsilon": 1.0})
+        )
+        output_path = tmp_path / "synthetic.csv"
+        exit_code = main(
+            [
+                "generate",
+                "--input", str(demo_dir / "acs.csv"),
+                "--metadata", str(demo_dir / "metadata.json"),
+                "--config", str(config_path),
+                "--output", str(output_path),
+                "--records", "20",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "records released" in captured.out
+
+        schema = read_metadata(demo_dir / "metadata.json")
+        released = Dataset.from_csv(schema, output_path)
+        assert len(released) == 20
+        assert released.schema == schema
