@@ -34,6 +34,10 @@ class GenerationConfig:
         Upper bound on how many candidates the mechanism may try per released
         record before giving up (guards against parameter combinations where
         almost nothing passes the test).
+    batch_size:
+        Number of candidates proposed per vectorized batch of Mechanism 1
+        (the default).  ``None`` or 1 selects the single-record reference
+        loop.
     """
 
     privacy: PlausibleDeniabilityParams = field(
@@ -44,6 +48,7 @@ class GenerationConfig:
     structure_fraction: float = 0.175
     parameter_fraction: float = 0.175
     max_attempts_per_release: int = 1000
+    batch_size: int | None = 256
 
     def __post_init__(self) -> None:
         fractions = (self.seed_fraction, self.structure_fraction, self.parameter_fraction)
@@ -53,6 +58,8 @@ class GenerationConfig:
             raise ValueError("split fractions must sum to at most 1")
         if self.max_attempts_per_release < 1:
             raise ValueError("max_attempts_per_release must be positive")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be positive when provided")
 
     @classmethod
     def paper_defaults(cls, num_attributes: int = 11, total_epsilon: float = 1.0) -> "GenerationConfig":

@@ -33,7 +33,8 @@ class ParallelGenerationTask:
     schema_attributes: tuple
     params: PlausibleDeniabilityParams
     num_attempts: int
-    rng_seed: int
+    rng_seed: int | np.random.SeedSequence
+    batch_size: int | None = None
 
 
 def _run_worker(task: ParallelGenerationTask) -> SynthesisReport:
@@ -44,7 +45,7 @@ def _run_worker(task: ParallelGenerationTask) -> SynthesisReport:
     seeds = Dataset(schema, task.seed_data)
     mechanism = SynthesisMechanism(task.model, seeds, task.params)
     rng = np.random.default_rng(task.rng_seed)
-    return mechanism.run_attempts(task.num_attempts, rng)
+    return mechanism.run_attempts(task.num_attempts, rng, batch_size=task.batch_size)
 
 
 def generate_in_parallel(
@@ -54,13 +55,17 @@ def generate_in_parallel(
     num_attempts: int,
     num_workers: int = 2,
     base_seed: int = 0,
+    batch_size: int | None = None,
 ) -> SynthesisReport:
     """Run ``num_attempts`` Mechanism-1 proposals split across worker processes.
 
-    Workers use independent RNG streams derived from ``base_seed`` so results
-    are reproducible regardless of scheduling order.  With ``num_workers=1``
-    everything runs in-process (useful for tests and environments where
-    spawning processes is expensive).
+    Workers use statistically independent RNG streams spawned from
+    ``np.random.SeedSequence(base_seed)`` — unlike naive ``base_seed + i``
+    seeding, spawned streams never collide across runs with adjacent base
+    seeds — so results are reproducible regardless of scheduling order.  With
+    ``num_workers=1`` everything runs in-process (useful for tests and
+    environments where spawning processes is expensive).  ``batch_size``
+    selects the vectorized batched synthesis path inside each worker.
     """
     if num_attempts < 0:
         raise ValueError("num_attempts must be non-negative")
@@ -70,6 +75,7 @@ def generate_in_parallel(
     shares = [num_attempts // num_workers] * num_workers
     for index in range(num_attempts % num_workers):
         shares[index] += 1
+    streams = np.random.SeedSequence(base_seed).spawn(num_workers)
     tasks = [
         ParallelGenerationTask(
             model=model,
@@ -77,7 +83,8 @@ def generate_in_parallel(
             schema_attributes=tuple(seed_dataset.schema.attributes),
             params=params,
             num_attempts=share,
-            rng_seed=base_seed + worker_index,
+            rng_seed=streams[worker_index],
+            batch_size=batch_size,
         )
         for worker_index, share in enumerate(shares)
         if share > 0

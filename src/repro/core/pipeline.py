@@ -148,15 +148,29 @@ class SynthesisPipeline:
         self._timings.model_learning_seconds += time.perf_counter() - start
         return self
 
-    def generate(self, num_records: int, max_attempts: int | None = None) -> SynthesisReport:
-        """Generate synthetics until ``num_records`` pass the privacy test."""
+    def generate(
+        self,
+        num_records: int,
+        max_attempts: int | None = None,
+        batch_size: int | None = None,
+    ) -> SynthesisReport:
+        """Generate synthetics until ``num_records`` pass the privacy test.
+
+        ``batch_size`` overrides the config's batch size for this call; both
+        default to the vectorized batched path when set, and to the
+        single-record reference loop otherwise.
+        """
         if self._mechanism is None:
             self.fit()
         assert self._mechanism is not None
         start = time.perf_counter()
         if max_attempts is None:
             max_attempts = self._config.max_attempts_per_release * max(1, num_records)
-        report = self._mechanism.generate(num_records, self._rng, max_attempts)
+        if batch_size is None:
+            batch_size = self._config.batch_size
+        report = self._mechanism.generate(
+            num_records, self._rng, max_attempts, batch_size=batch_size
+        )
         self._timings.synthesis_seconds += time.perf_counter() - start
         return report
 

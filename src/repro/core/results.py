@@ -29,14 +29,27 @@ class SynthesisAttempt:
 
 @dataclass
 class SynthesisReport:
-    """Aggregated outcome of a synthesis run."""
+    """Aggregated outcome of a synthesis run.
+
+    The release count is maintained incrementally by :meth:`record` so the
+    mechanism's until-n-released loop stays O(attempts) overall instead of
+    re-scanning the attempt list on every iteration.  Append attempts via
+    :meth:`record` (or pass them to the constructor) — mutating ``attempts``
+    directly would leave the counter stale.
+    """
 
     schema: Schema
     attempts: list[SynthesisAttempt] = field(default_factory=list)
+    _num_released: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._num_released = sum(1 for attempt in self.attempts if attempt.released)
 
     def record(self, attempt: SynthesisAttempt) -> None:
         """Append one attempt to the report."""
         self.attempts.append(attempt)
+        if attempt.released:
+            self._num_released += 1
 
     @property
     def num_attempts(self) -> int:
@@ -46,7 +59,7 @@ class SynthesisReport:
     @property
     def num_released(self) -> int:
         """Number of candidates that passed the privacy test."""
-        return sum(1 for attempt in self.attempts if attempt.released)
+        return self._num_released
 
     @property
     def pass_rate(self) -> float:
@@ -79,6 +92,7 @@ class SynthesisReport:
         """Combine two reports (e.g. from parallel workers)."""
         if self.schema != other.schema:
             raise ValueError("cannot merge reports with different schemas")
-        merged = SynthesisReport(schema=self.schema)
-        merged.attempts = list(self.attempts) + list(other.attempts)
+        merged = SynthesisReport(
+            schema=self.schema, attempts=list(self.attempts) + list(other.attempts)
+        )
         return merged

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.experiments.harness import ExperimentContext, ExperimentResult
 from repro.generative.bayesian_network import BayesianNetworkSynthesizer
-from repro.privacy.plausible_deniability import partition_numbers
+from repro.privacy.plausible_deniability import batch_plausible_seed_counts
 
 __all__ = ["run_pass_rate_sweep", "plausible_seed_counts", "pass_rate_for_parameters"]
 
@@ -31,24 +31,28 @@ def plausible_seed_counts(
     num_candidates: int,
     gamma: float,
     rng: np.random.Generator,
+    batch_size: int = 128,
 ) -> np.ndarray:
     """Plausible-seed count of ``num_candidates`` freshly generated candidates.
 
     For every candidate the count is the number of seed records whose
     generation probability falls into the same geometric bucket as the true
     seed's — the quantity the privacy test compares against k.  Computing the
-    counts once lets a whole k-sweep reuse the same candidates.
+    counts once lets a whole k-sweep reuse the same candidates.  Candidates
+    are generated and evaluated through the model's vectorized batch path;
+    ``batch_size`` bounds the (candidates x seeds) probability-matrix blocks.
     """
     counts = np.zeros(num_candidates, dtype=np.int64)
-    for index in range(num_candidates):
-        seed_index = int(rng.integers(len(seeds)))
-        seed = seeds.record(seed_index)
-        candidate = model.generate(seed, rng)
-        probabilities = model.batch_seed_probabilities(seeds.data, candidate)
-        seed_probability = model.seed_probability(seed, candidate)
-        partitions = partition_numbers(probabilities, gamma)
-        seed_partition = partition_numbers(np.array([seed_probability]), gamma)[0]
-        counts[index] = int(np.sum(partitions == seed_partition))
+    produced = 0
+    while produced < num_candidates:
+        size = min(batch_size, num_candidates - produced)
+        seed_indices = rng.integers(len(seeds), size=size)
+        candidates = model.generate_batch(seeds.data[seed_indices], rng)
+        matrix = model.batch_probability_matrix(seeds.data, candidates)
+        counts[produced : produced + size], _, _ = batch_plausible_seed_counts(
+            matrix[np.arange(size), seed_indices], matrix, gamma
+        )
+        produced += size
     return counts
 
 

@@ -20,8 +20,13 @@ __all__ = ["run_performance_measurement", "run_parallel_scaling"]
 def run_performance_measurement(
     context: ExperimentContext | None = None,
     checkpoints: tuple[int, ...] = (250, 500, 1_000, 2_000),
+    batch_size: int | None = 256,
 ) -> ExperimentResult:
-    """Figure 5: cumulative time to synthesize increasing numbers of records."""
+    """Figure 5: cumulative time to synthesize increasing numbers of records.
+
+    Uses the vectorized batched synthesis path by default (``batch_size=None``
+    falls back to the single-record reference loop).
+    """
     ctx = context if context is not None else ExperimentContext()
 
     learn_start = time.perf_counter()
@@ -46,7 +51,7 @@ def run_performance_measurement(
         if batch <= 0:
             continue
         start = time.perf_counter()
-        mechanism.run_attempts(batch, rng)
+        mechanism.run_attempts(batch, rng, batch_size=batch_size)
         synthesis_seconds += time.perf_counter() - start
         produced = checkpoint
         rate = produced / synthesis_seconds if synthesis_seconds > 0 else float("inf")
@@ -64,6 +69,7 @@ def run_parallel_scaling(
     context: ExperimentContext | None = None,
     num_attempts: int = 1_000,
     worker_counts: tuple[int, ...] = (1, 2, 4),
+    batch_size: int | None = 256,
 ) -> ExperimentResult:
     """Throughput of the embarrassingly-parallel generator for several worker counts."""
     ctx = context if context is not None else ExperimentContext()
@@ -79,7 +85,13 @@ def run_parallel_scaling(
     for workers in worker_counts:
         start = time.perf_counter()
         report = generate_in_parallel(
-            model, seeds, params, num_attempts, num_workers=workers, base_seed=ctx.seed
+            model,
+            seeds,
+            params,
+            num_attempts,
+            num_workers=workers,
+            base_seed=ctx.seed,
+            batch_size=batch_size,
         )
         elapsed = time.perf_counter() - start
         result.add_row(

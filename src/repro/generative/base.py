@@ -53,6 +53,41 @@ class GenerativeModel(ABC):
             dtype=np.float64,
         )
 
+    def generate_batch(self, seeds: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Generate one synthetic record per row of ``seeds``.
+
+        The default implementation loops over :meth:`generate`; seed-based
+        models should override it with a vectorized version — the batched
+        Mechanism 1 calls it on whole blocks of seed rows.
+        """
+        matrix = np.asarray(seeds, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError("seeds must be a 2-D (records x attributes) array")
+        if matrix.shape[0] == 0:
+            return np.empty((0, len(self.schema)), dtype=np.int64)
+        return np.vstack([self.generate(matrix[row], rng) for row in range(matrix.shape[0])])
+
+    def batch_probability_matrix(
+        self, seeds: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Matrix of Pr{candidates[c] = M(seeds[s])} with shape (candidates, seeds).
+
+        The default implementation stacks :meth:`batch_seed_probabilities` per
+        candidate; concrete models should vectorize over both dimensions.
+        """
+        matrix = np.asarray(candidates, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError("candidates must be a 2-D (records x attributes) array")
+        seed_matrix = np.asarray(seeds, dtype=np.int64)
+        if matrix.shape[0] == 0:
+            return np.empty((0, seed_matrix.shape[0]), dtype=np.float64)
+        return np.vstack(
+            [
+                self.batch_seed_probabilities(seed_matrix, matrix[row])
+                for row in range(matrix.shape[0])
+            ]
+        )
+
 
 class SeedBasedGenerativeModel(GenerativeModel):
     """Marker base class for models whose output genuinely depends on the seed.

@@ -126,13 +126,20 @@ class BayesianNetworkSynthesizer(SeedBasedGenerativeModel):
     # Helpers
     # ------------------------------------------------------------------ #
     def _bucketize_record(self, record: np.ndarray) -> np.ndarray:
-        return np.array(
-            [
-                int(attribute.bucketize(np.array([record[index]]))[0])
-                for index, attribute in enumerate(self._schema)
-            ],
-            dtype=np.int64,
-        )
+        return self.bucketize_records(np.asarray(record, dtype=np.int64)[None, :])[0]
+
+    def bucketize_records(self, records: np.ndarray) -> np.ndarray:
+        """Column-wise bucketization of a (records x attributes) matrix."""
+        matrix = np.asarray(records, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._schema):
+            raise ValueError(
+                f"records must be a 2-D array with {len(self._schema)} columns, "
+                f"got shape {matrix.shape}"
+            )
+        bucketized = np.empty_like(matrix)
+        for index, attribute in enumerate(self._schema):
+            bucketized[:, index] = attribute.bucketize(matrix[:, index])
+        return bucketized
 
     def _parent_values(self, bucketized_record: np.ndarray, attribute: int) -> np.ndarray | None:
         parents = self._structure.parents[attribute]
@@ -154,6 +161,15 @@ class BayesianNetworkSynthesizer(SeedBasedGenerativeModel):
         if len(self._omegas) == 1:
             return self._omegas[0]
         return int(self._omegas[rng.integers(len(self._omegas))])
+
+    def draw_omegas(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw one ω per record, uniformly from the configured ω set."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        choices = np.asarray(self._omegas, dtype=np.int64)
+        if choices.size == 1:
+            return np.full(size, choices[0], dtype=np.int64)
+        return choices[rng.integers(choices.size, size=size)]
 
     # ------------------------------------------------------------------ #
     # Generation
@@ -187,6 +203,62 @@ class BayesianNetworkSynthesizer(SeedBasedGenerativeModel):
         """Ancestral sampling of a full record (every attribute re-sampled)."""
         placeholder = np.zeros(len(self._schema), dtype=np.int64)
         return self.generate_with_omega(placeholder, len(self._schema), rng)
+
+    def generate_batch(
+        self,
+        seeds: np.ndarray,
+        rng: np.random.Generator,
+        omegas: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized ancestral re-sampling over every row of ``seeds`` at once.
+
+        Walks the re-sampling order σ a single time; at each position the rows
+        whose ω covers that attribute draw a new value together through one
+        vectorized conditional-table lookup, so the per-record Python overhead
+        of :meth:`generate` is amortized over the whole batch.
+
+        Parameters
+        ----------
+        seeds:
+            (records x attributes) matrix of seed rows.
+        rng:
+            Source of randomness for the ω draws and the re-sampling.
+        omegas:
+            Optional per-row ω values; drawn uniformly from the configured ω
+            set when omitted.
+        """
+        matrix = np.asarray(seeds, dtype=np.int64)
+        m = len(self._schema)
+        if matrix.ndim != 2 or matrix.shape[1] != m:
+            raise ValueError(
+                f"seeds must be a 2-D array with {m} columns, got shape {matrix.shape}"
+            )
+        num_rows = matrix.shape[0]
+        if omegas is None:
+            omega_draws = self.draw_omegas(rng, num_rows)
+        else:
+            omega_draws = np.asarray(omegas, dtype=np.int64)
+            if omega_draws.shape != (num_rows,):
+                raise ValueError("omegas must hold one value per seed row")
+            if omega_draws.size and (omega_draws.min() < 0 or omega_draws.max() > m):
+                raise ValueError(f"omega values must lie in [0, {m}]")
+        if num_rows == 0:
+            return np.empty((0, m), dtype=np.int64)
+
+        records = matrix.copy()
+        bucketized = self.bucketize_records(records)
+        for position, attribute in enumerate(self._structure.order):
+            # Attribute at position p is re-sampled for a row iff ω >= m - p.
+            rows = np.nonzero(omega_draws >= m - position)[0]
+            if rows.size == 0:
+                continue
+            table = self._tables[attribute]
+            parents = list(self._structure.parents[attribute])
+            configs = table.configuration_indices(bucketized[rows][:, parents])
+            values = table.sample_batch(rng, configs)
+            records[rows, attribute] = values
+            bucketized[rows, attribute] = self._schema[attribute].bucketize(values)
+        return records
 
     # ------------------------------------------------------------------ #
     # Probabilities
@@ -242,6 +314,114 @@ class BayesianNetworkSynthesizer(SeedBasedGenerativeModel):
         total = np.zeros(matrix.shape[0], dtype=np.float64)
         for omega in self._omegas:
             total += self.batch_seed_probabilities_with_omega(matrix, candidate, omega)
+        return total / len(self._omegas)
+
+    def fixed_prefix_keys(self, records: np.ndarray, omega: int) -> np.ndarray | None:
+        """Mixed-radix key of each record's fixed-attribute values for one ω.
+
+        Two records agree on the copied (fixed) attributes of ω iff their keys
+        are equal, which turns the plausible-seed match count into a key
+        multiplicity query (sort the seed keys once, ``searchsorted`` per
+        candidate batch) instead of an O(candidates x seeds) comparison.
+        Returns ``None`` when the key would overflow int64 (callers fall back
+        to the dense probability-matrix path).
+        """
+        matrix = np.asarray(records, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._schema):
+            raise ValueError(
+                f"records must be a 2-D array with {len(self._schema)} columns, "
+                f"got shape {matrix.shape}"
+            )
+        fixed = self._fixed_attributes(omega)
+        if not fixed:
+            return np.zeros(matrix.shape[0], dtype=np.int64)
+        radix_product = 1
+        for attribute in fixed:
+            radix_product *= self._schema[attribute].cardinality
+        if radix_product >= 2**62:
+            return None
+        keys = np.zeros(matrix.shape[0], dtype=np.int64)
+        for attribute in fixed:
+            keys = keys * self._schema[attribute].cardinality + matrix[:, attribute]
+        return keys
+
+    def candidate_factors_batch(self, candidates: np.ndarray, omega: int) -> np.ndarray:
+        """Vectorized q(y) over every row of ``candidates`` for a fixed ω."""
+        matrix = np.asarray(candidates, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._schema):
+            raise ValueError(
+                f"candidates must be a 2-D array with {len(self._schema)} columns, "
+                f"got shape {matrix.shape}"
+            )
+        if not 0 <= omega <= len(self._schema):
+            raise ValueError(f"omega must lie in [0, {len(self._schema)}]")
+        bucketized = self.bucketize_records(matrix)
+        factors = np.ones(matrix.shape[0], dtype=np.float64)
+        for attribute in self._resampled_attributes(omega):
+            table = self._tables[attribute]
+            parents = list(self._structure.parents[attribute])
+            configs = table.configuration_indices(bucketized[:, parents])
+            factors *= table.probabilities_batch(matrix[:, attribute], configs)
+        return factors
+
+    def candidate_factor_suffix_products(self, candidates: np.ndarray) -> np.ndarray:
+        """(m+1, candidates) array: row p = product of conditionals at σ-positions >= p.
+
+        ``row[m - ω]`` is exactly q_ω(y) for every candidate, so one backward
+        walk over the re-sampling order serves every ω of the ω set at once —
+        the per-ω callers would otherwise re-bucketize the candidate block and
+        recompute the overlapping factor products once per ω.
+        """
+        matrix = np.asarray(candidates, dtype=np.int64)
+        m = len(self._schema)
+        if matrix.ndim != 2 or matrix.shape[1] != m:
+            raise ValueError(
+                f"candidates must be a 2-D array with {m} columns, got shape {matrix.shape}"
+            )
+        bucketized = self.bucketize_records(matrix)
+        products = np.ones((m + 1, matrix.shape[0]), dtype=np.float64)
+        for position in range(m - 1, -1, -1):
+            attribute = self._structure.order[position]
+            table = self._tables[attribute]
+            parents = list(self._structure.parents[attribute])
+            configs = table.configuration_indices(bucketized[:, parents])
+            products[position] = products[position + 1] * table.probabilities_batch(
+                matrix[:, attribute], configs
+            )
+        return products
+
+    def batch_probability_matrix(
+        self, seeds: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Pr{candidates[c] = M(seeds[s])} for every (candidate, seed) pair.
+
+        Returns a (candidates x seeds) matrix, ω-marginalized.  For each ω the
+        probability factorizes as ``match(c, s) * q(c)`` — a fixed-attribute
+        agreement indicator times a per-candidate factor — so the whole matrix
+        is a handful of broadcast comparisons and one outer product per ω.
+        """
+        seed_matrix = np.asarray(seeds, dtype=np.int64)
+        cand_matrix = np.asarray(candidates, dtype=np.int64)
+        if seed_matrix.ndim != 2 or seed_matrix.shape[1] != len(self._schema):
+            raise ValueError("seeds must be a 2-D array matching the schema width")
+        if cand_matrix.ndim != 2 or cand_matrix.shape[1] != len(self._schema):
+            raise ValueError("candidates must be a 2-D array matching the schema width")
+        suffix_products = self.candidate_factor_suffix_products(cand_matrix)
+        m = len(self._schema)
+        total = np.zeros((cand_matrix.shape[0], seed_matrix.shape[0]), dtype=np.float64)
+        for omega in self._omegas:
+            factors = suffix_products[m - omega]
+            fixed = self._fixed_attributes(omega)
+            if fixed:
+                matches = np.ones(total.shape, dtype=bool)
+                for attribute in fixed:
+                    matches &= (
+                        cand_matrix[:, attribute][:, None]
+                        == seed_matrix[:, attribute][None, :]
+                    )
+                total += matches * factors[:, None]
+            else:
+                total += factors[:, None]
         return total / len(self._omegas)
 
     # ------------------------------------------------------------------ #

@@ -137,6 +137,51 @@ class ConditionalParameters:
         distribution = self.distribution(bucketized_parent_values)
         return int(rng.choice(distribution.size, p=distribution))
 
+    def probabilities_batch(
+        self, values: np.ndarray, configuration_indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``Pr{x_i = values[r] | configuration_indices[r]}`` per row."""
+        vals = np.asarray(values, dtype=np.int64)
+        configs = np.asarray(configuration_indices, dtype=np.int64)
+        if vals.shape != configs.shape or vals.ndim != 1:
+            raise ValueError("values and configuration_indices must be matching 1-D arrays")
+        if vals.size and (vals.min() < 0 or vals.max() >= self.cardinality):
+            raise ValueError(f"values out of range [0, {self.cardinality})")
+        if configs.size and (configs.min() < 0 or configs.max() >= self.num_configurations):
+            raise ValueError(
+                f"configuration indices out of range [0, {self.num_configurations})"
+            )
+        return self.table[configs, vals]
+
+    def sample_batch(
+        self, rng: np.random.Generator, configuration_indices: np.ndarray
+    ) -> np.ndarray:
+        """Draw one value per configuration row via vectorized inverse-CDF sampling.
+
+        Consumes exactly one uniform draw per row, so a batch of size n advances
+        the generator as far as n scalar draws would.
+        """
+        configs = np.asarray(configuration_indices, dtype=np.int64)
+        if configs.ndim != 1:
+            raise ValueError("configuration_indices must be a 1-D array")
+        if configs.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if configs.min() < 0 or configs.max() >= self.num_configurations:
+            raise ValueError(
+                f"configuration indices out of range [0, {self.num_configurations})"
+            )
+        cdf = np.cumsum(self.table[configs], axis=1)
+        # Scale the uniforms onto each row's actual cumulative total so float
+        # rounding can never push a draw past the last positive-probability
+        # value, and count with <= (searchsorted side="right" semantics) so a
+        # draw landing exactly on a bucket boundary — including 0.0 on leading
+        # zero-probability values — skips past them.  A zero-probability
+        # sample would later fail the privacy test's positive-seed-probability
+        # invariant.
+        uniforms = rng.random(configs.size) * cdf[:, -1]
+        values = np.sum(cdf <= uniforms[:, None], axis=1)
+        return np.minimum(values, self.cardinality - 1).astype(np.int64)
+
     def resample_table(self, rng: np.random.Generator) -> "ConditionalParameters":
         """A copy whose table is drawn from the Dirichlet posterior (Eq. 12).
 

@@ -26,6 +26,7 @@ from repro.privacy.plausible_deniability import (
     PlausibleDeniabilityParams,
     PrivacyTestResult,
     RandomizedPrivacyTest,
+    batch_plausible_seed_counts,
     make_privacy_test,
     partition_number,
     partition_numbers,
@@ -53,6 +54,7 @@ __all__ = [
     "partition_number",
     "partition_numbers",
     "plausible_seed_count",
+    "batch_plausible_seed_counts",
     "satisfies_plausible_deniability",
     "theorem1_epsilon",
     "theorem1_delta",

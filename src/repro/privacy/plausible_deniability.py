@@ -40,6 +40,7 @@ __all__ = [
     "partition_number",
     "partition_numbers",
     "plausible_seed_count",
+    "batch_plausible_seed_counts",
     "satisfies_plausible_deniability",
     "theorem1_epsilon",
     "theorem1_delta",
@@ -177,7 +178,10 @@ def plausible_seed_count(
         are scanned in random order and counting stops early.  These affect
         performance and the pass rate but never the privacy guarantee.
     rng:
-        Randomness for the scan order (only needed with early termination).
+        Randomness for the scan order.  Required when early termination is
+        requested: without a caller-supplied rng every candidate would scan
+        the records in the same "random" order, i.e. a fixed biased subset
+        under ``max_check_plausible``.
 
     Returns
     -------
@@ -195,8 +199,13 @@ def plausible_seed_count(
         count = int(np.sum(partitions == seed_partition))
         return count, seed_partition, probs.size
 
-    generator = rng if rng is not None else np.random.default_rng(0)
-    order = generator.permutation(probs.size)
+    if rng is None:
+        raise ValueError(
+            "early termination (max_check_plausible / max_plausible) requires an "
+            "rng for the scan order; a fixed order would scan the same biased "
+            "record subset for every candidate"
+        )
+    order = rng.permutation(probs.size)
     limit = probs.size if max_check_plausible is None else min(probs.size, max_check_plausible)
     count = 0
     checked = 0
@@ -207,6 +216,88 @@ def plausible_seed_count(
             if max_plausible is not None and count >= max_plausible:
                 break
     return count, seed_partition, checked
+
+
+def batch_plausible_seed_counts(
+    seed_probabilities: np.ndarray,
+    probability_matrix: np.ndarray,
+    gamma: float,
+    max_check_plausible: int | None = None,
+    max_plausible: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`plausible_seed_count` over a batch of candidates.
+
+    Parameters
+    ----------
+    seed_probabilities:
+        Pr{y_c = M(d_c)} for each candidate's true seed, shape (candidates,).
+        Every entry must be positive.
+    probability_matrix:
+        Pr{y_c = M(d_s)} for every (candidate, record) pair, shape
+        (candidates, records) — one :func:`plausible_seed_count` input row per
+        candidate.
+    gamma:
+        Bucket width.
+    max_check_plausible, max_plausible:
+        Early-termination knobs.  Each candidate examines its own independent
+        uniformly-random record subset (matching the sequential scan's
+        distribution); counts are capped at ``max_plausible``.  Requires
+        ``rng``.
+    rng:
+        Randomness for the per-candidate scan subsets.
+
+    Returns
+    -------
+    (counts, partition_indices, records_checked), each of shape (candidates,).
+
+    Unlike the sequential scan, ``records_checked`` reports the full subset
+    size even when ``max_plausible`` saturates a count early; the counts and
+    the resulting pass/fail decisions are distributed identically.
+    """
+    seed_probs = np.asarray(seed_probabilities, dtype=np.float64)
+    matrix = np.asarray(probability_matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("probability_matrix must be a 2-D (candidates x records) array")
+    if seed_probs.shape != (matrix.shape[0],):
+        raise ValueError("seed_probabilities must hold one entry per matrix row")
+    if seed_probs.size and seed_probs.min() <= 0.0:
+        raise ValueError("every seed must have positive probability of generating y")
+    seed_partitions = partition_numbers(seed_probs, gamma)
+    num_candidates, num_records = matrix.shape
+
+    if max_check_plausible is None and max_plausible is None:
+        partitions = partition_numbers(matrix, gamma)
+        counts = np.sum(partitions == seed_partitions[:, None], axis=1)
+        checked = np.full(num_candidates, num_records, dtype=np.int64)
+        return counts.astype(np.int64), seed_partitions, checked
+
+    if rng is None:
+        raise ValueError(
+            "early termination (max_check_plausible / max_plausible) requires an "
+            "rng for the scan order; a fixed order would scan the same biased "
+            "record subset for every candidate"
+        )
+    limit = (
+        num_records
+        if max_check_plausible is None
+        else min(num_records, max_check_plausible)
+    )
+    if limit < num_records:
+        # One independent without-replacement subset per candidate; a partial
+        # partition beats a full argsort since only membership matters.
+        columns = np.argpartition(
+            rng.random((num_candidates, num_records)), limit, axis=1
+        )[:, :limit]
+        scanned = np.take_along_axis(matrix, columns, axis=1)
+    else:
+        scanned = matrix
+    partitions = partition_numbers(scanned, gamma)
+    counts = np.sum(partitions == seed_partitions[:, None], axis=1).astype(np.int64)
+    if max_plausible is not None:
+        counts = np.minimum(counts, max_plausible)
+    checked = np.full(num_candidates, limit, dtype=np.int64)
+    return counts, seed_partitions, checked
 
 
 def satisfies_plausible_deniability(
@@ -264,6 +355,44 @@ class DeterministicPrivacyTest:
             records_checked=checked,
         )
 
+    def run_batch(
+        self,
+        seed_probabilities: np.ndarray,
+        probability_matrix: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[PrivacyTestResult]:
+        """Run the test on a whole batch of candidates in one vectorized pass."""
+        params = self._params
+        counts, partitions, checked = batch_plausible_seed_counts(
+            seed_probabilities,
+            probability_matrix,
+            params.gamma,
+            params.max_check_plausible,
+            params.max_plausible,
+            rng,
+        )
+        return self.results_from_counts(counts, partitions, checked)
+
+    def results_from_counts(
+        self,
+        counts: np.ndarray,
+        partitions: np.ndarray,
+        checked: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[PrivacyTestResult]:
+        """Build per-candidate results from already-computed plausible counts."""
+        params = self._params
+        return [
+            PrivacyTestResult(
+                passed=bool(counts[index] >= params.k),
+                plausible_seeds=int(counts[index]),
+                partition_index=int(partitions[index]),
+                threshold=float(params.k),
+                records_checked=int(checked[index]),
+            )
+            for index in range(len(counts))
+        ]
+
 
 class RandomizedPrivacyTest:
     """Privacy Test 2: like Test 1 but with a Laplace-noised threshold.
@@ -306,6 +435,52 @@ class RandomizedPrivacyTest:
             threshold=float(noisy_threshold),
             records_checked=checked,
         )
+
+    def run_batch(
+        self,
+        seed_probabilities: np.ndarray,
+        probability_matrix: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[PrivacyTestResult]:
+        """Vectorized Privacy Test 2: one Laplace threshold draw per candidate."""
+        params = self._params
+        if rng is None:
+            raise ValueError("the batched randomized test requires an rng")
+        counts, partitions, checked = batch_plausible_seed_counts(
+            seed_probabilities,
+            probability_matrix,
+            params.gamma,
+            params.max_check_plausible,
+            params.max_plausible,
+            rng,
+        )
+        return self.results_from_counts(counts, partitions, checked, rng)
+
+    def results_from_counts(
+        self,
+        counts: np.ndarray,
+        partitions: np.ndarray,
+        checked: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> list[PrivacyTestResult]:
+        """Build per-candidate results, drawing one Laplace threshold each."""
+        params = self._params
+        if rng is None:
+            raise ValueError("the batched randomized test requires an rng")
+        assert params.epsilon0 is not None
+        noisy_thresholds = params.k + laplace_noise(
+            1.0 / params.epsilon0, rng, size=len(counts)
+        )
+        return [
+            PrivacyTestResult(
+                passed=bool(counts[index] >= noisy_thresholds[index]),
+                plausible_seeds=int(counts[index]),
+                partition_index=int(partitions[index]),
+                threshold=float(noisy_thresholds[index]),
+                records_checked=int(checked[index]),
+            )
+            for index in range(len(counts))
+        ]
 
 
 def make_privacy_test(

@@ -1,0 +1,302 @@
+"""Equivalence of the batched synthesis engine and the single-record reference path.
+
+The batched Mechanism 1 must be a pure performance optimization: probability
+computations agree exactly with the per-record loop, release decisions for a
+given candidate are identical under the deterministic test, and the sampled
+candidates follow the same distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import SynthesisMechanism
+from repro.privacy.plausible_deniability import (
+    PlausibleDeniabilityParams,
+    batch_plausible_seed_counts,
+    plausible_seed_count,
+)
+
+
+@pytest.fixture(scope="module")
+def det_mechanism(unnoised_model, acs_splits):
+    """Mechanism with the deterministic test (decisions are candidate-pure)."""
+    params = PlausibleDeniabilityParams(k=20, gamma=4.0)
+    return SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+
+
+@pytest.fixture(scope="module")
+def omega_set_model(unnoised_model):
+    """The fitted network re-wrapped with an ω *set* ("ω ∈R [5-11]")."""
+    from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+
+    return BayesianNetworkSynthesizer(
+        unnoised_model.schema,
+        unnoised_model.structure,
+        unnoised_model.tables,
+        omega=(5, 7, 9, 11),
+    )
+
+
+class TestModelBatchEquivalence:
+    def test_candidate_factors_batch_matches_scalar(self, unnoised_model, acs_splits, rng):
+        candidates = unnoised_model.generate_batch(acs_splits.seeds.data[:40], rng)
+        for omega in (0, 5, 9, 11):
+            batched = unnoised_model.candidate_factors_batch(candidates, omega)
+            scalar = np.array(
+                [unnoised_model.candidate_factor(candidate, omega) for candidate in candidates]
+            )
+            np.testing.assert_allclose(batched, scalar, rtol=1e-12)
+
+    def test_probability_matrix_matches_stacked_rows(self, unnoised_model, acs_splits, rng):
+        seeds = acs_splits.seeds.data
+        candidates = unnoised_model.generate_batch(seeds[:25], rng)
+        matrix = unnoised_model.batch_probability_matrix(seeds, candidates)
+        stacked = np.vstack(
+            [unnoised_model.batch_seed_probabilities(seeds, candidate) for candidate in candidates]
+        )
+        np.testing.assert_allclose(matrix, stacked, rtol=1e-12)
+
+    def test_probability_matrix_matches_scalar_seed_probability(
+        self, unnoised_model, acs_splits, rng
+    ):
+        seeds = acs_splits.seeds.data[:200]
+        candidates = unnoised_model.generate_batch(seeds[:10], rng)
+        matrix = unnoised_model.batch_probability_matrix(seeds, candidates)
+        for c in range(candidates.shape[0]):
+            for s in range(0, seeds.shape[0], 37):
+                scalar = unnoised_model.seed_probability(seeds[s], candidates[c])
+                assert matrix[c, s] == pytest.approx(scalar, rel=1e-12)
+
+    def test_generate_batch_copies_fixed_attributes(self, unnoised_model, acs_splits, rng):
+        seeds = acs_splits.seeds.data[:60]
+        omega = 9
+        out = unnoised_model.generate_batch(seeds, rng, omegas=np.full(60, omega))
+        fixed = list(unnoised_model._fixed_attributes(omega))
+        assert np.array_equal(out[:, fixed], seeds[:, fixed])
+
+    def test_generate_batch_generated_records_have_positive_seed_probability(
+        self, unnoised_model, acs_splits, rng
+    ):
+        seeds = acs_splits.seeds.data[:60]
+        out = unnoised_model.generate_batch(seeds, rng)
+        matrix = unnoised_model.batch_probability_matrix(seeds, out)
+        assert np.all(matrix[np.arange(60), np.arange(60)] > 0.0)
+
+    def test_generate_batch_matches_single_path_distribution(
+        self, unnoised_model, acs_splits
+    ):
+        # Full re-sampling (omega = m) makes generation seed-independent, so
+        # per-attribute frequencies from the two paths must agree within
+        # sampling noise.
+        m = len(unnoised_model.schema)
+        seeds = np.tile(acs_splits.seeds.data[0], (1500, 1))
+        batched = unnoised_model.generate_batch(
+            seeds, np.random.default_rng(7), omegas=np.full(1500, m)
+        )
+        rng_single = np.random.default_rng(8)
+        single = np.vstack(
+            [unnoised_model.generate_with_omega(seeds[0], m, rng_single) for _ in range(1500)]
+        )
+        for attribute in range(m):
+            cardinality = unnoised_model.schema[attribute].cardinality
+            freq_batched = np.bincount(batched[:, attribute], minlength=cardinality) / 1500
+            freq_single = np.bincount(single[:, attribute], minlength=cardinality) / 1500
+            assert np.abs(freq_batched - freq_single).max() < 0.06
+
+    def test_generate_batch_validates_inputs(self, unnoised_model, acs_splits, rng):
+        with pytest.raises(ValueError):
+            unnoised_model.generate_batch(acs_splits.seeds.data[0], rng)
+        with pytest.raises(ValueError):
+            unnoised_model.generate_batch(
+                acs_splits.seeds.data[:5], rng, omegas=np.full(4, 9)
+            )
+        with pytest.raises(ValueError):
+            unnoised_model.generate_batch(
+                acs_splits.seeds.data[:5], rng, omegas=np.full(5, 99)
+            )
+
+    def test_generate_batch_empty(self, unnoised_model, rng):
+        out = unnoised_model.generate_batch(
+            np.empty((0, len(unnoised_model.schema)), dtype=np.int64), rng
+        )
+        assert out.shape == (0, len(unnoised_model.schema))
+
+
+class TestBatchPlausibleSeedCounts:
+    def test_matches_scalar_counts_without_knobs(self, rng):
+        matrix = rng.random((30, 400)) * rng.integers(0, 2, size=(30, 400))
+        seed_probs = np.clip(matrix.max(axis=1), 1e-9, 1.0)
+        counts, partitions, checked = batch_plausible_seed_counts(
+            seed_probs, matrix, gamma=2.0
+        )
+        for index in range(30):
+            count, partition, scanned = plausible_seed_count(
+                float(seed_probs[index]), matrix[index], gamma=2.0
+            )
+            assert counts[index] == count
+            assert partitions[index] == partition
+            assert checked[index] == scanned
+
+    def test_max_plausible_caps_counts(self, rng):
+        matrix = np.full((5, 100), 0.4)
+        counts, _, _ = batch_plausible_seed_counts(
+            np.full(5, 0.4), matrix, gamma=2.0, max_plausible=10, rng=rng
+        )
+        assert np.all(counts == 10)
+
+    def test_max_check_plausible_limits_scan(self, rng):
+        matrix = np.full((5, 100), 0.4)
+        counts, _, checked = batch_plausible_seed_counts(
+            np.full(5, 0.4), matrix, gamma=2.0, max_check_plausible=30, rng=rng
+        )
+        assert np.all(checked == 30)
+        assert np.all(counts == 30)
+
+    def test_early_termination_requires_rng(self):
+        matrix = np.full((3, 10), 0.4)
+        with pytest.raises(ValueError, match="requires an rng"):
+            batch_plausible_seed_counts(
+                np.full(3, 0.4), matrix, gamma=2.0, max_check_plausible=5
+            )
+
+    def test_scan_subsets_are_independent_per_candidate(self, rng):
+        # Half the records are plausible; a limited scan hits a random subset,
+        # so identical candidates should not always report identical counts.
+        row = np.concatenate([np.full(50, 0.4), np.full(50, 1e-6)])
+        matrix = np.tile(row, (40, 1))
+        counts, _, _ = batch_plausible_seed_counts(
+            np.full(40, 0.4), matrix, gamma=2.0, max_check_plausible=20, rng=rng
+        )
+        assert len(set(counts.tolist())) > 1
+
+    def test_validates_shapes_and_positivity(self):
+        with pytest.raises(ValueError):
+            batch_plausible_seed_counts(np.array([0.5]), np.array([0.5]), gamma=2.0)
+        with pytest.raises(ValueError):
+            batch_plausible_seed_counts(
+                np.array([0.5, 0.5]), np.full((3, 4), 0.5), gamma=2.0
+            )
+        with pytest.raises(ValueError):
+            batch_plausible_seed_counts(
+                np.array([0.5, 0.0]), np.full((2, 4), 0.5), gamma=2.0
+            )
+
+
+class TestMechanismBatchEquivalence:
+    def test_batched_decisions_match_reference_evaluation(self, det_mechanism, rng):
+        # Same candidates -> same release decisions: the deterministic test is
+        # a pure function of the candidate, so re-running each batched attempt
+        # through the single-record path must reproduce it exactly.
+        attempts = det_mechanism.propose_batch(50, rng)
+        for attempt in attempts:
+            reference = det_mechanism.evaluate_candidate(
+                attempt.seed_index, attempt.candidate, rng
+            )
+            assert attempt.test.passed == reference.test.passed
+            assert attempt.test.plausible_seeds == reference.test.plausible_seeds
+            assert attempt.test.partition_index == reference.test.partition_index
+            assert attempt.test.records_checked == reference.test.records_checked
+
+    def test_run_attempts_batched_counts(self, det_mechanism, rng):
+        report = det_mechanism.run_attempts_batched(70, rng, batch_size=32)
+        assert report.num_attempts == 70
+
+    def test_pass_rates_agree_within_noise(self, det_mechanism):
+        single = det_mechanism.run_attempts(200, np.random.default_rng(21))
+        batched = det_mechanism.run_attempts_batched(
+            200, np.random.default_rng(22), batch_size=64
+        )
+        pooled = (single.num_released + batched.num_released) / 400
+        sigma = np.sqrt(max(pooled * (1 - pooled), 1e-4) * (1 / 200 + 1 / 200))
+        assert abs(single.pass_rate - batched.pass_rate) < 5 * sigma + 1e-9
+
+    def test_generate_batched_stops_at_target(self, det_mechanism, rng):
+        report = det_mechanism.generate(15, rng, batch_size=64)
+        assert report.num_released == 15
+
+    def test_generate_batched_respects_max_attempts(self, unnoised_model, acs_splits, rng):
+        params = PlausibleDeniabilityParams(k=len(acs_splits.seeds), gamma=4.0)
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        report = mechanism.generate(5, rng, max_attempts=20, batch_size=8)
+        assert report.num_attempts == 20
+        assert report.num_released < 5
+
+    def test_propose_batch_with_randomized_test(self, unnoised_model, acs_splits, rng):
+        params = PlausibleDeniabilityParams(k=20, gamma=4.0, epsilon0=1.0)
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        attempts = mechanism.propose_batch(40, rng)
+        thresholds = {attempt.test.threshold for attempt in attempts}
+        assert len(thresholds) > 1  # one Laplace draw per candidate
+        for attempt in attempts:
+            assert attempt.test.passed == (
+                attempt.test.plausible_seeds >= attempt.test.threshold
+            )
+
+    def test_propose_batch_with_early_termination_knobs(
+        self, unnoised_model, acs_splits, rng
+    ):
+        params = PlausibleDeniabilityParams(
+            k=10, gamma=4.0, max_plausible=10, max_check_plausible=500
+        )
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        for attempt in mechanism.propose_batch(30, rng):
+            assert attempt.test.records_checked <= 500
+            assert attempt.test.plausible_seeds <= 10
+            if attempt.released:
+                assert attempt.test.plausible_seeds >= 10
+
+    def test_propose_batch_validates_batch_size(self, det_mechanism, rng):
+        with pytest.raises(ValueError):
+            det_mechanism.propose_batch(0, rng)
+
+
+class TestFastCountEquivalence:
+    """The prefix-key fast path must reproduce the dense-matrix counts exactly."""
+
+    @pytest.mark.parametrize("model_fixture", ["unnoised_model", "omega_set_model"])
+    def test_fast_counts_match_matrix_counts(
+        self, model_fixture, acs_splits, rng, request
+    ):
+        model = request.getfixturevalue(model_fixture)
+        mechanism = SynthesisMechanism(
+            model, acs_splits.seeds, PlausibleDeniabilityParams(k=20, gamma=4.0)
+        )
+        seed_indices = rng.integers(len(acs_splits.seeds), size=60)
+        candidates = model.generate_batch(acs_splits.seeds.data[seed_indices], rng)
+
+        fast = mechanism._fast_batch_counts(seed_indices, candidates)
+        assert fast is not None
+
+        matrix = model.batch_probability_matrix(acs_splits.seeds.data, candidates)
+        seed_probabilities = matrix[np.arange(60), seed_indices]
+        counts, partitions, checked = batch_plausible_seed_counts(
+            seed_probabilities, matrix, gamma=4.0
+        )
+        np.testing.assert_array_equal(fast[0], counts)
+        np.testing.assert_array_equal(fast[1], partitions)
+        np.testing.assert_array_equal(fast[2], checked)
+
+    def test_fast_path_skipped_with_early_termination_knobs(
+        self, unnoised_model, acs_splits, rng
+    ):
+        params = PlausibleDeniabilityParams(k=10, gamma=4.0, max_check_plausible=500)
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        seed_indices = rng.integers(len(acs_splits.seeds), size=5)
+        candidates = unnoised_model.generate_batch(
+            acs_splits.seeds.data[seed_indices], rng
+        )
+        assert mechanism._fast_batch_counts(seed_indices, candidates) is None
+
+    def test_omega_set_decisions_match_reference_evaluation(
+        self, omega_set_model, acs_splits, rng
+    ):
+        mechanism = SynthesisMechanism(
+            omega_set_model, acs_splits.seeds, PlausibleDeniabilityParams(k=20, gamma=4.0)
+        )
+        for attempt in mechanism.propose_batch(40, rng):
+            reference = mechanism.evaluate_candidate(
+                attempt.seed_index, attempt.candidate, rng
+            )
+            assert attempt.test.passed == reference.test.passed
+            assert attempt.test.plausible_seeds == reference.test.plausible_seeds
+            assert attempt.test.partition_index == reference.test.partition_index

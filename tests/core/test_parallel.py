@@ -61,3 +61,33 @@ class TestGenerateInParallel:
         assert np.array_equal(
             first.all_candidates_dataset().data, second.all_candidates_dataset().data
         )
+
+    def test_adjacent_base_seeds_do_not_share_worker_streams(
+        self, unnoised_model, acs_splits, params
+    ):
+        # Regression: with the old base_seed + worker_index seeding, worker 1
+        # of a base_seed=0 run used the same RNG stream as worker 0 of a
+        # base_seed=1 run, so their candidate blocks were identical.  Spawned
+        # SeedSequence streams never collide.
+        first = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, 8, num_workers=2, base_seed=0
+        )
+        second = generate_in_parallel(
+            unnoised_model, acs_splits.seeds, params, 8, num_workers=2, base_seed=1
+        )
+        overlap_block_first = first.all_candidates_dataset().data[4:8]
+        overlap_block_second = second.all_candidates_dataset().data[0:4]
+        assert not np.array_equal(overlap_block_first, overlap_block_second)
+
+    def test_batched_workers_run_requested_attempts(
+        self, unnoised_model, acs_splits, params
+    ):
+        report = generate_in_parallel(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_attempts=25,
+            num_workers=1,
+            batch_size=8,
+        )
+        assert report.num_attempts == 25

@@ -62,6 +62,22 @@ class TestSynthesisReport:
         assert merged.num_attempts == 2
         assert merged.num_released == 1
 
+    def test_release_counter_is_incremental(self, toy_schema):
+        # Regression: num_released used to re-scan the whole attempt list on
+        # every access, making the until-n-released loop quadratic.  The
+        # counter must stay exact through record(), construction from an
+        # existing attempt list, and merge().
+        attempts = [
+            make_attempt(toy_schema, passed=bool(index % 2)) for index in range(9)
+        ]
+        from_list = SynthesisReport(schema=toy_schema, attempts=list(attempts))
+        assert from_list.num_released == 4
+        from_list.record(make_attempt(toy_schema, passed=True))
+        assert from_list.num_released == 5
+        merged = from_list.merge(from_list)
+        assert merged.num_released == 10
+        assert merged.num_attempts == 20
+
     def test_merge_requires_same_schema(self, toy_schema, acs_dataset):
         first = SynthesisReport(schema=toy_schema)
         second = SynthesisReport(schema=acs_dataset.schema)

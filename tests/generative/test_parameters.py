@@ -74,6 +74,67 @@ class TestConditionalParameters:
         samples = [label_table.sample(rng, np.array([1, 2])) for _ in range(100)]
         assert set(samples) <= {0, 1}
 
+    def test_sample_batch_matches_sample_distribution(self, learned_tables, rng):
+        label_table = learned_tables[3]
+        configs = np.full(4000, label_table.configuration_index(np.array([1, 2])))
+        batch = label_table.sample_batch(rng, configs)
+        scalar = np.array(
+            [label_table.sample(rng, np.array([1, 2])) for _ in range(4000)]
+        )
+        assert set(batch.tolist()) <= {0, 1}
+        assert abs(batch.mean() - scalar.mean()) < 0.05
+
+    def test_sample_batch_never_emits_zero_probability_values(self, rng):
+        # Regression: a cumulative total that rounds below 1.0 must not let a
+        # uniform draw land past the last positive-probability value (the
+        # generated record would later fail the privacy test's positive-
+        # seed-probability invariant).
+        table = ConditionalParameters(
+            attribute_index=0,
+            parents=(),
+            parent_cardinalities=(),
+            table=np.array([[1.0 - 3e-7, 3e-7 - 1e-9, 0.0, 0.0]]),
+            counts=np.zeros((1, 4)),
+        )
+        samples = table.sample_batch(rng, np.zeros(20000, dtype=np.int64))
+        assert set(samples.tolist()) <= {0, 1}
+
+    def test_sample_batch_zero_draw_skips_leading_zero_probability(self):
+        # Regression: a uniform draw of exactly 0.0 must not select a leading
+        # zero-probability value (strict `<` counting used to pick index 0).
+        table = ConditionalParameters(
+            attribute_index=0,
+            parents=(),
+            parent_cardinalities=(),
+            table=np.array([[0.0, 0.0, 0.4, 0.6]]),
+            counts=np.zeros((1, 4)),
+        )
+
+        class ZeroRng:
+            def random(self, size):
+                return np.zeros(size)
+
+        samples = table.sample_batch(ZeroRng(), np.zeros(5, dtype=np.int64))
+        assert samples.tolist() == [2] * 5
+
+    def test_probabilities_batch_matches_scalar(self, learned_tables):
+        label_table = learned_tables[3]
+        configs = np.array([0, 3, 5, 1])
+        values = np.array([0, 1, 0, 1])
+        batched = label_table.probabilities_batch(values, configs)
+        for index in range(4):
+            row = label_table.table[configs[index]]
+            assert batched[index] == pytest.approx(row[values[index]])
+
+    def test_probabilities_batch_validation(self, learned_tables):
+        label_table = learned_tables[3]
+        with pytest.raises(ValueError):
+            label_table.probabilities_batch(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError):
+            label_table.probabilities_batch(np.array([9]), np.array([0]))
+        with pytest.raises(ValueError):
+            label_table.sample_batch(np.random.default_rng(0), np.array([99]))
+
     def test_resample_table_produces_valid_distributions(self, learned_tables, rng):
         resampled = learned_tables[3].resample_table(rng)
         assert np.allclose(resampled.table.sum(axis=1), 1.0)

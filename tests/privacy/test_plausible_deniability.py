@@ -126,6 +126,33 @@ class TestPlausibleSeedCount:
         assert checked == 50
         assert count <= 50
 
+    def test_early_termination_requires_rng(self):
+        # Regression: the old code silently fell back to default_rng(0), so
+        # every candidate scanned the records in the same "random" order — a
+        # fixed biased subset under max_check_plausible.
+        dataset = np.full(100, 0.4)
+        with pytest.raises(ValueError, match="requires an rng"):
+            plausible_seed_count(0.4, dataset, gamma=2.0, max_check_plausible=10)
+        with pytest.raises(ValueError, match="requires an rng"):
+            plausible_seed_count(0.4, dataset, gamma=2.0, max_plausible=5)
+
+    def test_scan_order_varies_with_rng(self):
+        # Regression companion: different rngs must scan different subsets.
+        # Half the records are plausible, so a 20-record scan produces a
+        # Binomial-ish spread of counts rather than a single fixed value.
+        dataset = np.concatenate([np.full(50, 0.4), np.full(50, 1e-6)])
+        counts = {
+            plausible_seed_count(
+                0.4,
+                dataset,
+                gamma=2.0,
+                max_check_plausible=20,
+                rng=np.random.default_rng(seed),
+            )[0]
+            for seed in range(30)
+        }
+        assert len(counts) > 1
+
     def test_satisfies_plausible_deniability(self):
         dataset = np.array([0.4] * 10 + [0.01] * 5)
         assert satisfies_plausible_deniability(0.4, dataset, k=10, gamma=2.0)
