@@ -1,0 +1,224 @@
+"""Model-fitting benchmark: vectorized vs loop-reference structure learning.
+
+PR 1 made Mechanism 1's synthesis loop fast enough that model fitting became
+the dominant cost of an end-to-end run.  The vectorized engine folds the
+~2·m² per-pair full-dataset passes of ``StructureLearner._compute_entropies``
+into one shared Gram scan (:mod:`repro.stats.pairwise`), replaces the
+per-candidate-edge DAG probe with an incrementally maintained reachability
+bitset and draws all DP noise in one batched call.  This benchmark measures
+the end-to-end ``learn()`` speedup of the vectorized engine over the
+reference loop on a chain-correlated synthetic workload and asserts:
+
+* the speedup is at least 15x at full scale (m=40, n=40000), or at least 5x
+  in CI smoke mode (m=25, n=14000) — the floors are deliberately conservative
+  for noisy shared runners;
+* the two engines learn *identical* structures (the vectorized engine is a
+  pure performance optimization);
+* every pairwise Gram backend (dense BLAS, scipy sparse, bincount fallback)
+  produces bit-identical contingency tables on the workload.
+
+It also reports (without asserting) the batched posterior-sampling speedup of
+:func:`repro.generative.parameters.sample_dirichlet_rows` over a per-row
+``rng.dirichlet`` loop.
+
+Run standalone (writes ``benchmarks/results/model_fitting.txt``)::
+
+    PYTHONPATH=src python benchmarks/bench_model_fitting.py [--smoke]
+
+or under pytest (the harness used by the other benchmarks)::
+
+    PYTHONPATH=src REPRO_BENCH_FIT_SMOKE=1 python -m pytest benchmarks/bench_model_fitting.py
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_FIT_ATTRIBUTES`` (default 40, smoke 25) — attributes;
+* ``REPRO_BENCH_FIT_RECORDS`` (default 40000, smoke 14000) — records;
+* ``REPRO_BENCH_FIT_SMOKE`` — any non-empty value selects smoke scale/floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Attribute, AttributeType, Schema
+from repro.experiments.harness import ExperimentResult
+from repro.generative.parameters import sample_dirichlet_rows
+from repro.generative.structure import StructureLearner, StructureLearningConfig
+from repro.stats.pairwise import PairwiseStats, scipy_available
+
+FULL_ATTRIBUTES = 40
+FULL_RECORDS = 40_000
+FULL_FLOOR = 15.0
+SMOKE_ATTRIBUTES = 25
+SMOKE_RECORDS = 14_000
+SMOKE_FLOOR = 5.0
+
+
+def _int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _smoke_env() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_FIT_SMOKE"))
+
+
+def build_chain_dataset(num_attributes: int, num_records: int, seed: int = 0) -> Dataset:
+    """A chain-correlated synthetic dataset: x_j mostly tracks x_{j-1}.
+
+    Cardinalities 4-7 with roughly halving bucketization, the regime of the
+    paper's ACS attributes; the chain gives the CFS learner real structure to
+    recover.
+    """
+    rng = np.random.default_rng(seed)
+    cards = [int(card) for card in rng.integers(4, 8, size=num_attributes)]
+    attributes = [
+        Attribute(
+            f"a{index}",
+            AttributeType.NUMERICAL,
+            tuple(range(card)),
+            bucket_size=max(1, card // 2),
+        )
+        for index, card in enumerate(cards)
+    ]
+    columns = [rng.integers(0, cards[0], size=num_records)]
+    for j in range(1, num_attributes):
+        tracked = (columns[j - 1] * cards[j]) // cards[j - 1]
+        fresh = rng.integers(0, cards[j], size=num_records)
+        columns.append(np.where(rng.random(num_records) < 0.6, tracked, fresh))
+    return Dataset(Schema(attributes), np.column_stack(columns))
+
+
+def _best_of(callable_, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _check_gram_backends(dataset: Dataset) -> list[str]:
+    """All Gram backends must produce bit-identical counts on this workload."""
+    sample = dataset.data[:4096]
+    cards = tuple(dataset.schema.cardinalities)
+    methods = ["dense", "bincount"] + (["sparse"] if scipy_available() else [])
+    grams = {
+        method: PairwiseStats.from_matrix(sample, cards, method=method).gram
+        for method in methods
+    }
+    for method in methods[1:]:
+        assert np.array_equal(grams["dense"], grams[method]), (
+            f"gram backend {method!r} disagrees with the dense backend"
+        )
+    return methods
+
+
+def run_benchmark(num_attributes: int, num_records: int) -> tuple[ExperimentResult, float]:
+    """Time both engines and return (result table, structure-learning speedup)."""
+    dataset = build_chain_dataset(num_attributes, num_records)
+    backends = _check_gram_backends(dataset)
+
+    reference = StructureLearner(StructureLearningConfig(engine="reference"))
+    vectorized = StructureLearner(StructureLearningConfig(engine="vectorized"))
+    reference_seconds, reference_structure = _best_of(
+        lambda: reference.learn(dataset), repeats=2
+    )
+    vectorized_seconds, vectorized_structure = _best_of(
+        lambda: vectorized.learn(dataset), repeats=3
+    )
+    assert reference_structure.parents == vectorized_structure.parents, (
+        "vectorized engine must learn the same structure as the reference"
+    )
+    speedup = reference_seconds / vectorized_seconds
+
+    # Posterior sampling: per-row dirichlet loop vs one batched gamma call
+    # (informational; distribution-equivalent but on a different RNG stream).
+    posterior = np.random.default_rng(5).uniform(0.5, 50.0, size=(2000, 8))
+    loop_seconds, _ = _best_of(
+        lambda: np.vstack(
+            [np.random.default_rng(7).dirichlet(row) for row in posterior]
+        ),
+        repeats=2,
+    )
+    batched_seconds, _ = _best_of(
+        lambda: sample_dirichlet_rows(np.random.default_rng(7), posterior), repeats=3
+    )
+
+    result = ExperimentResult(
+        name=(
+            f"Model fitting: vectorized vs reference "
+            f"(m={num_attributes}, n={num_records})"
+        ),
+        headers=["phase", "reference s", "vectorized s", "speedup"],
+        notes=(
+            f"gram backends verified bit-identical: {', '.join(backends)}; "
+            f"structures identical: True; "
+            f"edges learned: {reference_structure.num_edges}"
+        ),
+    )
+    result.add_row(
+        "structure learning", reference_seconds, vectorized_seconds, speedup
+    )
+    result.add_row(
+        "posterior sampling (2000x8)",
+        loop_seconds,
+        batched_seconds,
+        loop_seconds / batched_seconds,
+    )
+    return result, speedup
+
+
+def _scale_and_floor() -> tuple[int, int, float]:
+    smoke = _smoke_env()
+    num_attributes = _int_env(
+        "REPRO_BENCH_FIT_ATTRIBUTES", SMOKE_ATTRIBUTES if smoke else FULL_ATTRIBUTES
+    )
+    num_records = _int_env(
+        "REPRO_BENCH_FIT_RECORDS", SMOKE_RECORDS if smoke else FULL_RECORDS
+    )
+    return num_attributes, num_records, (SMOKE_FLOOR if smoke else FULL_FLOOR)
+
+
+def test_model_fitting_speedup(record_result):
+    num_attributes, num_records, floor = _scale_and_floor()
+    result, speedup = run_benchmark(num_attributes, num_records)
+    record_result("model_fitting.txt", result)
+    assert speedup >= floor, (
+        f"vectorized structure learning must be >= {floor}x faster than the "
+        f"reference loop, got {speedup:.1f}x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes and the relaxed 5x floor"
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ["REPRO_BENCH_FIT_SMOKE"] = "1"
+
+    num_attributes, num_records, floor = _scale_and_floor()
+    result, speedup = run_benchmark(num_attributes, num_records)
+    print(result.to_text())
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "model_fitting.txt").write_text(result.to_text() + "\n")
+    if speedup < floor:
+        print(f"FAIL: speedup {speedup:.1f}x below the {floor}x floor", file=sys.stderr)
+        return 1
+    print(f"OK: structure-learning speedup {speedup:.1f}x (floor {floor}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

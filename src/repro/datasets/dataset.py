@@ -143,12 +143,24 @@ class Dataset:
         return [list(row) for row in zip(*decoded_columns)] if len(self) else []
 
     def bucketized(self) -> np.ndarray:
-        """The data matrix with every column mapped to its structure-learning buckets."""
-        columns = [
-            attribute.bucketize(self._data[:, col])
-            for col, attribute in enumerate(self._schema)
-        ]
-        return np.column_stack(columns) if columns else self._data.copy()
+        """The data matrix with every column mapped to its structure-learning buckets.
+
+        Equivalent to applying :meth:`Attribute.bucketize` column by column,
+        but in one whole-matrix pass: the constructor already validated every
+        code, so the per-column range checks are skipped and all
+        ``bucket_size`` divisions happen in a single ``floor_divide``.
+        """
+        if self._data.size == 0:
+            return self._data.copy()
+        divisors = np.array(
+            [attribute.bucket_size or 1 for attribute in self._schema], dtype=np.int64
+        )
+        result = self._data // divisors[None, :]
+        for col, attribute in enumerate(self._schema):
+            if attribute.bucket_map is not None:
+                mapping = np.asarray(attribute.bucket_map, dtype=np.int64)
+                result[:, col] = mapping[self._data[:, col]]
+        return result
 
     # ------------------------------------------------------------------ #
     # Transformation

@@ -17,7 +17,11 @@ from repro.generative.base import GenerativeModel, SeedBasedGenerativeModel
 from repro.generative.bayesian_network import BayesianNetworkSynthesizer
 from repro.generative.builder import GenerativeModelSpec, fit_bayesian_network, fit_marginal_model
 from repro.generative.marginal import MarginalSynthesizer
-from repro.generative.parameters import ConditionalParameters, ParameterLearner
+from repro.generative.parameters import (
+    ConditionalParameters,
+    ParameterLearner,
+    sample_dirichlet_rows,
+)
 from repro.generative.structure import (
     DependencyStructure,
     StructureLearner,
@@ -32,6 +36,7 @@ __all__ = [
     "StructureLearningConfig",
     "ConditionalParameters",
     "ParameterLearner",
+    "sample_dirichlet_rows",
     "BayesianNetworkSynthesizer",
     "MarginalSynthesizer",
     "GenerativeModelSpec",

@@ -95,6 +95,7 @@ class GenerativeModelSpec:
             epsilon_count=epsilon_count,
             min_merit_gain=structure_config.min_merit_gain,
             max_table_cells=structure_config.max_table_cells,
+            engine=structure_config.engine,
         )
         return cls(
             omega=omega,
@@ -217,9 +218,14 @@ def fit_bayesian_network(
     structure:
         A pre-computed structure to reuse (skips structure learning), e.g. for
         ablations or to amortize learning across many model fits.
+
+    ``rng`` is passed straight through to the learners, which require it
+    whenever they actually consume randomness (DP noise, posterior sampling);
+    fully deterministic fits accept ``rng=None``.  There is no silent
+    fixed-seed fallback.
     """
     model_spec = spec if spec is not None else GenerativeModelSpec()
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = rng
 
     if structure_data.schema != parameter_data.schema:
         raise ValueError("structure and parameter splits must share a schema")
@@ -232,6 +238,7 @@ def fit_bayesian_network(
             epsilon_count=model_spec.structure.epsilon_count,
             min_merit_gain=model_spec.structure.min_merit_gain,
             max_table_cells=model_spec.structure.max_table_cells,
+            engine=model_spec.structure.engine,
         )
         learner = StructureLearner(structure_config, accountant)
         structure = learner.learn(structure_data, generator)
@@ -258,8 +265,11 @@ def fit_marginal_model(
     accountant: PrivacyAccountant | None = None,
     rng: np.random.Generator | None = None,
 ) -> MarginalSynthesizer:
-    """Fit the privacy-preserving marginals baseline on the parameter split."""
-    generator = rng if rng is not None else np.random.default_rng(0)
+    """Fit the privacy-preserving marginals baseline on the parameter split.
+
+    ``rng`` is required whenever ``epsilon`` is set (the noise must come from
+    the caller's generator); the noise-free fit accepts ``rng=None``.
+    """
     return MarginalSynthesizer.fit(
-        parameter_data, epsilon=epsilon, alpha=alpha, rng=generator, accountant=accountant
+        parameter_data, epsilon=epsilon, alpha=alpha, rng=rng, accountant=accountant
     )

@@ -71,7 +71,12 @@ class MarginalSynthesizer(GenerativeModel):
             raise ValueError("cannot fit marginals on an empty dataset")
         if epsilon is not None and epsilon <= 0:
             raise ValueError("epsilon must be positive when provided")
-        generator = rng if rng is not None else np.random.default_rng(0)
+        generator = rng
+        if epsilon is not None and generator is None:
+            raise ValueError(
+                "fitting DP marginals requires an explicit rng; pass the "
+                "pipeline's generator"
+            )
         marginals = []
         for index, attribute in enumerate(dataset.schema):
             counts = np.bincount(

@@ -24,7 +24,34 @@ from repro.datasets.dataset import Dataset
 from repro.generative.structure import DependencyStructure
 from repro.privacy.accountant import PrivacyAccountant
 
-__all__ = ["ConditionalParameters", "ParameterLearner"]
+__all__ = ["ConditionalParameters", "ParameterLearner", "sample_dirichlet_rows"]
+
+
+def sample_dirichlet_rows(rng: np.random.Generator, alphas: np.ndarray) -> np.ndarray:
+    """Draw one Dirichlet sample per row of a (rows x values) alpha matrix.
+
+    Vectorized via the Gamma representation: each row of independent
+    ``standard_gamma(alpha)`` draws, normalized, is Dirichlet(alpha).  One
+    batched call replaces a per-row ``rng.dirichlet`` loop.
+
+    Note the RNG stream differs from per-row ``rng.dirichlet`` calls for the
+    same generator state: ``dirichlet`` consumes its own gamma draws with a
+    different internal call pattern, so tables sampled before/after this
+    change are not bit-identical for a fixed seed (they follow the same
+    distribution).
+
+    Rows whose gamma draws all underflow to zero (possible only for extreme
+    sub-1e-2 alphas) fall back to the normalized alphas themselves, keeping
+    every returned row a valid distribution.
+    """
+    shape = np.maximum(np.asarray(alphas, dtype=np.float64), 1e-9)
+    draws = rng.standard_gamma(shape)
+    totals = draws.sum(axis=1, keepdims=True)
+    degenerate = totals[:, 0] <= 0.0
+    if np.any(degenerate):
+        draws[degenerate] = shape[degenerate]
+        totals = draws.sum(axis=1, keepdims=True)
+    return draws / totals
 
 
 @dataclass
@@ -187,9 +214,12 @@ class ConditionalParameters:
 
         The paper samples the multinomial parameters from the posterior rather
         than using the point estimate "to increase the variety of data samples".
+        The whole table is drawn with one batched gamma call
+        (:func:`sample_dirichlet_rows`); the RNG stream therefore differs from
+        the earlier per-row ``rng.dirichlet`` loop for the same seed.
         """
         posterior = self.counts + np.asarray(self.prior)[None, :]
-        table = np.vstack([rng.dirichlet(np.maximum(row, 1e-9)) for row in posterior])
+        table = sample_dirichlet_rows(rng, posterior)
         return ConditionalParameters(
             attribute_index=self.attribute_index,
             parents=self.parents,
@@ -284,12 +314,23 @@ class ParameterLearner:
         structure: DependencyStructure,
         rng: np.random.Generator | None = None,
     ) -> list[ConditionalParameters]:
-        """Learn one conditional table per attribute from the parameter split DP."""
+        """Learn one conditional table per attribute from the parameter split DP.
+
+        ``rng`` is only consumed when randomness is actually needed (Laplace
+        noise on the counts or posterior sampling of the tables), and is then
+        required explicitly — there is no silent fixed-seed fallback.
+        Deterministic (non-DP, posterior-mean) learning accepts ``rng=None``.
+        """
         if len(dataset) == 0:
             raise ValueError("cannot learn parameters from an empty dataset")
         if structure.num_attributes != dataset.num_attributes:
             raise ValueError("structure and dataset disagree on the number of attributes")
-        generator = rng if rng is not None else np.random.default_rng(0)
+        generator = rng
+        if generator is None and (self._epsilon is not None or self._sample_parameters):
+            raise ValueError(
+                "parameter learning with DP noise or posterior sampling requires "
+                "an explicit rng; pass the pipeline's generator to learn()"
+            )
         bucketized = dataset.bucketized()
 
         tables: list[ConditionalParameters] = []
@@ -317,7 +358,7 @@ class ParameterLearner:
 
             posterior = counts + prior[None, :]
             if self._sample_parameters:
-                table = np.vstack([generator.dirichlet(row) for row in posterior])
+                table = sample_dirichlet_rows(generator, posterior)
             else:
                 table = posterior / posterior.sum(axis=1, keepdims=True)
             tables.append(

@@ -17,6 +17,21 @@ where ``corr`` is the symmetrical uncertainty coefficient (Eq. 5), subject to
 The differentially-private variant replaces every entropy value with a noisy
 one (Laplace noise scaled by the Lemma 1 sensitivity bound computed from a
 noisy record count) before running exactly the same greedy search.
+
+Two interchangeable engines implement the learner:
+
+* ``"vectorized"`` (the default) derives every entropy from one shared scan of
+  the data (:class:`~repro.stats.pairwise.PairwiseStats`), draws all Laplace
+  noise in a single batched call and keeps candidate-edge acyclicity checks
+  O(m) with an incrementally maintained reachability bitset;
+* ``"reference"`` is the direct per-pair / per-edge loop transcription of the
+  paper, kept as the ground truth for equivalence tests.
+
+Both engines learn identical structures; in the DP variant they consume the
+same number of Laplace draws from the generator (so the stream position after
+learning agrees) but assign the draws to entropy values in a different order,
+so individual noisy entropies — and hence DP structures — differ between
+engines for the same seed.
 """
 
 from __future__ import annotations
@@ -36,8 +51,11 @@ from repro.stats.entropy import (
     joint_entropy,
     symmetrical_uncertainty_from_entropies,
 )
+from repro.stats.pairwise import CrossPairwiseStats, block_entropy
 
 __all__ = ["DependencyStructure", "StructureLearningConfig", "StructureLearner"]
+
+_ENGINES = ("vectorized", "reference")
 
 
 @dataclass(frozen=True)
@@ -141,6 +159,11 @@ class StructureLearningConfig:
         scales this extra knob keeps the per-cell counts large enough to
         survive the DP noise of Eq. 14.  ``None`` (the default) reproduces the
         paper's behaviour exactly.
+    engine:
+        ``"vectorized"`` (default) uses the shared-scan pairwise-statistics
+        engine, batched noise draws and incremental acyclicity bookkeeping;
+        ``"reference"`` is the per-pair loop transcription kept for
+        equivalence testing.
     """
 
     max_parent_cost: int = 300
@@ -149,6 +172,7 @@ class StructureLearningConfig:
     epsilon_count: float = 0.1
     min_merit_gain: float = 1e-6
     max_table_cells: int | None = None
+    engine: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.max_parent_cost < 1:
@@ -161,6 +185,8 @@ class StructureLearningConfig:
             raise ValueError("epsilon_count must be positive")
         if self.max_table_cells is not None and self.max_table_cells < 1:
             raise ValueError("max_table_cells must be positive when provided")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {self.engine!r}")
 
 
 @dataclass
@@ -195,15 +221,10 @@ class StructureLearner:
     # ------------------------------------------------------------------ #
     # Entropy / correlation computation
     # ------------------------------------------------------------------ #
-    def _compute_entropies(
-        self, dataset: Dataset, rng: np.random.Generator
+    def _entropy_tables_reference(
+        self, dataset: Dataset
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Return (H(x_i), H(bkt(x_i)), H(x_i, bkt(x_j)), H(bkt(x_i), bkt(x_j))).
-
-        When the DP variant is enabled every value receives fresh Laplace noise
-        scaled with the Lemma 1 sensitivity bound evaluated at a *noisy*
-        record count, and the privacy expenditure is recorded.
-        """
+        """Noise-free entropies via one joint_entropy pass per attribute pair."""
         schema = dataset.schema
         m = len(schema)
         raw = dataset.data
@@ -227,37 +248,136 @@ class StructureLearner:
                         bucketized[:, i], bucketized[:, j], bucket_cards[i], bucket_cards[j]
                     )
                     h_bkt_bkt[j, i] = h_bkt_bkt[i, j]
+        return h_raw, h_bkt, h_raw_bkt, h_bkt_bkt
+
+    def _entropy_tables_vectorized(
+        self, dataset: Dataset
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Noise-free entropies from one shared scan of [raw | bucketized].
+
+        The raw and bucketized encodings are stacked into 2m virtual
+        attributes so a single Gram product yields every contingency table the
+        learner needs: marginal counts on the diagonal blocks, the
+        x_i × bkt(x_j) tables in the raw-times-bucketized quadrant and the
+        bkt(x_i) × bkt(x_j) tables in the bucketized quadrant.  The records
+        are never rescanned per pair.
+
+        Only the quadrants the learner consumes are computed: the Gram product
+        is [raw | bkt].T @ bkt, skipping the raw x raw quadrant (the largest
+        one) entirely; marginal counts fall out of the same product (buckets
+        partition the records, so each raw_i x bkt_i block's row sums are the
+        raw marginals, and its bkt_i x bkt_i block is diagonal).
+
+        Each entropy is then reduced from its (tiny, n-independent) count
+        block with :func:`~repro.stats.pairwise.block_entropy` — the exact
+        scalar pipeline of the reference loop — so the two engines produce
+        bit-identical entropies.  (``PairwiseStats.entropies()`` offers a
+        fully batched reduceat derivation, but its different float-summation
+        order perturbs values by ~1 ulp, which is enough to flip tie-breaks
+        between exactly-tied correlations such as clipped SU = 1.0 pairs.)
+        """
+        schema = dataset.schema
+        m = len(schema)
+        raw = dataset.data
+        bucketized = dataset.bucketized()
+        raw_cards = tuple(schema.cardinalities)
+        bucket_cards = tuple(schema.bucketized_cardinalities)
+        stats = CrossPairwiseStats.from_matrices(
+            np.hstack([raw, bucketized]),
+            raw_cards + bucket_cards,
+            bucketized,
+            bucket_cards,
+            # Dataset/bucketize already guarantee in-range codes.
+            validate=False,
+        )
+
+        h_raw = np.array(
+            [block_entropy(stats.table(i, i).sum(axis=1)) for i in range(m)]
+        )
+        h_bkt = np.array(
+            [block_entropy(np.diagonal(stats.table(m + i, i))) for i in range(m)]
+        )
+        h_raw_bkt = np.zeros((m, m))
+        h_bkt_bkt = np.zeros((m, m))
+        for i in range(m):
+            for j in range(m):
+                if i == j:
+                    continue
+                h_raw_bkt[i, j] = block_entropy(stats.table(i, j))
+                if j > i:
+                    h_bkt_bkt[i, j] = block_entropy(stats.table(m + i, j))
+                    h_bkt_bkt[j, i] = h_bkt_bkt[i, j]
+        return h_raw, h_bkt, h_raw_bkt, h_bkt_bkt
+
+    def _compute_entropies(
+        self, dataset: Dataset, rng: np.random.Generator | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return (H(x_i), H(bkt(x_i)), H(x_i, bkt(x_j)), H(bkt(x_i), bkt(x_j))).
+
+        When the DP variant is enabled every value receives fresh Laplace noise
+        scaled with the Lemma 1 sensitivity bound evaluated at a *noisy*
+        record count, and the privacy expenditure is recorded.
+        """
+        if self._config.engine == "reference":
+            h_raw, h_bkt, h_raw_bkt, h_bkt_bkt = self._entropy_tables_reference(dataset)
+        else:
+            h_raw, h_bkt, h_raw_bkt, h_bkt_bkt = self._entropy_tables_vectorized(dataset)
 
         epsilon_h = self._config.epsilon_entropy
         if epsilon_h is None:
             return h_raw, h_bkt, h_raw_bkt, h_bkt_bkt
+        if rng is None:
+            raise ValueError(
+                "differentially-private structure learning requires an explicit "
+                "rng; pass the pipeline's generator to learn()"
+            )
 
+        m = len(h_raw)
         # Randomize the record count used for the sensitivity bound (Eq. 10).
         noisy_count = laplace_mechanism(
             float(len(dataset)), 1.0, self._config.epsilon_count, rng
         )
         noisy_count = max(2.0, float(noisy_count))
         sensitivity = entropy_sensitivity_bound(int(math.ceil(noisy_count)))
+        num_entropy_values = 2 * m + m * (m - 1) + (m * (m - 1)) // 2
 
-        def _noisy(value: float) -> float:
-            return max(0.0, laplace_mechanism(value, sensitivity, epsilon_h, rng))
+        if self._config.engine == "reference":
+            def _noisy(value: float) -> float:
+                return max(0.0, laplace_mechanism(value, sensitivity, epsilon_h, rng))
 
-        h_raw = np.array([_noisy(value) for value in h_raw])
-        h_bkt = np.array([_noisy(value) for value in h_bkt])
-        noisy_raw_bkt = np.zeros_like(h_raw_bkt)
-        noisy_bkt_bkt = np.zeros_like(h_bkt_bkt)
-        num_entropy_values = 2 * m
-        for i in range(m):
-            for j in range(m):
-                if i == j:
-                    continue
-                noisy_raw_bkt[i, j] = _noisy(h_raw_bkt[i, j])
-                num_entropy_values += 1
-                if j > i:
-                    value = _noisy(h_bkt_bkt[i, j])
-                    noisy_bkt_bkt[i, j] = value
-                    noisy_bkt_bkt[j, i] = value
-                    num_entropy_values += 1
+            h_raw = np.array([_noisy(value) for value in h_raw])
+            h_bkt = np.array([_noisy(value) for value in h_bkt])
+            noisy_raw_bkt = np.zeros_like(h_raw_bkt)
+            noisy_bkt_bkt = np.zeros_like(h_bkt_bkt)
+            for i in range(m):
+                for j in range(m):
+                    if i == j:
+                        continue
+                    noisy_raw_bkt[i, j] = _noisy(h_raw_bkt[i, j])
+                    if j > i:
+                        value = _noisy(h_bkt_bkt[i, j])
+                        noisy_bkt_bkt[i, j] = value
+                        noisy_bkt_bkt[j, i] = value
+        else:
+            # One batched draw for every entropy value.  Consumes exactly as
+            # many Laplace variates as the reference loop (the stream position
+            # after learning is identical) but assigns them in flat order:
+            # h_raw, h_bkt, then the off-diagonal raw x bkt entries row-major,
+            # then the upper-triangular bkt x bkt entries row-major.
+            noise = rng.laplace(0.0, sensitivity / epsilon_h, size=num_entropy_values)
+            off_diag = ~np.eye(m, dtype=bool)
+            upper = np.triu(np.ones((m, m), dtype=bool), k=1)
+            h_raw = np.maximum(0.0, h_raw + noise[:m])
+            h_bkt = np.maximum(0.0, h_bkt + noise[m : 2 * m])
+            noisy_raw_bkt = np.zeros_like(h_raw_bkt)
+            noisy_raw_bkt[off_diag] = np.maximum(
+                0.0, h_raw_bkt[off_diag] + noise[2 * m : 2 * m + m * (m - 1)]
+            )
+            noisy_bkt_bkt = np.zeros_like(h_bkt_bkt)
+            noisy_bkt_bkt[upper] = np.maximum(
+                0.0, h_bkt_bkt[upper] + noise[2 * m + m * (m - 1) :]
+            )
+            noisy_bkt_bkt = noisy_bkt_bkt + noisy_bkt_bkt.T
 
         if self._accountant is not None:
             self._accountant.spend(
@@ -273,22 +393,32 @@ class StructureLearner:
         return h_raw, h_bkt, noisy_raw_bkt, noisy_bkt_bkt
 
     def _correlations(
-        self, dataset: Dataset, rng: np.random.Generator
+        self, dataset: Dataset, rng: np.random.Generator | None
     ) -> _CorrelationTables:
         h_raw, h_bkt, h_raw_bkt, h_bkt_bkt = self._compute_entropies(dataset, rng)
         m = len(h_raw)
-        target_parent = np.zeros((m, m))
-        parent_parent = np.zeros((m, m))
-        for i in range(m):
-            for j in range(m):
-                if i == j:
-                    continue
-                target_parent[i, j] = symmetrical_uncertainty_from_entropies(
-                    h_raw[i], h_bkt[j], h_raw_bkt[i, j]
-                )
-                parent_parent[i, j] = symmetrical_uncertainty_from_entropies(
-                    h_bkt[i], h_bkt[j], h_bkt_bkt[i, j]
-                )
+        if self._config.engine == "reference":
+            target_parent = np.zeros((m, m))
+            parent_parent = np.zeros((m, m))
+            for i in range(m):
+                for j in range(m):
+                    if i == j:
+                        continue
+                    target_parent[i, j] = symmetrical_uncertainty_from_entropies(
+                        h_raw[i], h_bkt[j], h_raw_bkt[i, j]
+                    )
+                    parent_parent[i, j] = symmetrical_uncertainty_from_entropies(
+                        h_bkt[i], h_bkt[j], h_bkt_bkt[i, j]
+                    )
+            return _CorrelationTables(
+                target_parent=target_parent, parent_parent=parent_parent
+            )
+
+        off_diag = ~np.eye(m, dtype=bool)
+        target_parent = _symmetrical_uncertainty_matrix(h_raw, h_bkt, h_raw_bkt)
+        parent_parent = _symmetrical_uncertainty_matrix(h_bkt, h_bkt, h_bkt_bkt)
+        target_parent *= off_diag
+        parent_parent *= off_diag
         return _CorrelationTables(target_parent=target_parent, parent_parent=parent_parent)
 
     # ------------------------------------------------------------------ #
@@ -324,27 +454,48 @@ class StructureLearner:
         dataset: Dataset,
         rng: np.random.Generator | None = None,
     ) -> DependencyStructure:
-        """Learn the dependency structure from the structure-learning split DT."""
+        """Learn the dependency structure from the structure-learning split DT.
+
+        ``rng`` is only consumed by the differentially-private variant
+        (``epsilon_entropy`` set), which requires it explicitly — there is no
+        silent fixed-seed fallback.  Non-private learning is deterministic and
+        accepts ``rng=None``.
+        """
         if len(dataset) == 0:
             raise ValueError("cannot learn a structure from an empty dataset")
-        generator = rng if rng is not None else np.random.default_rng(0)
-        tables = self._correlations(dataset, generator)
-        schema = dataset.schema
+        tables = self._correlations(dataset, rng)
+        if self._config.engine == "reference":
+            parents = self._greedy_reference(tables, dataset.schema)
+        else:
+            parents = self._greedy_incremental(tables, dataset.schema)
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(len(parents)))
+        for child, parent_set in enumerate(parents):
+            graph.add_edges_from((parent, child) for parent in parent_set)
+        order = tuple(nx.lexicographical_topological_sort(graph))
+        return DependencyStructure(parents=tuple(parents), order=order)
+
+    def _target_order(self, tables: _CorrelationTables) -> list[int]:
+        """Process targets in decreasing order of their best available predictor
+        so that strongly-predicted attributes get first pick of parents before
+        acyclicity constraints start binding."""
+        best_predictor = tables.target_parent.max(axis=1)
+        return list(np.argsort(-best_predictor))
+
+    def _greedy_reference(
+        self, tables: _CorrelationTables, schema
+    ) -> list[tuple[int, ...]]:
+        """The paper's greedy search with a full DAG probe per candidate edge."""
         m = len(schema)
         bucket_cards = schema.bucketized_cardinalities
+        cardinalities = schema.cardinalities
 
         graph = nx.DiGraph()
         graph.add_nodes_from(range(m))
         parents: list[tuple[int, ...]] = [() for _ in range(m)]
 
-        # Process targets in decreasing order of their best available predictor
-        # so that strongly-predicted attributes get first pick of parents
-        # before acyclicity constraints start binding.
-        best_predictor = tables.target_parent.max(axis=1)
-        target_order = list(np.argsort(-best_predictor))
-
-        cardinalities = schema.cardinalities
-        for target in target_order:
+        for target in self._target_order(tables):
             current: tuple[int, ...] = ()
             current_score = 0.0
             while len(current) < self._config.max_parents:
@@ -378,6 +529,98 @@ class StructureLearner:
                 current_score = best_score
                 graph.add_edge(best_candidate, target)
             parents[target] = current
+        return parents
 
-        order = tuple(nx.lexicographical_topological_sort(graph))
-        return DependencyStructure(parents=tuple(parents), order=order)
+    def _greedy_incremental(
+        self, tables: _CorrelationTables, schema
+    ) -> list[tuple[int, ...]]:
+        """Greedy search with O(m) candidate acyclicity checks.
+
+        Instead of probing a graph copy per candidate edge, a boolean
+        reachability matrix ``reach`` (``reach[u, v]`` iff there is a directed
+        path u -> v, reflexively true on the diagonal) is maintained: adding
+        the edge candidate -> target creates a cycle iff the target already
+        reaches the candidate, and accepting an edge updates the matrix with
+        one outer product.  Candidate merits are evaluated as one array
+        expression per greedy step; the sequential threshold scan over that
+        array replicates the reference selection rule (a later candidate must
+        beat the running best by ``min_merit_gain``) exactly.
+        """
+        m = len(schema)
+        bucket_cards = np.asarray(schema.bucketized_cardinalities, dtype=np.int64)
+        cardinalities = np.asarray(schema.cardinalities, dtype=np.int64)
+        target_parent = tables.target_parent
+        parent_parent = tables.parent_parent
+        min_gain = self._config.min_merit_gain
+
+        reach = np.eye(m, dtype=bool)
+        parents: list[tuple[int, ...]] = [() for _ in range(m)]
+
+        for target in self._target_order(tables):
+            current: list[int] = []
+            current_score = 0.0
+            relevance = 0.0
+            redundancy = 0.0
+            cost = 1
+            while len(current) < self._config.max_parents:
+                tentative_cost = cost * bucket_cards
+                valid = tentative_cost <= self._config.max_parent_cost
+                if self._config.max_table_cells is not None:
+                    valid &= (
+                        tentative_cost * cardinalities[target]
+                        <= self._config.max_table_cells
+                    )
+                valid &= ~reach[target]  # target ⇝ candidate would close a cycle
+                valid[target] = False
+                if current:
+                    members = np.array(current, dtype=np.int64)
+                    valid[members] = False
+                    extra_redundancy = 2.0 * parent_parent[members, :].sum(axis=0)
+                else:
+                    extra_redundancy = np.zeros(m)
+                if not valid.any():
+                    break
+                denominator = np.sqrt(
+                    len(current) + 1 + redundancy + extra_redundancy
+                )
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    scores = np.where(
+                        denominator > 0,
+                        (relevance + target_parent[target]) / denominator,
+                        0.0,
+                    )
+
+                best_candidate = None
+                best_score = current_score
+                for candidate in np.flatnonzero(valid):
+                    score = float(scores[candidate])
+                    if score > best_score + min_gain:
+                        best_score = score
+                        best_candidate = int(candidate)
+                if best_candidate is None:
+                    break
+                current.append(best_candidate)
+                current_score = best_score
+                relevance += float(target_parent[target, best_candidate])
+                redundancy += float(extra_redundancy[best_candidate])
+                cost *= int(bucket_cards[best_candidate])
+                # Everything that reaches the new parent now reaches everything
+                # the target reaches.
+                reach |= np.outer(reach[:, best_candidate], reach[target])
+            parents[target] = tuple(current)
+        return parents
+
+
+def _symmetrical_uncertainty_matrix(
+    h_first: np.ndarray, h_second: np.ndarray, h_joint: np.ndarray
+) -> np.ndarray:
+    """Vectorized Eq. 5 over all pairs: 2 - 2 H(x,y) / (H(x) + H(y)), clipped.
+
+    Elementwise identical to
+    :func:`repro.stats.entropy.symmetrical_uncertainty_from_entropies`.
+    """
+    denominator = h_first[:, None] + h_second[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = 2.0 - 2.0 * h_joint / denominator
+    value = np.where(denominator > 0, value, 0.0)
+    return np.minimum(1.0, np.maximum(0.0, value))

@@ -29,6 +29,13 @@ from repro.stats.entropy import (
     mutual_information,
     symmetrical_uncertainty,
 )
+from repro.stats.pairwise import (
+    CrossPairwiseStats,
+    PairwiseStats,
+    block_entropy,
+    pairwise_entropies,
+    scipy_available,
+)
 
 __all__ = [
     "conditional_entropy",
@@ -45,4 +52,9 @@ __all__ = [
     "joint_counts",
     "marginal_counts",
     "pairwise_joint_distribution",
+    "CrossPairwiseStats",
+    "PairwiseStats",
+    "block_entropy",
+    "pairwise_entropies",
+    "scipy_available",
 ]

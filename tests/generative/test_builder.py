@@ -78,7 +78,11 @@ class TestFitBayesianNetwork:
         accountant = PrivacyAccountant()
         spec = GenerativeModelSpec.with_total_epsilon(1.0, num_attributes=11, omega=9)
         fit_bayesian_network(
-            acs_splits.structure, acs_splits.parameters, spec=spec, accountant=accountant
+            acs_splits.structure,
+            acs_splits.parameters,
+            spec=spec,
+            accountant=accountant,
+            rng=np.random.default_rng(0),
         )
         epsilon, delta = accountant.total_guarantee(disjoint_scopes=True)
         assert epsilon <= 1.0 + 1e-6
@@ -111,8 +115,14 @@ class TestFitBayesianNetwork:
 
 class TestFitMarginalModel:
     def test_fit_marginal_model(self, acs_splits):
-        model = fit_marginal_model(acs_splits.parameters, epsilon=0.5)
+        model = fit_marginal_model(
+            acs_splits.parameters, epsilon=0.5, rng=np.random.default_rng(0)
+        )
         assert len(model.marginals) == 11
+
+    def test_fit_marginal_model_with_noise_requires_rng(self, acs_splits):
+        with pytest.raises(ValueError, match="requires an explicit rng"):
+            fit_marginal_model(acs_splits.parameters, epsilon=0.5)
 
     def test_fit_marginal_model_without_noise(self, acs_splits):
         model = fit_marginal_model(acs_splits.parameters, epsilon=None)

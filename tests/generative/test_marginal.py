@@ -22,7 +22,9 @@ class TestFit:
 
     def test_dp_fit_records_budget(self, toy_dataset):
         accountant = PrivacyAccountant()
-        MarginalSynthesizer.fit(toy_dataset, epsilon=0.5, accountant=accountant)
+        MarginalSynthesizer.fit(
+            toy_dataset, epsilon=0.5, accountant=accountant, rng=np.random.default_rng(0)
+        )
         entry = accountant.entries[0]
         assert entry.label == "marginals/counts"
         assert entry.count == 4

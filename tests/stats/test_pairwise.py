@@ -1,0 +1,203 @@
+"""Tests for the one-pass pairwise-statistics engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.contingency import joint_counts, marginal_counts
+from repro.stats.entropy import entropy, entropy_from_counts, joint_entropy
+from repro.stats.pairwise import (
+    CrossPairwiseStats,
+    PairwiseStats,
+    block_entropy,
+    pairwise_entropies,
+    scipy_available,
+)
+
+METHODS = ["dense", "sparse", "bincount"]
+
+
+def _random_matrix(cards, num_records, seed):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.integers(0, card, size=num_records) for card in cards]
+    )
+
+
+CARDS = (5, 3, 7, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return _random_matrix(CARDS, 3000, seed=0)
+
+
+class TestGram:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_blocks_match_per_pair_contingency_tables(self, matrix, method):
+        stats = PairwiseStats.from_matrix(matrix, CARDS, method=method)
+        m = len(CARDS)
+        for i in range(m):
+            assert np.array_equal(
+                stats.marginal(i), marginal_counts(matrix[:, i], CARDS[i])
+            )
+            for j in range(m):
+                if i == j:
+                    continue
+                expected = joint_counts(matrix[:, i], matrix[:, j], CARDS[i], CARDS[j])
+                assert np.array_equal(stats.table(i, j), expected)
+
+    @pytest.mark.parametrize("method", ["sparse", "bincount"])
+    def test_all_backends_are_bit_identical(self, matrix, method):
+        dense = PairwiseStats.from_matrix(matrix, CARDS, method="dense", chunk_size=137)
+        other = PairwiseStats.from_matrix(matrix, CARDS, method=method, chunk_size=211)
+        assert np.array_equal(dense.gram, other.gram)
+
+    def test_auto_method_matches_explicit(self, matrix):
+        auto = PairwiseStats.from_matrix(matrix, CARDS)
+        explicit = PairwiseStats.from_matrix(matrix, CARDS, method="dense")
+        assert np.array_equal(auto.gram, explicit.gram)
+
+    def test_diagonal_block_is_diagonal_marginal(self, matrix):
+        stats = PairwiseStats.from_matrix(matrix, CARDS)
+        block = stats.table(2, 2)
+        assert np.array_equal(block, np.diag(stats.marginal(2)))
+
+    def test_gram_is_symmetric_with_total_row_sums(self, matrix):
+        stats = PairwiseStats.from_matrix(matrix, CARDS)
+        assert np.array_equal(stats.gram, stats.gram.T)
+        # every one-hot row has one entry per attribute, so each Gram row sums
+        # to (occurrences of that value) x (number of attributes)
+        m = len(CARDS)
+        for i in range(m):
+            rows = stats.gram[stats.offsets[i] : stats.offsets[i + 1]]
+            assert np.array_equal(rows.sum(axis=1), stats.marginal(i) * m)
+
+    def test_scipy_availability_flag(self):
+        assert isinstance(scipy_available(), bool)
+
+    def test_empty_matrix(self):
+        stats = PairwiseStats.from_matrix(
+            np.empty((0, 2), dtype=np.int64), (3, 2), method="bincount"
+        )
+        assert stats.num_records == 0
+        assert np.array_equal(stats.gram, np.zeros((5, 5), dtype=np.int64))
+        assert np.array_equal(stats.entropies(), np.zeros((2, 2)))
+
+
+class TestCross:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_cross_blocks_match_per_pair_tables(self, matrix, method):
+        left_cards, right_cards = CARDS[:3], CARDS[3:]
+        left, right = matrix[:, :3], matrix[:, 3:]
+        cross = CrossPairwiseStats.from_matrices(
+            left, left_cards, right, right_cards, method=method
+        )
+        for i in range(3):
+            for j in range(2):
+                expected = joint_counts(
+                    left[:, i], right[:, j], left_cards[i], right_cards[j]
+                )
+                assert np.array_equal(cross.table(i, j), expected)
+
+    def test_self_cross_equals_square_gram(self, matrix):
+        square = PairwiseStats.from_matrix(matrix, CARDS, method="dense")
+        cross = CrossPairwiseStats.from_matrices(
+            matrix, CARDS, matrix, CARDS, method="dense"
+        )
+        assert np.array_equal(square.gram, cross.gram)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_same_array_with_different_partitions_not_aliased(self, method):
+        # Regression: passing the *same* int64 array for both sides with
+        # different cardinality partitions that happen to sum to the same
+        # total must not reuse the left one-hot (A's offsets) for B.
+        data = np.array([[0, 1], [1, 0], [1, 1], [0, 0]], dtype=np.int64)
+        cross = CrossPairwiseStats.from_matrices(
+            data, (2, 3), data, (3, 2), method=method
+        )
+        expected = CrossPairwiseStats.from_matrices(
+            data, (2, 3), data.copy(), (3, 2), method=method
+        )
+        assert np.array_equal(cross.gram, expected.gram)
+        assert np.array_equal(
+            cross.table(0, 1), joint_counts(data[:, 0], data[:, 1], 2, 2)
+        )
+
+    def test_mismatched_record_counts_rejected(self, matrix):
+        with pytest.raises(ValueError, match="same records"):
+            CrossPairwiseStats.from_matrices(
+                matrix, CARDS, matrix[:100], CARDS, method="dense"
+            )
+
+
+class TestValidation:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            PairwiseStats.from_matrix(np.zeros(4, dtype=np.int64), (2,))
+
+    def test_rejects_cardinality_mismatch(self):
+        with pytest.raises(ValueError, match="cardinalities"):
+            PairwiseStats.from_matrix(np.zeros((3, 2), dtype=np.int64), (2,))
+
+    def test_rejects_out_of_range_codes(self):
+        bad = np.array([[0, 5]])
+        with pytest.raises(ValueError, match="outside"):
+            PairwiseStats.from_matrix(bad, (2, 3))
+
+    def test_rejects_negative_codes(self):
+        bad = np.array([[-1, 0]])
+        with pytest.raises(ValueError, match="outside"):
+            PairwiseStats.from_matrix(bad, (2, 3))
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            PairwiseStats.from_matrix(np.zeros((3, 1), dtype=np.int64), (2,), chunk_size=0)
+
+    def test_rejects_bad_cardinality(self):
+        with pytest.raises(ValueError, match="cardinality"):
+            PairwiseStats.from_matrix(np.zeros((3, 1), dtype=np.int64), (0,))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            PairwiseStats.from_matrix(np.zeros((3, 1), dtype=np.int64), (2,), method="magic")
+
+
+class TestEntropies:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_matches_loop_reference(self, matrix, method):
+        entropies = pairwise_entropies(matrix, CARDS, method=method)
+        m = len(CARDS)
+        for i in range(m):
+            assert entropies[i, i] == pytest.approx(
+                entropy(matrix[:, i], CARDS[i]), abs=1e-12
+            )
+            for j in range(m):
+                if i != j:
+                    expected = joint_entropy(
+                        matrix[:, i], matrix[:, j], CARDS[i], CARDS[j]
+                    )
+                    assert entropies[i, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_symmetric_and_non_negative(self, matrix):
+        entropies = pairwise_entropies(matrix, CARDS)
+        assert np.allclose(entropies, entropies.T)
+        assert np.all(entropies >= 0)
+
+    def test_block_entropy_is_bit_identical_to_entropy_from_counts(self, matrix):
+        stats = PairwiseStats.from_matrix(matrix, CARDS)
+        for i in range(len(CARDS)):
+            for j in range(len(CARDS)):
+                block = stats.table(i, j)
+                assert block_entropy(block) == entropy_from_counts(block)
+        assert block_entropy(np.zeros(4, dtype=np.int64)) == 0.0
+
+    @given(seed=st.integers(0, 10_000), num_records=st.integers(1, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_joint_entropy_bounds(self, seed, num_records):
+        cards = (3, 4)
+        data = _random_matrix(cards, num_records, seed)
+        entropies = pairwise_entropies(data, cards, method="bincount")
+        h_x, h_y, h_xy = entropies[0, 0], entropies[1, 1], entropies[0, 1]
+        assert h_xy <= h_x + h_y + 1e-9
+        assert h_xy >= max(h_x, h_y) - 1e-9

@@ -4,15 +4,17 @@ import json
 
 import pytest
 
-from repro.cli import build_config, main
+from repro.cli import _release_warning, build_config, main
 from repro.datasets.dataset import Dataset
 from repro.datasets.metadata import read_metadata
 
 
 class TestBuildConfig:
-    def test_defaults_match_paper(self):
+    def test_defaults_are_demo_scaled(self):
         config = build_config({}, num_attributes=11)
-        assert config.privacy.k == 50
+        # The paper's k=50 assumes ~1.2M seed records and releases nothing at
+        # the CLI's demo scale, so the default is deliberately smaller.
+        assert config.privacy.k == 10
         assert config.privacy.gamma == 4.0
         assert config.model.omega == 9
 
@@ -31,6 +33,21 @@ class TestBuildConfig:
     def test_unknown_keys_rejected(self):
         with pytest.raises(ValueError, match="unknown config keys"):
             build_config({"not_a_key": 1}, num_attributes=11)
+
+
+class TestReleaseWarning:
+    def test_zero_releases_produce_a_warning(self):
+        warning = _release_warning(0, 100, k=50, num_seed_records=2000)
+        assert warning is not None
+        assert "k=50" in warning
+        assert "2000" in warning
+
+    def test_successful_release_produces_no_warning(self):
+        assert _release_warning(1, 100, k=50, num_seed_records=2000) is None
+        assert _release_warning(100, 100, k=10, num_seed_records=2000) is None
+
+    def test_zero_requested_produces_no_warning(self):
+        assert _release_warning(0, 0, k=50, num_seed_records=2000) is None
 
 
 class TestEndToEndCli:
