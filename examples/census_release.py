@@ -44,7 +44,7 @@ def main() -> None:
     print(f"input dataset: {len(data)} records")
 
     config = GenerationConfig.paper_defaults(num_attributes=len(data.schema))
-    pipeline = SynthesisPipeline(data, config)
+    pipeline = SynthesisPipeline(data, config, rng=np.random.default_rng(0))
     pipeline.fit()
 
     num_release = 2_000

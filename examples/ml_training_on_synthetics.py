@@ -40,7 +40,7 @@ def train_and_score(name, classifier, train, test) -> None:
 def main() -> None:
     data = load_acs(num_records=120_000, seed=3)
     config = GenerationConfig.paper_defaults(num_attributes=len(data.schema))
-    pipeline = SynthesisPipeline(data, config)
+    pipeline = SynthesisPipeline(data, config, rng=np.random.default_rng(0))
     pipeline.fit()
 
     num_train = 3_000

@@ -11,6 +11,8 @@ Runs the full pipeline of the paper on a small ACS-like dataset:
 Run with:  python examples/quickstart.py
 """
 
+import numpy as np
+
 from repro.core import GenerationConfig, SynthesisPipeline
 from repro.datasets import load_acs
 
@@ -22,7 +24,7 @@ def main() -> None:
 
     # 2-3. Fit the DP generative model and run Mechanism 1.
     config = GenerationConfig.paper_defaults(num_attributes=len(data.schema))
-    pipeline = SynthesisPipeline(data, config)
+    pipeline = SynthesisPipeline(data, config, rng=np.random.default_rng(0))
     pipeline.fit()
     report = pipeline.generate(num_records=500)
 

@@ -19,16 +19,25 @@ The public API groups into:
 
 Quickstart::
 
+    import numpy as np
     from repro.datasets import load_acs
     from repro.core import SynthesisPipeline, GenerationConfig
 
     data = load_acs(num_records=20_000, seed=7)
-    pipeline = SynthesisPipeline(data, GenerationConfig.paper_defaults())
+    pipeline = SynthesisPipeline(
+        data, GenerationConfig.paper_defaults(), rng=np.random.default_rng(0)
+    )
     report = pipeline.generate(num_records=500)
     synthetic = report.released_dataset()
 """
 
-from repro.core import GenerationConfig, SynthesisMechanism, SynthesisPipeline
+from repro.core import (
+    GenerationConfig,
+    RunStore,
+    SynthesisEngine,
+    SynthesisMechanism,
+    SynthesisPipeline,
+)
 from repro.datasets import ACS_SCHEMA, Dataset, Schema, load_acs
 from repro.generative import (
     BayesianNetworkSynthesizer,
@@ -51,6 +60,8 @@ __all__ = [
     "ACS_SCHEMA",
     "load_acs",
     "GenerationConfig",
+    "RunStore",
+    "SynthesisEngine",
     "SynthesisMechanism",
     "SynthesisPipeline",
     "BayesianNetworkSynthesizer",

@@ -15,10 +15,11 @@ workflow:
 The config file is a JSON object with the privacy-test parameters (``k``,
 ``gamma``, ``epsilon0``, ``max_plausible``, ``max_check_plausible``), the
 generative-model parameters (``omega``, ``total_epsilon``), the data-split
-fractions and the synthesis ``batch_size`` (how many candidates Mechanism 1
+fractions, the synthesis ``batch_size`` (how many candidates Mechanism 1
 pushes through the vectorized batch path at once; ``null``/1 selects the
-single-record reference loop); any omitted key falls back to the defaults
-below.
+single-record reference loop) and the parallel-engine knobs (``workers``,
+``chunk_size`` — see the README's "Scaling out" section); any omitted key
+falls back to the defaults below.
 
 Scaling ``k``: the privacy test releases a candidate only if at least ``k``
 seed records could plausibly have generated it, so the workable ``k`` grows
@@ -40,6 +41,7 @@ import numpy as np
 
 from repro.core.config import GenerationConfig
 from repro.core.pipeline import SynthesisPipeline
+from repro.core.run_store import RunStore
 from repro.datasets.acs import load_acs
 from repro.datasets.dataset import Dataset
 from repro.datasets.metadata import read_metadata, write_metadata
@@ -66,6 +68,10 @@ _DEFAULT_CONFIG = {
     "max_parent_cost": 300,
     "max_table_cells": None,
     "batch_size": 256,
+    # Workers of the chunk-dispatching synthesis engine; null keeps the
+    # serial single-stream path (see --workers).
+    "workers": None,
+    "chunk_size": 512,
     "rng_seed": 0,
 }
 
@@ -102,6 +108,7 @@ def build_config(options: dict, num_attributes: int) -> GenerationConfig:
             structure=structure,
         )
     batch_size = merged["batch_size"]
+    workers = merged["workers"]
     return GenerationConfig(
         privacy=privacy,
         model=model,
@@ -109,6 +116,8 @@ def build_config(options: dict, num_attributes: int) -> GenerationConfig:
         structure_fraction=float(merged["structure_fraction"]),
         parameter_fraction=float(merged["parameter_fraction"]),
         batch_size=int(batch_size) if batch_size is not None else None,
+        num_workers=int(workers) if workers is not None else None,
+        chunk_size=int(merged["chunk_size"]),
     )
 
 
@@ -147,10 +156,20 @@ def _command_generate(args: argparse.Namespace) -> int:
     options = json.loads(Path(args.config).read_text()) if args.config else {}
     config = build_config(options, num_attributes=len(schema))
     rng_seed = int(options.get("rng_seed", _DEFAULT_CONFIG["rng_seed"]))
+    if args.run_id and not args.run_store:
+        raise SystemExit("--run-id requires --run-store")
+    run_store = RunStore(args.run_store) if args.run_store else None
 
-    pipeline = SynthesisPipeline(dataset, config, rng=np.random.default_rng(rng_seed))
+    pipeline = SynthesisPipeline(
+        dataset, config, rng=np.random.default_rng(rng_seed), run_store=run_store
+    )
     pipeline.fit()
-    report = pipeline.generate(num_records=args.records, batch_size=args.batch_size)
+    report = pipeline.generate(
+        num_records=args.records,
+        batch_size=args.batch_size,
+        num_workers=args.workers,
+        run_id=args.run_id,
+    )
     released = report.released_dataset()
     released.to_csv(args.output)
 
@@ -198,6 +217,27 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="candidates per vectorized synthesis batch "
         "(overrides the config; 1 selects the single-record reference loop)",
+    )
+    generate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes of the parallel synthesis engine (overrides "
+        "the config's 'workers'; 1 runs the chunked loop in-process, omit "
+        "for the serial single-stream path)",
+    )
+    generate.add_argument(
+        "--run-store",
+        default=None,
+        help="directory of the experiment artifact store; caches the fitted "
+        "model across invocations and holds engine run checkpoints",
+    )
+    generate.add_argument(
+        "--run-id",
+        default=None,
+        help="checkpoint id for the synthesis run (requires --run-store); "
+        "re-running with the same id and parameters resumes from the "
+        "completed chunks",
     )
     generate.set_defaults(handler=_command_generate)
 

@@ -7,18 +7,27 @@
 * :mod:`repro.core.results` — release bookkeeping (attempts, pass rates);
 * :mod:`repro.core.pipeline` — the full tool: split the data, fit the DP
   generative model, generate and filter synthetics, report the privacy budget;
-* :mod:`repro.core.parallel` — embarrassingly-parallel generation across
-  worker processes (Section 5 / Figure 5).
+* :mod:`repro.core.engine` — the chunk-dispatching parallel synthesis engine
+  (persistent shared-memory worker pool, until-N dispatch, checkpointing);
+* :mod:`repro.core.run_store` — disk-backed artifact store and run
+  checkpoints shared by the pipeline, the experiments and the CLI;
+* :mod:`repro.core.parallel` — one-call parallel generation facade over the
+  engine (Section 5 / Figure 5).
 """
 
 from repro.core.config import GenerationConfig
+from repro.core.engine import ChunkProgress, SynthesisEngine
 from repro.core.mechanism import SynthesisMechanism
 from repro.core.parallel import generate_in_parallel
 from repro.core.pipeline import SynthesisPipeline
 from repro.core.results import SynthesisAttempt, SynthesisReport
+from repro.core.run_store import RunStore
 
 __all__ = [
+    "ChunkProgress",
     "GenerationConfig",
+    "RunStore",
+    "SynthesisEngine",
     "SynthesisMechanism",
     "SynthesisPipeline",
     "SynthesisAttempt",

@@ -38,6 +38,15 @@ class GenerationConfig:
         Number of candidates proposed per vectorized batch of Mechanism 1
         (the default).  ``None`` or 1 selects the single-record reference
         loop.
+    num_workers:
+        Worker processes of the chunk-dispatching synthesis engine.  ``None``
+        (the default) keeps the single-stream serial path; any value >= 1
+        routes generation through :class:`~repro.core.engine.SynthesisEngine`
+        (1 = in-process chunked reference, >1 = shared-memory worker pool).
+    chunk_size:
+        Attempts per dynamically dispatched engine chunk.  Part of a run's
+        RNG layout: reproducing or resuming an engine run requires the same
+        chunk size.
     """
 
     privacy: PlausibleDeniabilityParams = field(
@@ -49,6 +58,8 @@ class GenerationConfig:
     parameter_fraction: float = 0.175
     max_attempts_per_release: int = 1000
     batch_size: int | None = 256
+    num_workers: int | None = None
+    chunk_size: int = 512
 
     def __post_init__(self) -> None:
         fractions = (self.seed_fraction, self.structure_fraction, self.parameter_fraction)
@@ -60,6 +71,10 @@ class GenerationConfig:
             raise ValueError("max_attempts_per_release must be positive")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be positive when provided")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be positive when provided")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
 
     @classmethod
     def paper_defaults(cls, num_attributes: int = 11, total_epsilon: float = 1.0) -> "GenerationConfig":

@@ -1,0 +1,813 @@
+"""Persistent shared-memory parallel synthesis engine.
+
+The paper generates millions of plausibly-deniable synthetics by running many
+tool instances in parallel (Section 5, Figure 5).  The first-generation
+``generate_in_parallel`` reproduced that with a one-shot ``pool.map``: the
+whole model and seed matrix were pickled per task, attempts were split
+statically, and a run could not stop when a global release target was
+reached.  :class:`SynthesisEngine` replaces it with a long-lived execution
+layer:
+
+* **Shared memory instead of per-task pickling.**  The seed matrix — and the
+  Bayesian-network conditional tables where feasible — live in
+  ``multiprocessing.shared_memory`` segments created once per engine; workers
+  attach zero-copy read-only views at startup.  Only a small skeleton spec
+  (schema, structure, array offsets) is pickled, once, when the pool starts.
+
+* **Dynamic until-N dispatch.**  Work is claimed as fixed-size chunks from a
+  shared counter, so fast workers steal load instead of idling behind a
+  static split.  In until-N-released mode a shared released counter stops
+  workers within about one chunk of the target instead of burning a static
+  attempt budget.
+
+* **Deterministic chunk streams.**  Chunk ``i`` always uses the RNG stream
+  ``SeedSequence(base_seed, spawn_key=(i,))`` (exactly the ``i``-th spawned
+  child of ``SeedSequence(base_seed)``), so a chunk's content depends only on
+  its index — never on which worker ran it or on scheduling order.  The
+  merged report is the in-order concatenation of the chunk reports truncated
+  at the Nth release, which makes every worker count produce the *identical*
+  release and accounting as the serial in-process run on the same chunks.
+  Chunks a speculating worker completes beyond that point are discarded
+  without being recorded; like the unrecorded remainder of the final batch in
+  the mechanism's until-N loop, they are i.i.d. proposals whose omission
+  introduces no bias.
+
+* **Streaming reports and checkpoints.**  Chunk reports arrive incrementally
+  (``progress`` callback) and can be checkpointed to a
+  :class:`~repro.core.run_store.RunStore`, so a crashed or repeated run
+  resumes from its completed chunks instead of regenerating them.
+
+The serial reference loop (``num_workers=1``, which runs fully in-process
+with no subprocesses or shared memory) is the equivalence oracle for the
+parallel path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import traceback
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from queue import Empty
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.mechanism import SynthesisMechanism
+from repro.core.results import SynthesisReport
+from repro.core.run_store import RunStore, dataset_fingerprint
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Schema
+from repro.generative.base import GenerativeModel
+from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+__all__ = ["ChunkProgress", "SynthesisEngine", "chunk_rng"]
+
+
+def chunk_rng(base_seed: int, chunk_index: int) -> np.random.Generator:
+    """The deterministic RNG stream of one dispatch chunk.
+
+    ``SeedSequence(base_seed, spawn_key=(i,))`` is precisely the ``i``-th
+    child ``SeedSequence(base_seed).spawn(...)`` would produce, constructed
+    statelessly so any worker can derive any chunk's stream independently.
+    """
+    return np.random.default_rng(np.random.SeedSequence(base_seed, spawn_key=(chunk_index,)))
+
+
+@dataclass(frozen=True)
+class ChunkProgress:
+    """One incremental progress event: a chunk report arrived at the parent."""
+
+    chunk_index: int
+    chunk_attempts: int
+    chunk_released: int
+    total_attempts: int
+    total_released: int
+    from_checkpoint: bool = False
+
+
+# --------------------------------------------------------------------------- #
+# Shared-memory packing
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ArraySpec:
+    """Location of one array inside a shared-memory segment."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _pack_arrays(arrays: Sequence[np.ndarray]) -> tuple[SharedMemory, list[_ArraySpec]]:
+    """Copy arrays into one freshly created shared-memory segment."""
+    contiguous = [np.ascontiguousarray(array) for array in arrays]
+    specs: list[_ArraySpec] = []
+    offset = 0
+    for array in contiguous:
+        offset = (offset + 63) & ~63  # 64-byte alignment for clean vector loads
+        specs.append(_ArraySpec(offset, array.shape, array.dtype.str))
+        offset += array.nbytes
+    segment = SharedMemory(create=True, size=max(offset, 1))
+    for array, spec in zip(contiguous, specs):
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf, offset=spec.offset)
+        view[...] = array
+    return segment, specs
+
+
+def _attach_segment(name: str) -> SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    On POSIX Pythons before 3.13 *attaching* also registers the segment with
+    the resource tracker.  Spawned workers share the parent's tracker
+    process, whose cache is a per-name set, so the duplicate registration is
+    a no-op and the parent's ``unlink()`` unregisters exactly once; an
+    explicit worker-side unregister would instead delete the parent's entry
+    and make the final unlink double-unregister.  (If the parent dies
+    without cleanup, the shared tracker unlinks the leaked segment — which
+    is the behaviour we want.)
+    """
+    return SharedMemory(name=name)
+
+
+def _attach_array(segment: SharedMemory, spec: _ArraySpec) -> np.ndarray:
+    view = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf, offset=spec.offset
+    )
+    view.flags.writeable = False
+    return view
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side state
+# --------------------------------------------------------------------------- #
+@dataclass
+class _WorkerSpec:
+    """Everything a worker needs to rebuild its mechanism, pickled once."""
+
+    schema_attributes: tuple
+    params: PlausibleDeniabilityParams
+    seed_segment: str
+    seed_spec: _ArraySpec
+    # Bayesian-network fast path: tables live in shared memory.
+    table_segment: str | None = None
+    structure: object | None = None
+    omegas: tuple[int, ...] | None = None
+    tables_meta: list[tuple[int, tuple[int, ...], tuple[int, ...], _ArraySpec, _ArraySpec, _ArraySpec]] | None = None
+    # Fallback for arbitrary models: pickled once per worker (not per task).
+    fallback_model: GenerativeModel | None = None
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One dispatched run: a chunked attempt budget, optionally until-N."""
+
+    job_id: int
+    limit: int
+    chunk_size: int
+    base_seed: int
+    batch_size: int | None
+    target_released: int | None
+    completed: frozenset[int]
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.limit // self.chunk_size) if self.limit > 0 else 0
+
+    def chunk_attempts(self, index: int) -> int:
+        return min(self.chunk_size, self.limit - index * self.chunk_size)
+
+
+def _build_worker_mechanism(spec: _WorkerSpec, segments: list[SharedMemory]) -> SynthesisMechanism:
+    schema = Schema(list(spec.schema_attributes))
+    seed_segment = _attach_segment(spec.seed_segment)
+    segments.append(seed_segment)
+    seeds = Dataset(schema, _attach_array(seed_segment, spec.seed_spec))
+
+    if spec.fallback_model is not None:
+        model: GenerativeModel = spec.fallback_model
+    else:
+        from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+        from repro.generative.parameters import ConditionalParameters
+
+        assert spec.table_segment is not None and spec.tables_meta is not None
+        table_segment = _attach_segment(spec.table_segment)
+        segments.append(table_segment)
+        tables = []
+        for attribute_index, parents, cardinalities, table_spec, counts_spec, prior_spec in spec.tables_meta:
+            tables.append(
+                ConditionalParameters(
+                    attribute_index=attribute_index,
+                    parents=tuple(parents),
+                    parent_cardinalities=tuple(cardinalities),
+                    table=_attach_array(table_segment, table_spec),
+                    counts=_attach_array(table_segment, counts_spec),
+                    prior=_attach_array(table_segment, prior_spec),
+                )
+            )
+        model = BayesianNetworkSynthesizer(schema, spec.structure, tables, spec.omegas)
+    mechanism = SynthesisMechanism(model, seeds, spec.params)
+    mechanism.prepare()
+    return mechanism
+
+
+def _worker_main(spec, job_queue, results_queue, next_chunk, released_total, stop_flag):
+    """Worker entry point: build the mechanism once, then serve jobs forever."""
+    segments: list[SharedMemory] = []
+    try:
+        mechanism = _build_worker_mechanism(spec, segments)
+    except BaseException:
+        results_queue.put((None, "error", traceback.format_exc()))
+        return
+    results_queue.put((None, "ready", None))
+
+    while True:
+        job = job_queue.get()
+        if job is None:
+            return
+        try:
+            while True:
+                if stop_flag.value:
+                    break
+                if (
+                    job.target_released is not None
+                    and released_total.value >= job.target_released
+                ):
+                    break
+                with next_chunk.get_lock():
+                    index = next_chunk.value
+                    if index >= job.num_chunks:
+                        break
+                    next_chunk.value = index + 1
+                if index in job.completed:
+                    continue
+                report = mechanism.run_attempts(
+                    job.chunk_attempts(index),
+                    chunk_rng(job.base_seed, index),
+                    batch_size=job.batch_size,
+                )
+                with released_total.get_lock():
+                    released_total.value += report.num_released
+                results_queue.put(
+                    (job.job_id, "chunk", (index, report.to_arrays(), report.num_released))
+                )
+            results_queue.put((job.job_id, "done", None))
+        except BaseException:
+            results_queue.put((job.job_id, "error", traceback.format_exc()))
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+class SynthesisEngine:
+    """Chunk-dispatching synthesis executor with a persistent worker pool.
+
+    Parameters
+    ----------
+    model:
+        The fitted generative model.  Bayesian-network synthesizers have
+        their conditional tables placed in shared memory; other models are
+        pickled once per worker at pool startup.
+    seed_dataset:
+        The seed split DS; its matrix is placed in shared memory.
+    params:
+        Plausible-deniability test parameters.
+    num_workers:
+        ``1`` (default) runs every chunk in-process — the serial reference
+        path.  Larger values start that many spawn-context worker processes
+        the first time a run method is called; the pool then persists across
+        calls until :meth:`close`.
+    chunk_size:
+        Attempts per dispatched chunk.  Smaller chunks balance load better
+        and tighten the until-N stopping window; larger chunks amortize
+        dispatch overhead.  The chunk grid is part of a run's RNG layout, so
+        reproducing or resuming a run requires the same chunk size.
+    batch_size:
+        Vectorized proposal batch size used inside each chunk (``None``/1
+        selects the single-record reference loop).
+    run_store:
+        Optional :class:`~repro.core.run_store.RunStore`; run methods given a
+        ``run_id`` checkpoint completed chunks there and resume from them.
+
+    Use as a context manager (or call :meth:`close`) so worker processes and
+    shared-memory segments are released deterministically.
+    """
+
+    _POLL_SECONDS = 1.0
+
+    def __init__(
+        self,
+        model: GenerativeModel,
+        seed_dataset: Dataset,
+        params: PlausibleDeniabilityParams,
+        *,
+        num_workers: int = 1,
+        chunk_size: int = 512,
+        batch_size: int | None = 256,
+        run_store: RunStore | None = None,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be positive when provided")
+        self._model = model
+        self._seeds = seed_dataset
+        self._schema = seed_dataset.schema
+        self._params = params
+        self._num_workers = num_workers
+        self._chunk_size = chunk_size
+        self._batch_size = batch_size
+        self._run_store = run_store
+        self._job_counter = 0
+        self._pending_done = 0
+        self._workload_digest: str | None = None
+        self._local_mechanism: SynthesisMechanism | None = None
+        # Pool state (populated by start() when num_workers > 1).
+        self._started = False
+        self._closed = False
+        self._processes: list = []
+        self._job_queues: list = []
+        self._results_queue = None
+        self._next_chunk = None
+        self._released_total = None
+        self._stop_flag = None
+        self._segments: list[SharedMemory] = []
+
+    @property
+    def num_workers(self) -> int:
+        """Number of worker processes (1 = serial in-process reference path)."""
+        return self._num_workers
+
+    @property
+    def chunk_size(self) -> int:
+        """Attempts per dispatched chunk."""
+        return self._chunk_size
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "SynthesisEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def start(self) -> "SynthesisEngine":
+        """Start the worker pool eagerly (otherwise started on first run).
+
+        Blocks until every worker has attached the shared-memory segments,
+        rebuilt its mechanism and reported ready, so subsequent run calls
+        (and their timings) contain no startup cost.  A no-op for
+        ``num_workers=1`` and for an already started pool.
+        """
+        if self._closed:
+            raise RuntimeError("the engine has been closed")
+        if self._num_workers == 1 or self._started:
+            return self
+        spec = self._build_worker_spec()
+        context = get_context("spawn")
+        self._results_queue = context.Queue()
+        self._next_chunk = context.Value("l", 0)
+        self._released_total = context.Value("l", 0)
+        self._stop_flag = context.Value("b", 0)
+        for _ in range(self._num_workers):
+            job_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    spec,
+                    job_queue,
+                    self._results_queue,
+                    self._next_chunk,
+                    self._released_total,
+                    self._stop_flag,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._job_queues.append(job_queue)
+            self._processes.append(process)
+        self._started = True
+        ready = 0
+        while ready < self._num_workers:
+            _job_id, kind, payload = self._next_message()
+            if kind == "error":
+                self.close()
+                raise RuntimeError(f"engine worker failed to start:\n{payload}")
+            if kind == "ready":
+                ready += 1
+        return self
+
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for job_queue in self._job_queues:
+            try:
+                job_queue.put(None)
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+        self._segments.clear()
+        self._processes.clear()
+        self._job_queues.clear()
+
+    def _build_worker_spec(self) -> _WorkerSpec:
+        seed_segment, (seed_spec,) = _pack_arrays([self._seeds.data])
+        self._segments.append(seed_segment)
+        common = dict(
+            schema_attributes=tuple(self._schema.attributes),
+            params=self._params,
+            seed_segment=seed_segment.name,
+            seed_spec=seed_spec,
+        )
+        from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+
+        if not isinstance(self._model, BayesianNetworkSynthesizer):
+            return _WorkerSpec(fallback_model=self._model, **common)
+        arrays: list[np.ndarray] = []
+        for table in self._model.tables:
+            arrays.extend([table.table, table.counts, table.prior])
+        table_segment, specs = _pack_arrays(arrays)
+        self._segments.append(table_segment)
+        tables_meta = [
+            (
+                table.attribute_index,
+                table.parents,
+                table.parent_cardinalities,
+                specs[3 * index],
+                specs[3 * index + 1],
+                specs[3 * index + 2],
+            )
+            for index, table in enumerate(self._model.tables)
+        ]
+        return _WorkerSpec(
+            table_segment=table_segment.name,
+            structure=self._model.structure,
+            omegas=self._model.omegas,
+            tables_meta=tables_meta,
+            **common,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Run modes
+    # ------------------------------------------------------------------ #
+    def run_attempts(
+        self,
+        num_attempts: int,
+        base_seed: int = 0,
+        *,
+        progress: Callable[[ChunkProgress], None] | None = None,
+        run_id: str | None = None,
+    ) -> SynthesisReport:
+        """Propose exactly ``num_attempts`` candidates across the pool.
+
+        The result is identical for every worker count: it equals the
+        concatenation of the deterministic per-chunk reports in chunk order.
+        ``base_seed`` selects the family of chunk streams — reuse it to
+        reproduce a run, vary it to draw fresh candidates.
+        """
+        if num_attempts < 0:
+            raise ValueError("num_attempts must be non-negative")
+        return self._execute(
+            limit=num_attempts,
+            target_released=None,
+            base_seed=base_seed,
+            progress=progress,
+            run_id=run_id,
+        )
+
+    def generate(
+        self,
+        num_released: int,
+        base_seed: int = 0,
+        *,
+        max_attempts: int | None = None,
+        progress: Callable[[ChunkProgress], None] | None = None,
+        run_id: str | None = None,
+    ) -> SynthesisReport:
+        """Propose candidates until ``num_released`` pass the privacy test.
+
+        Workers coordinate through a shared released counter, so generation
+        stops within about one chunk per worker of the target instead of
+        running out a static attempt budget.  ``max_attempts`` (default: 100
+        per requested record, as in the serial mechanism) still bounds the
+        run when the parameters are too strict to reach the target.  The
+        released records and the merged accounting are identical for every
+        worker count.
+        """
+        if num_released < 0:
+            raise ValueError("num_released must be non-negative")
+        limit = max_attempts if max_attempts is not None else 100 * max(1, num_released)
+        if limit < 0:
+            raise ValueError("max_attempts must be non-negative")
+        return self._execute(
+            limit=limit,
+            target_released=num_released,
+            base_seed=base_seed,
+            progress=progress,
+            run_id=run_id,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution internals
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self,
+        limit: int,
+        target_released: int | None,
+        base_seed: int,
+        progress: Callable[[ChunkProgress], None] | None,
+        run_id: str | None,
+    ) -> SynthesisReport:
+        if self._closed:
+            raise RuntimeError("the engine has been closed")
+        self._job_counter += 1
+        job = _Job(
+            job_id=self._job_counter,
+            limit=limit,
+            chunk_size=self._chunk_size,
+            base_seed=base_seed,
+            batch_size=self._batch_size,
+            target_released=target_released,
+            completed=frozenset(),
+        )
+        # Only the contiguous prefix of checkpointed chunks is adopted: a
+        # post-gap chunk's releases would preset the shared released counter
+        # and could stop the pool before the gap is ever filled, silently
+        # under-delivering.  Gap and post-gap chunks are simply regenerated —
+        # chunk content is a pure function of the chunk index, so the rerun
+        # is bit-identical to the checkpoint it replaces.
+        loaded = self._load_checkpoint(job, run_id)
+        reports: dict[int, SynthesisReport] = {}
+        index = 0
+        while index in loaded:
+            reports[index] = loaded[index]
+            index += 1
+        if reports:
+            job = dataclasses.replace(job, completed=frozenset(reports))
+        tracker = _ProgressTracker(progress)
+        for index in sorted(reports):
+            tracker.emit(index, reports[index], from_checkpoint=True)
+
+        if self._num_workers == 1:
+            self._run_in_process(job, reports, tracker, run_id)
+        else:
+            self.start()
+            self._run_on_pool(job, reports, tracker, run_id)
+        return self._finalize(job, reports)
+
+    def _mechanism(self) -> SynthesisMechanism:
+        if self._local_mechanism is None:
+            self._local_mechanism = SynthesisMechanism(
+                self._model, self._seeds, self._params
+            ).prepare()
+        return self._local_mechanism
+
+    def _run_in_process(
+        self,
+        job: _Job,
+        reports: dict[int, SynthesisReport],
+        tracker: "_ProgressTracker",
+        run_id: str | None,
+    ) -> None:
+        mechanism = self._mechanism()
+        released = 0
+        for index in range(job.num_chunks):
+            if job.target_released is not None and released >= job.target_released:
+                break
+            report = reports.get(index)
+            if report is None:
+                report = mechanism.run_attempts(
+                    job.chunk_attempts(index),
+                    chunk_rng(job.base_seed, index),
+                    batch_size=job.batch_size,
+                )
+                reports[index] = report
+                self._save_checkpoint(run_id, index, report.to_arrays())
+                tracker.emit(index, report)
+            released += report.num_released
+
+    def _run_on_pool(
+        self,
+        job: _Job,
+        reports: dict[int, SynthesisReport],
+        tracker: "_ProgressTracker",
+        run_id: str | None,
+    ) -> None:
+        if self._pending_done:
+            # A previous job's collection loop was interrupted (exception in
+            # a progress callback, Ctrl-C, ...).  Its workers may still be
+            # claiming chunks from the shared counters, so wait for them to
+            # go quiescent before resetting state for this job.
+            self._stop_flag.value = 1
+            while self._pending_done:
+                _job_id, kind, _payload = self._next_message()
+                if kind in ("done", "error"):
+                    self._pending_done -= 1
+        self._next_chunk.value = 0
+        self._released_total.value = sum(
+            reports[index].num_released for index in job.completed
+        )
+        self._stop_flag.value = 0
+        for job_queue in self._job_queues:
+            job_queue.put(job)
+        self._pending_done = len(self._processes)
+
+        pending = len(self._processes)
+        prefix_released, prefix_index = self._prefix_state(job, reports)
+        failure: str | None = None
+        try:
+            while pending:
+                job_id, kind, payload = self._next_message()
+                if job_id != job.job_id:
+                    # Stale message from a job whose collection loop was
+                    # interrupted (e.g. a progress callback raised): drop it
+                    # rather than merging another run's chunks into this one.
+                    continue
+                if kind == "done":
+                    pending -= 1
+                    self._pending_done -= 1
+                elif kind == "error":
+                    pending -= 1
+                    self._pending_done -= 1
+                    failure = payload
+                    self._stop_flag.value = 1
+                elif kind == "chunk":
+                    index, arrays, _released = payload
+                    report = SynthesisReport.from_arrays(self._schema, arrays)
+                    reports[index] = report
+                    self._save_checkpoint(run_id, index, arrays)
+                    tracker.emit(index, report)
+                    if job.target_released is not None and not self._stop_flag.value:
+                        prefix_released, prefix_index = self._prefix_state(
+                            job, reports, prefix_released, prefix_index
+                        )
+                        if prefix_released >= job.target_released:
+                            self._stop_flag.value = 1
+        except BaseException:
+            # Parent-side failure mid-collection: tell the workers to stop
+            # claiming chunks instead of burning the rest of the budget.
+            self._stop_flag.value = 1
+            raise
+        if failure is not None:
+            raise RuntimeError(f"engine worker failed:\n{failure}")
+
+    @staticmethod
+    def _prefix_state(
+        job: _Job,
+        reports: dict[int, SynthesisReport],
+        prefix_released: int = 0,
+        prefix_index: int = 0,
+    ) -> tuple[int, int]:
+        """Cumulative releases over the contiguous chunk prefix received so far."""
+        index = prefix_index
+        released = prefix_released
+        while index < job.num_chunks and index in reports:
+            released += reports[index].num_released
+            index += 1
+        return released, index
+
+    def _next_message(self):
+        """One (job_id, kind, payload) message, watching for dead workers."""
+        while True:
+            try:
+                return self._results_queue.get(timeout=self._POLL_SECONDS)
+            except Empty:
+                # Workers only exit when close() sends the shutdown sentinel,
+                # so a dead process here always means a crash (e.g. OOM kill).
+                dead = [p for p in self._processes if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"{len(dead)} engine worker(s) died without reporting "
+                        f"a result (exit codes: {[p.exitcode for p in dead]})"
+                    ) from None
+
+    def _finalize(self, job: _Job, reports: dict[int, SynthesisReport]) -> SynthesisReport:
+        """Merge the in-order chunk prefix, truncating at the release target."""
+        ordered: list[SynthesisReport] = []
+        released = 0
+        for index in range(job.num_chunks):
+            if job.target_released is not None and released >= job.target_released:
+                break
+            report = reports.get(index)
+            if report is None:
+                if job.target_released is None:
+                    raise RuntimeError(f"chunk {index} was never completed")
+                break
+            ordered.append(report)
+            released += report.num_released
+        return SynthesisReport.merged(
+            self._schema, ordered, stop_after_released=job.target_released
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def _workload_fingerprint(self) -> str:
+        """Content hash of the model and seed dataset driving this engine.
+
+        Part of every run's checkpoint signature: resuming a run id against a
+        refitted model or a different seed split would otherwise silently
+        merge chunks generated from different distributions into one report.
+        """
+        if self._workload_digest is None:
+            from repro.generative.bayesian_network import BayesianNetworkSynthesizer
+
+            digest = hashlib.sha256()
+            digest.update(dataset_fingerprint(self._seeds).encode())
+            if isinstance(self._model, BayesianNetworkSynthesizer):
+                digest.update(repr(self._model.structure.parents).encode())
+                digest.update(repr(self._model.structure.order).encode())
+                digest.update(repr(self._model.omegas).encode())
+                for table in self._model.tables:
+                    digest.update(np.ascontiguousarray(table.table).tobytes())
+            else:
+                import pickle
+
+                digest.update(pickle.dumps(self._model, protocol=4))
+            self._workload_digest = digest.hexdigest()
+        return self._workload_digest
+
+    def _job_signature(self, job: _Job) -> dict:
+        return {
+            "limit": job.limit,
+            "chunk_size": job.chunk_size,
+            "base_seed": job.base_seed,
+            "batch_size": job.batch_size,
+            "target_released": job.target_released,
+            "k": self._params.k,
+            "gamma": self._params.gamma,
+            "epsilon0": self._params.epsilon0,
+            "max_plausible": self._params.max_plausible,
+            "max_check_plausible": self._params.max_check_plausible,
+            "workload": self._workload_fingerprint(),
+        }
+
+    def _load_checkpoint(self, job: _Job, run_id: str | None) -> dict[int, SynthesisReport]:
+        if self._run_store is None or run_id is None:
+            return {}
+        signature = self._job_signature(job)
+        stored = self._run_store.load_run_meta(run_id)
+        if stored is None:
+            self._run_store.save_run_meta(run_id, signature)
+            return {}
+        if stored != signature:
+            raise ValueError(
+                f"run {run_id!r} was checkpointed with a different job signature "
+                f"({stored}) than requested ({signature}); use a fresh run id or "
+                "matching parameters"
+            )
+        return {
+            index: SynthesisReport.from_arrays(self._schema, arrays)
+            for index, arrays in self._run_store.load_chunks(run_id).items()
+            if index < job.num_chunks
+        }
+
+    def _save_checkpoint(self, run_id: str | None, index: int, arrays: dict) -> None:
+        if self._run_store is not None and run_id is not None:
+            self._run_store.save_chunk(run_id, index, arrays)
+
+
+class _ProgressTracker:
+    """Accumulates totals and forwards :class:`ChunkProgress` events."""
+
+    def __init__(self, callback: Callable[[ChunkProgress], None] | None):
+        self._callback = callback
+        self._total_attempts = 0
+        self._total_released = 0
+
+    def emit(self, index: int, report: SynthesisReport, from_checkpoint: bool = False) -> None:
+        self._total_attempts += report.num_attempts
+        self._total_released += report.num_released
+        if self._callback is not None:
+            self._callback(
+                ChunkProgress(
+                    chunk_index=index,
+                    chunk_attempts=report.num_attempts,
+                    chunk_released=report.num_released,
+                    total_attempts=self._total_attempts,
+                    total_released=self._total_released,
+                    from_checkpoint=from_checkpoint,
+                )
+            )

@@ -99,6 +99,22 @@ class SynthesisMechanism:
         """The plausible-deniability parameters."""
         return self._params
 
+    def prepare(self) -> "SynthesisMechanism":
+        """Build the sorted prefix-key match index eagerly.
+
+        The index is otherwise built lazily on the first batched proposal;
+        long-lived engine workers call this once at startup so the one-off
+        sort cost never lands inside a timed or dispatched chunk.  A no-op
+        for models without the match-structure interface.
+        """
+        if self._match_index is None and (
+            hasattr(self._model, "fixed_prefix_keys")
+            and hasattr(self._model, "candidate_factor_suffix_products")
+            and hasattr(self._model, "omegas")
+        ):
+            self._match_index = _SeedMatchIndex(self._model, self._seeds.data)
+        return self
+
     # ------------------------------------------------------------------ #
     # Single-candidate operation
     # ------------------------------------------------------------------ #

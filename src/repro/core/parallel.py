@@ -1,51 +1,33 @@
-"""Embarrassingly-parallel synthesis across worker processes.
+"""Embarrassingly-parallel synthesis (compatibility facade over the engine).
 
 The synthesis of a record depends only on its own seed (Section 2), so the
 paper generates millions of records by running many tool instances in
-parallel (Section 5, Figure 5).  This module reproduces that property with a
-``multiprocessing`` pool: each worker receives the (picklable) model, the seed
-dataset and its own deterministic RNG stream, runs Mechanism 1 for its share
-of attempts, and the reports are merged afterwards.
+parallel (Section 5, Figure 5).  This module keeps the original one-call
+entry point, now backed by :class:`~repro.core.engine.SynthesisEngine`: the
+seed matrix and model tables are placed in shared memory once instead of
+being pickled per task, and attempts are dispatched as dynamic chunks from a
+shared counter so fast workers steal load.
+
+Long-lived callers (benchmark loops, services) should construct a
+:class:`~repro.core.engine.SynthesisEngine` directly so the worker pool and
+shared-memory segments persist across calls.
+
+.. note::
+   The chunk-indexed RNG layout differs from the per-worker streams of the
+   pre-engine implementation, so candidate sequences for a fixed
+   ``base_seed`` changed when the engine landed (they remain reproducible
+   and statistically independent across base seeds).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.mechanism import SynthesisMechanism
+from repro.core.engine import SynthesisEngine
 from repro.core.results import SynthesisReport
 from repro.datasets.dataset import Dataset
 from repro.generative.base import GenerativeModel
 from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
 
-__all__ = ["ParallelGenerationTask", "generate_in_parallel"]
-
-
-@dataclass
-class ParallelGenerationTask:
-    """The work assigned to one worker process."""
-
-    model: GenerativeModel
-    seed_data: np.ndarray
-    schema_attributes: tuple
-    params: PlausibleDeniabilityParams
-    num_attempts: int
-    rng_seed: int | np.random.SeedSequence
-    batch_size: int | None = None
-
-
-def _run_worker(task: ParallelGenerationTask) -> SynthesisReport:
-    """Worker entry point: rebuild the mechanism and run its attempts."""
-    from repro.datasets.schema import Schema
-
-    schema = Schema(list(task.schema_attributes))
-    seeds = Dataset(schema, task.seed_data)
-    mechanism = SynthesisMechanism(task.model, seeds, task.params)
-    rng = np.random.default_rng(task.rng_seed)
-    return mechanism.run_attempts(task.num_attempts, rng, batch_size=task.batch_size)
+__all__ = ["generate_in_parallel"]
 
 
 def generate_in_parallel(
@@ -56,47 +38,27 @@ def generate_in_parallel(
     num_workers: int = 2,
     base_seed: int = 0,
     batch_size: int | None = None,
+    chunk_size: int = 512,
 ) -> SynthesisReport:
-    """Run ``num_attempts`` Mechanism-1 proposals split across worker processes.
+    """Run ``num_attempts`` Mechanism-1 proposals across worker processes.
 
-    Workers use statistically independent RNG streams spawned from
-    ``np.random.SeedSequence(base_seed)`` — unlike naive ``base_seed + i``
-    seeding, spawned streams never collide across runs with adjacent base
-    seeds — so results are reproducible regardless of scheduling order.  With
-    ``num_workers=1`` everything runs in-process (useful for tests and
-    environments where spawning processes is expensive).  ``batch_size``
-    selects the vectorized batched synthesis path inside each worker.
+    Chunk RNG streams are derived from ``np.random.SeedSequence(base_seed)``
+    children keyed by chunk index, so the merged report is identical for
+    every ``num_workers`` (including the in-process ``num_workers=1`` serial
+    reference) and reproducible regardless of scheduling order.
+    ``batch_size`` selects the vectorized batched synthesis path inside each
+    chunk.
     """
     if num_attempts < 0:
         raise ValueError("num_attempts must be non-negative")
     if num_workers < 1:
         raise ValueError("num_workers must be positive")
-
-    shares = [num_attempts // num_workers] * num_workers
-    for index in range(num_attempts % num_workers):
-        shares[index] += 1
-    streams = np.random.SeedSequence(base_seed).spawn(num_workers)
-    tasks = [
-        ParallelGenerationTask(
-            model=model,
-            seed_data=seed_dataset.data,
-            schema_attributes=tuple(seed_dataset.schema.attributes),
-            params=params,
-            num_attempts=share,
-            rng_seed=streams[worker_index],
-            batch_size=batch_size,
-        )
-        for worker_index, share in enumerate(shares)
-        if share > 0
-    ]
-
-    if num_workers == 1 or len(tasks) <= 1:
-        reports = [_run_worker(task) for task in tasks]
-    else:
-        with multiprocessing.get_context("spawn").Pool(processes=num_workers) as pool:
-            reports = pool.map(_run_worker, tasks)
-
-    merged = SynthesisReport(schema=seed_dataset.schema)
-    for report in reports:
-        merged = merged.merge(report)
-    return merged
+    with SynthesisEngine(
+        model,
+        seed_dataset,
+        params,
+        num_workers=num_workers,
+        chunk_size=chunk_size,
+        batch_size=batch_size,
+    ) as engine:
+        return engine.run_attempts(num_attempts, base_seed=base_seed)

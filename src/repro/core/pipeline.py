@@ -7,21 +7,34 @@ pipeline:
    test subsets,
 2. fits the differentially-private Bayesian-network generative model (and the
    DP marginals baseline),
-3. runs Mechanism 1 to generate and filter synthetic records,
+3. runs Mechanism 1 to generate and filter synthetic records — serially, or
+   through the chunk-dispatching :class:`~repro.core.engine.SynthesisEngine`
+   when ``num_workers`` is configured,
 4. tracks the privacy budget spent on model learning and reports the overall
    (ε, δ) guarantee, including the Theorem 1 guarantee of the release step.
+
+With a :class:`~repro.core.run_store.RunStore` attached, the whole fit phase
+(splits, both models, privacy ledgers) is stored as a content-addressed
+artifact keyed by the dataset fingerprint, the configuration and the initial
+RNG state; a later pipeline with the same inputs — in this process or another
+— loads the artifact instead of refitting, and restores the RNG to its
+post-fit state so everything generated afterwards is bit-identical to an
+uncached run.
 """
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import GenerationConfig
+from repro.core.engine import SynthesisEngine
 from repro.core.mechanism import SynthesisMechanism
 from repro.core.results import SynthesisReport
+from repro.core.run_store import RunStore, canonical_payload, dataset_fingerprint
 from repro.datasets.dataset import Dataset
 from repro.datasets.splits import DataSplits, split_dataset
 from repro.generative.bayesian_network import BayesianNetworkSynthesizer
@@ -47,17 +60,32 @@ class PipelineTimings:
 
 
 class SynthesisPipeline:
-    """Fit the DP generative model and generate plausibly-deniable synthetics."""
+    """Fit the DP generative model and generate plausibly-deniable synthetics.
+
+    ``rng`` is required: data splitting, model fitting and synthesis all
+    consume randomness, and a silent ``default_rng(0)`` fallback would make
+    unrelated pipelines share one stream (the same policy applied to the
+    learners and the builder).  ``run_store`` optionally caches the fitted
+    state across processes.
+    """
 
     def __init__(
         self,
         dataset: Dataset,
         config: GenerationConfig | None = None,
         rng: np.random.Generator | None = None,
+        run_store: RunStore | None = None,
     ):
+        if rng is None:
+            raise ValueError(
+                "SynthesisPipeline requires an explicit rng (e.g. "
+                "np.random.default_rng(seed)); the implicit default_rng(0) "
+                "fallback has been removed"
+            )
         self._dataset = dataset
         self._config = config if config is not None else GenerationConfig.paper_defaults()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng
+        self._run_store = run_store
         self._splits: DataSplits | None = None
         self._model: BayesianNetworkSynthesizer | None = None
         self._marginal_model: MarginalSynthesizer | None = None
@@ -115,9 +143,51 @@ class SynthesisPipeline:
     # ------------------------------------------------------------------ #
     # Phases
     # ------------------------------------------------------------------ #
+    def _fit_artifact_key(self) -> str:
+        """Content key of the fit phase: dataset + fit inputs + RNG state.
+
+        Only the configuration the fit actually consumes (split fractions and
+        the model spec) enters the key — generation-only knobs like
+        ``num_workers`` or ``batch_size`` must not invalidate a cached fit.
+        """
+        from dataclasses import asdict
+
+        config = self._config
+        return RunStore.artifact_key(
+            "pipeline-fit",
+            {
+                "dataset": dataset_fingerprint(self._dataset),
+                "seed_fraction": config.seed_fraction,
+                "structure_fraction": config.structure_fraction,
+                "parameter_fraction": config.parameter_fraction,
+                "model": canonical_payload(asdict(config.model)),
+                "rng_state": canonical_payload(self._rng.bit_generator.state),
+            },
+        )
+
     def fit(self) -> "SynthesisPipeline":
-        """Split the data and fit the DP generative model and baseline."""
+        """Split the data and fit the DP generative model and baseline.
+
+        With a run store attached, a previously stored fit for the same
+        (dataset, config, RNG state) is loaded instead — including the
+        privacy ledgers and the post-fit RNG state, so downstream generation
+        matches an uncached run exactly.
+        """
         start = time.perf_counter()
+        key = self._fit_artifact_key() if self._run_store is not None else None
+        if key is not None and self._run_store.has_artifact(key):
+            artifact = self._run_store.load_artifact(key)
+            self._splits = artifact["splits"]
+            self._model = artifact["model"]
+            self._marginal_model = artifact["marginal_model"]
+            self._accountant = artifact["accountant"]
+            self._baseline_accountant = artifact["baseline_accountant"]
+            self._rng.bit_generator.state = artifact["rng_state"]
+            self._mechanism = SynthesisMechanism(
+                self._model, self._splits.seeds, self._config.privacy
+            )
+            self._timings.model_learning_seconds += time.perf_counter() - start
+            return self
         config = self._config
         self._splits = split_dataset(
             self._dataset,
@@ -145,6 +215,18 @@ class SynthesisPipeline:
         self._mechanism = SynthesisMechanism(
             self._model, self._splits.seeds, config.privacy
         )
+        if key is not None:
+            self._run_store.save_artifact(
+                key,
+                {
+                    "splits": self._splits,
+                    "model": self._model,
+                    "marginal_model": self._marginal_model,
+                    "accountant": copy.deepcopy(self._accountant),
+                    "baseline_accountant": copy.deepcopy(self._baseline_accountant),
+                    "rng_state": self._rng.bit_generator.state,
+                },
+            )
         self._timings.model_learning_seconds += time.perf_counter() - start
         return self
 
@@ -153,12 +235,21 @@ class SynthesisPipeline:
         num_records: int,
         max_attempts: int | None = None,
         batch_size: int | None = None,
+        num_workers: int | None = None,
+        run_id: str | None = None,
     ) -> SynthesisReport:
         """Generate synthetics until ``num_records`` pass the privacy test.
 
         ``batch_size`` overrides the config's batch size for this call; both
         default to the vectorized batched path when set, and to the
-        single-record reference loop otherwise.
+        single-record reference loop otherwise.  ``num_workers`` (or the
+        config's ``num_workers``) routes the run through the chunk-dispatching
+        :class:`~repro.core.engine.SynthesisEngine` — 1 runs the chunked
+        loop in-process, larger counts start a shared-memory worker pool for
+        the duration of the call; ``run_id`` (with an attached run store)
+        checkpoints engine chunks so an interrupted run resumes.  Long-lived
+        callers should construct a :class:`SynthesisEngine` directly so the
+        pool persists across calls.
         """
         if self._mechanism is None:
             self.fit()
@@ -168,9 +259,37 @@ class SynthesisPipeline:
             max_attempts = self._config.max_attempts_per_release * max(1, num_records)
         if batch_size is None:
             batch_size = self._config.batch_size
-        report = self._mechanism.generate(
-            num_records, self._rng, max_attempts, batch_size=batch_size
-        )
+        if num_workers is None:
+            num_workers = self._config.num_workers
+        if num_workers is None and run_id is not None:
+            # Checkpointing is a property of the chunked engine path; honour
+            # the request with the in-process engine rather than silently
+            # running the uncheckpointed serial loop.
+            num_workers = 1
+        if num_workers is None:
+            report = self._mechanism.generate(
+                num_records, self._rng, max_attempts, batch_size=batch_size
+            )
+        else:
+            # The chunk streams are derived from a base seed drawn from the
+            # pipeline RNG, so repeated calls draw fresh candidates while the
+            # whole pipeline stays reproducible from its seed.
+            base_seed = int(self._rng.integers(2**63))
+            with SynthesisEngine(
+                self.model,
+                self.splits.seeds,
+                self._config.privacy,
+                num_workers=num_workers,
+                chunk_size=self._config.chunk_size,
+                batch_size=batch_size,
+                run_store=self._run_store,
+            ) as engine:
+                report = engine.generate(
+                    num_records,
+                    base_seed=base_seed,
+                    max_attempts=max_attempts,
+                    run_id=run_id,
+                )
         self._timings.synthesis_seconds += time.perf_counter() - start
         return report
 

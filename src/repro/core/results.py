@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -88,11 +89,104 @@ class SynthesisReport:
             return Dataset(self.schema, np.empty((0, len(self.schema)), dtype=np.int64))
         return Dataset(self.schema, np.vstack([attempt.candidate for attempt in self.attempts]))
 
-    def merge(self, other: "SynthesisReport") -> "SynthesisReport":
-        """Combine two reports (e.g. from parallel workers)."""
-        if self.schema != other.schema:
-            raise ValueError("cannot merge reports with different schemas")
-        merged = SynthesisReport(
-            schema=self.schema, attempts=list(self.attempts) + list(other.attempts)
-        )
-        return merged
+    def merge(self, *others: "SynthesisReport") -> "SynthesisReport":
+        """Combine this report with any number of others (e.g. worker chunks).
+
+        All attempt lists are concatenated in a single pass; merging W worker
+        reports is O(total attempts) instead of the O(W × total) cost of
+        repeated pairwise merges.
+        """
+        return SynthesisReport.merged(self.schema, [self, *others])
+
+    @classmethod
+    def merged(
+        cls,
+        schema: Schema,
+        reports: "Sequence[SynthesisReport]",
+        stop_after_released: int | None = None,
+    ) -> "SynthesisReport":
+        """Concatenate many reports (in order) into one.
+
+        With ``stop_after_released`` set, recording stops right after the
+        attempt that produces the Nth release — the same truncation rule as
+        the mechanism's until-N-released loop, so a chunked engine run merged
+        with this method matches the serial reference on the same chunks.
+        """
+        attempts: list[SynthesisAttempt] = []
+        for report in reports:
+            if report.schema != schema:
+                raise ValueError("cannot merge reports with different schemas")
+            attempts.extend(report.attempts)
+        if stop_after_released is not None:
+            released = 0
+            for index, attempt in enumerate(attempts):
+                if attempt.released:
+                    released += 1
+                    if released >= stop_after_released:
+                        attempts = attempts[: index + 1]
+                        break
+        return cls(schema=schema, attempts=attempts)
+
+    # ------------------------------------------------------------------ #
+    # Compact array serialization (worker IPC and run checkpoints)
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the report into a dict of parallel numpy arrays.
+
+        One array per attempt field; the inverse of :meth:`from_arrays`.
+        This is how chunk reports travel between engine workers and the
+        parent, and how they are checkpointed to a run store — far cheaper
+        than pickling per-attempt objects.
+        """
+        num = len(self.attempts)
+        num_columns = len(self.schema)
+        candidates = np.empty((num, num_columns), dtype=np.int64)
+        for index, attempt in enumerate(self.attempts):
+            candidates[index] = attempt.candidate
+        return {
+            "seed_indices": np.array(
+                [attempt.seed_index for attempt in self.attempts], dtype=np.int64
+            ),
+            "candidates": candidates,
+            "passed": np.array(
+                [attempt.test.passed for attempt in self.attempts], dtype=bool
+            ),
+            "plausible_seeds": np.array(
+                [attempt.test.plausible_seeds for attempt in self.attempts], dtype=np.int64
+            ),
+            "partition_indices": np.array(
+                [attempt.test.partition_index for attempt in self.attempts], dtype=np.int64
+            ),
+            "thresholds": np.array(
+                [attempt.test.threshold for attempt in self.attempts], dtype=np.float64
+            ),
+            "records_checked": np.array(
+                [attempt.test.records_checked for attempt in self.attempts], dtype=np.int64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(cls, schema: Schema, arrays: dict[str, np.ndarray]) -> "SynthesisReport":
+        """Rebuild a report from the parallel arrays of :meth:`to_arrays`."""
+        seed_indices = np.asarray(arrays["seed_indices"], dtype=np.int64)
+        candidates = np.asarray(arrays["candidates"], dtype=np.int64)
+        passed = np.asarray(arrays["passed"], dtype=bool)
+        plausible = np.asarray(arrays["plausible_seeds"], dtype=np.int64)
+        partitions = np.asarray(arrays["partition_indices"], dtype=np.int64)
+        thresholds = np.asarray(arrays["thresholds"], dtype=np.float64)
+        checked = np.asarray(arrays["records_checked"], dtype=np.int64)
+        attempts = [
+            SynthesisAttempt(
+                seed_index=int(seed_indices[index]),
+                candidate=candidates[index].copy(),
+                test=PrivacyTestResult(
+                    passed=bool(passed[index]),
+                    plausible_seeds=int(plausible[index]),
+                    partition_index=int(partitions[index]),
+                    threshold=float(thresholds[index]),
+                    records_checked=int(checked[index]),
+                ),
+            )
+            for index in range(seed_indices.size)
+        ]
+        return cls(schema=schema, attempts=attempts)

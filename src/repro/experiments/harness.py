@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.config import GenerationConfig
 from repro.core.mechanism import SynthesisMechanism
+from repro.core.run_store import RunStore
 from repro.datasets.acs import load_acs
 from repro.datasets.dataset import Dataset
 from repro.datasets.splits import DataSplits, split_dataset
@@ -114,6 +115,12 @@ class ExperimentContext:
         Plausible-deniability parameters (paper defaults: 50, 4, 1).
     seed:
         Master RNG seed; every derived computation is seeded from it.
+    run_store:
+        Optional :class:`~repro.core.run_store.RunStore`.  Fitted models and
+        released synthetic datasets are stored as content-addressed artifacts
+        keyed by the context's configuration and seed, so a second benchmark
+        session — in this process or another — reuses them instead of
+        refitting.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class ExperimentContext:
         epsilon0: float = 1.0,
         seed: int = 7,
         adaptive_table_cells: bool = True,
+        run_store: "RunStore | None" = None,
     ):
         self.num_raw_records = num_raw_records
         self.synthetic_records = synthetic_records
@@ -135,6 +143,7 @@ class ExperimentContext:
         self.epsilon0 = epsilon0
         self.seed = seed
         self.adaptive_table_cells = adaptive_table_cells
+        self.run_store = run_store
         self._dataset: Dataset | None = None
         self._splits: DataSplits | None = None
         self._models: dict[str, BayesianNetworkSynthesizer] = {}
@@ -147,8 +156,20 @@ class ExperimentContext:
     # Data
     # ------------------------------------------------------------------ #
     def rng(self, offset: int = 0) -> np.random.Generator:
-        """A reproducible RNG derived from the master seed."""
-        return np.random.default_rng(self.seed + offset)
+        """A reproducible RNG stream derived from the master seed.
+
+        Stream ``offset`` is the ``offset``-th spawned child of
+        ``np.random.SeedSequence(self.seed)`` (constructed statelessly via
+        its ``spawn_key``), so streams never collide across offsets *or*
+        across adjacent master seeds — the additive ``seed + offset`` pattern
+        this replaces made e.g. ``(seed=7, offset=1)`` and ``(seed=8,
+        offset=0)`` the same stream.  Every stream (and therefore every
+        derived dataset/model) differs from the additive scheme for a fixed
+        seed; distributions are unchanged.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(offset,))
+        )
 
     @property
     def dataset(self) -> Dataset:
@@ -223,18 +244,66 @@ class ExperimentContext:
             raise KeyError(f"unknown omega variant {variant!r}")
         return self.model_for_omega(OMEGA_VARIANTS[variant], cache_key=variant)
 
+    def _artifact_payload(self, omega: int | Iterable[int] | None = None) -> dict:
+        """Everything a fitted artifact depends on, as a plain payload dict."""
+        payload = {
+            "num_raw_records": self.num_raw_records,
+            "seed": self.seed,
+            "total_epsilon": self.total_epsilon,
+            "max_table_cells": self.max_table_cells(),
+            # The rng() stream derivation is part of the fit's identity; bump
+            # when the stream scheme changes so stale artifacts never match.
+            "rng_scheme": "seedseq-spawn-v1",
+        }
+        if omega is not None:
+            payload["omega"] = (
+                [int(omega)]
+                if isinstance(omega, (int, np.integer))
+                else [int(value) for value in omega]
+            )
+        return payload
+
     def model_for_omega(
         self, omega: int | Iterable[int], cache_key: str | None = None
     ) -> BayesianNetworkSynthesizer:
-        """The fitted DP generative model for an arbitrary ω setting (cached)."""
+        """The fitted DP generative model for an arbitrary ω setting.
+
+        Cached in-process per ω variant and, with a run store attached,
+        across processes: the fitted model and the privacy-ledger entries of
+        its fit are stored under a content key derived from the context's
+        configuration, so a second benchmark session loads instead of
+        refitting.
+        """
         key = cache_key if cache_key is not None else f"omega:{omega!r}"
-        if key not in self._models:
-            self._models[key] = fit_bayesian_network(
-                self.splits.structure,
-                self.splits.parameters,
-                spec=self.model_spec(omega),
-                accountant=self._accountant,
-                rng=self.rng(2),
+        if key in self._models:
+            return self._models[key]
+        store_key = None
+        if self.run_store is not None:
+            store_key = RunStore.artifact_key(
+                "context-model", self._artifact_payload(omega)
+            )
+            if self.run_store.has_artifact(store_key):
+                artifact = self.run_store.load_artifact(store_key)
+                self._accountant.entries.extend(artifact["accountant_entries"])
+                self._models[key] = artifact["model"]
+                return self._models[key]
+        entries_before = len(self._accountant.entries)
+        self._models[key] = fit_bayesian_network(
+            self.splits.structure,
+            self.splits.parameters,
+            spec=self.model_spec(omega),
+            accountant=self._accountant,
+            rng=self.rng(2),
+        )
+        if store_key is not None:
+            self.run_store.save_artifact(
+                store_key,
+                {
+                    "model": self._models[key],
+                    "accountant_entries": list(
+                        self._accountant.entries[entries_before:]
+                    ),
+                },
             )
         return self._models[key]
 
@@ -260,15 +329,38 @@ class ExperimentContext:
     # Datasets for the utility experiments
     # ------------------------------------------------------------------ #
     def synthetic_dataset(self, variant: str = "omega=9") -> Dataset:
-        """Released synthetic records for one ω variant (cached)."""
-        if variant not in self._synthetics:
-            mechanism = self.mechanism(variant)
-            report = mechanism.generate(
-                self.synthetic_records,
-                self.rng(10 + list(OMEGA_VARIANTS).index(variant)),
-                max_attempts=20 * self.synthetic_records,
+        """Released synthetic records for one ω variant.
+
+        Cached in-process and, with a run store attached, across processes
+        (content-keyed by the generation configuration and seed).
+        """
+        if variant in self._synthetics:
+            return self._synthetics[variant]
+        store_key = None
+        if self.run_store is not None:
+            payload = self._artifact_payload(OMEGA_VARIANTS[variant])
+            payload.update(
+                {
+                    "variant": variant,
+                    "synthetic_records": self.synthetic_records,
+                    "k": self.k,
+                    "gamma": self.gamma,
+                    "epsilon0": self.epsilon0,
+                }
             )
-            self._synthetics[variant] = report.released_dataset()
+            store_key = RunStore.artifact_key("context-synthetic", payload)
+            if self.run_store.has_artifact(store_key):
+                self._synthetics[variant] = self.run_store.load_artifact(store_key)
+                return self._synthetics[variant]
+        mechanism = self.mechanism(variant)
+        report = mechanism.generate(
+            self.synthetic_records,
+            self.rng(10 + list(OMEGA_VARIANTS).index(variant)),
+            max_attempts=20 * self.synthetic_records,
+        )
+        self._synthetics[variant] = report.released_dataset()
+        if store_key is not None:
+            self.run_store.save_artifact(store_key, self._synthetics[variant])
         return self._synthetics[variant]
 
     @property

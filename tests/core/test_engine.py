@@ -1,0 +1,290 @@
+"""Tests for the shared-memory parallel synthesis engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ChunkProgress, SynthesisEngine, chunk_rng
+from repro.core.run_store import RunStore
+from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0)
+
+
+def _released(report):
+    return report.released_dataset().data
+
+
+def _accounting(report):
+    """The full per-attempt accounting of a report, as comparable arrays."""
+    arrays = report.to_arrays()
+    return {name: arrays[name].tolist() for name in arrays}
+
+
+class TestChunkRng:
+    def test_matches_spawned_children(self):
+        parent = np.random.SeedSequence(42)
+        children = parent.spawn(3)
+        for index, child in enumerate(children):
+            expected = np.random.default_rng(child).integers(2**63, size=4)
+            actual = chunk_rng(42, index).integers(2**63, size=4)
+            assert np.array_equal(expected, actual)
+
+    def test_streams_differ_across_chunks_and_seeds(self):
+        draws = {
+            (seed, chunk): tuple(chunk_rng(seed, chunk).integers(2**63, size=4))
+            for seed in (0, 1) for chunk in (0, 1)
+        }
+        assert len(set(draws.values())) == 4
+
+
+class TestSerialEngine:
+    def test_chunk_oracle_equivalence(self, unnoised_model, acs_splits, params):
+        # The engine's chunks are exactly mechanism.run_attempts calls on the
+        # per-chunk RNG streams — the serial reference loop is the oracle.
+        from repro.core.mechanism import SynthesisMechanism
+
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, batch_size=8
+        ) as engine:
+            report = engine.run_attempts(40, base_seed=9)
+        mechanism = SynthesisMechanism(unnoised_model, acs_splits.seeds, params)
+        oracle = [
+            mechanism.run_attempts(size, chunk_rng(9, index), batch_size=8)
+            for index, size in enumerate((16, 16, 8))
+        ]
+        merged = oracle[0].merge(*oracle[1:])
+        assert _accounting(report) == _accounting(merged)
+
+    def test_run_attempts_counts(self, unnoised_model, acs_splits, params):
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=8
+        ) as engine:
+            assert engine.run_attempts(0).num_attempts == 0
+            assert engine.run_attempts(21).num_attempts == 21
+
+    def test_generate_until_n_stops_within_a_chunk(
+        self, unnoised_model, acs_splits, params
+    ):
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=32
+        ) as engine:
+            report = engine.generate(10, base_seed=3, max_attempts=5000)
+        assert report.num_released == 10
+        # Truncation at the Nth release: the final recorded attempt is it.
+        assert report.attempts[-1].released
+        assert report.num_attempts <= 2 * engine.chunk_size
+
+    def test_generate_respects_attempt_budget(self, unnoised_model, acs_splits):
+        # k equal to the whole seed split: a candidate passes only if every
+        # seed record shares its probability bucket, which the zero-probability
+        # non-matching records make impossible — the budget must stop the run.
+        strict = PlausibleDeniabilityParams(k=len(acs_splits.seeds), gamma=4.0)
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, strict, chunk_size=16
+        ) as engine:
+            report = engine.generate(5, base_seed=1, max_attempts=64)
+        assert report.num_attempts == 64
+        assert report.num_released < 5
+
+    def test_progress_events_stream(self, unnoised_model, acs_splits, params):
+        events: list[ChunkProgress] = []
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16
+        ) as engine:
+            report = engine.run_attempts(40, base_seed=2, progress=events.append)
+        assert [event.chunk_index for event in events] == [0, 1, 2]
+        assert [event.chunk_attempts for event in events] == [16, 16, 8]
+        assert events[-1].total_attempts == report.num_attempts
+        assert events[-1].total_released == report.num_released
+
+    def test_validation(self, unnoised_model, acs_splits, params):
+        with pytest.raises(ValueError):
+            SynthesisEngine(unnoised_model, acs_splits.seeds, params, num_workers=0)
+        with pytest.raises(ValueError):
+            SynthesisEngine(unnoised_model, acs_splits.seeds, params, chunk_size=0)
+        with pytest.raises(ValueError):
+            SynthesisEngine(unnoised_model, acs_splits.seeds, params, batch_size=0)
+        with SynthesisEngine(unnoised_model, acs_splits.seeds, params) as engine:
+            with pytest.raises(ValueError):
+                engine.run_attempts(-1)
+            with pytest.raises(ValueError):
+                engine.generate(-1)
+
+    def test_closed_engine_rejects_runs(self, unnoised_model, acs_splits, params):
+        engine = SynthesisEngine(unnoised_model, acs_splits.seeds, params)
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.run_attempts(1)
+
+
+class TestWorkerPoolParity:
+    """Spawn-context multi-worker runs must match the serial reference exactly.
+
+    One persistent 2-worker pool is shared by the whole class so the suite
+    pays the spawn startup cost once.
+    """
+
+    @pytest.fixture(scope="class")
+    def pool_engine(self, unnoised_model, acs_splits, params):
+        with SynthesisEngine(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_workers=2,
+            chunk_size=16,
+            batch_size=8,
+        ) as engine:
+            yield engine.start()
+
+    @pytest.fixture(scope="class")
+    def serial_engine(self, unnoised_model, acs_splits, params):
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, batch_size=8
+        ) as engine:
+            yield engine
+
+    def test_run_attempts_parity(self, pool_engine, serial_engine):
+        serial = serial_engine.run_attempts(60, base_seed=11)
+        pooled = pool_engine.run_attempts(60, base_seed=11)
+        assert np.array_equal(_released(serial), _released(pooled))
+        assert _accounting(serial) == _accounting(pooled)
+
+    def test_until_n_released_parity(self, pool_engine, serial_engine):
+        serial = serial_engine.generate(12, base_seed=13, max_attempts=4000)
+        pooled = pool_engine.generate(12, base_seed=13, max_attempts=4000)
+        assert serial.num_released == 12
+        assert np.array_equal(_released(serial), _released(pooled))
+        assert _accounting(serial) == _accounting(pooled)
+
+    def test_pool_persists_across_calls(self, pool_engine):
+        first = pool_engine.run_attempts(20, base_seed=1)
+        second = pool_engine.run_attempts(20, base_seed=1)
+        assert _accounting(first) == _accounting(second)
+
+
+class TestCheckpointing:
+    def test_resume_skips_completed_chunks(
+        self, unnoised_model, acs_splits, params, tmp_path, monkeypatch
+    ):
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            original = engine.generate(
+                10, base_seed=21, max_attempts=2000, run_id="resume-test"
+            )
+        assert store.completed_chunks("resume-test")
+
+        # A fresh engine with the same store must replay from the checkpoints
+        # without proposing a single new candidate.
+        from repro.core import mechanism as mechanism_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("resumed run must not regenerate chunks")
+
+        monkeypatch.setattr(
+            mechanism_module.SynthesisMechanism, "run_attempts", _boom
+        )
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            resumed = engine.generate(
+                10, base_seed=21, max_attempts=2000, run_id="resume-test"
+            )
+        assert _accounting(resumed) == _accounting(original)
+
+    def test_partial_resume_completes_the_run(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            full = engine.run_attempts(48, base_seed=5, run_id="partial")
+        # Simulate a crash after the first chunk: drop the later checkpoints.
+        run_dir = store.root / "runs" / "partial"
+        for index in (1, 2):
+            (run_dir / f"chunk_{index:08d}.npz").unlink()
+        events = []
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            resumed = engine.run_attempts(
+                48, base_seed=5, run_id="partial", progress=events.append
+            )
+        assert _accounting(resumed) == _accounting(full)
+        assert [event.from_checkpoint for event in events] == [True, False, False]
+
+    def test_gap_in_checkpoints_regenerates_from_the_gap(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        # Only the contiguous prefix of checkpoints may be adopted: presets
+        # derived from post-gap chunks could stop an until-N pool before the
+        # gap is filled.  With chunk 0 missing, everything is regenerated —
+        # bit-identically, since chunks are pure functions of their index.
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            full = engine.run_attempts(48, base_seed=5, run_id="gap")
+        (store.root / "runs" / "gap" / "chunk_00000000.npz").unlink()
+        events = []
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            resumed = engine.run_attempts(
+                48, base_seed=5, run_id="gap", progress=events.append
+            )
+        assert _accounting(resumed) == _accounting(full)
+        assert all(not event.from_checkpoint for event in events)
+
+    def test_mismatched_signature_rejected(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            engine.run_attempts(32, base_seed=5, run_id="sig")
+            with pytest.raises(ValueError):
+                engine.run_attempts(32, base_seed=6, run_id="sig")
+
+    def test_changed_privacy_knobs_reject_resume(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            engine.run_attempts(32, base_seed=5, run_id="knobs")
+        relaxed = PlausibleDeniabilityParams(
+            k=params.k, gamma=params.gamma, epsilon0=params.epsilon0,
+            max_plausible=params.k,
+        )
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, relaxed, chunk_size=16, run_store=store
+        ) as engine:
+            with pytest.raises(ValueError):
+                engine.run_attempts(32, base_seed=5, run_id="knobs")
+
+    def test_changed_seed_split_rejects_resume(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        from repro.datasets.dataset import Dataset
+
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            engine.run_attempts(32, base_seed=5, run_id="data")
+        truncated = Dataset(
+            acs_splits.seeds.schema, acs_splits.seeds.data[:-1]
+        )
+        with SynthesisEngine(
+            unnoised_model, truncated, params, chunk_size=16, run_store=store
+        ) as engine:
+            with pytest.raises(ValueError):
+                engine.run_attempts(32, base_seed=5, run_id="data")

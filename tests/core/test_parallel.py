@@ -1,29 +1,15 @@
-"""Tests for parallel generation."""
+"""Tests for the one-call parallel generation facade."""
 
 import numpy as np
 import pytest
 
-from repro.core.parallel import ParallelGenerationTask, _run_worker, generate_in_parallel
+from repro.core.parallel import generate_in_parallel
 from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
 
 
 @pytest.fixture(scope="module")
 def params():
     return PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0)
-
-
-class TestWorker:
-    def test_worker_runs_requested_attempts(self, unnoised_model, acs_splits, params):
-        task = ParallelGenerationTask(
-            model=unnoised_model,
-            seed_data=acs_splits.seeds.data,
-            schema_attributes=tuple(acs_splits.seeds.schema.attributes),
-            params=params,
-            num_attempts=7,
-            rng_seed=0,
-        )
-        report = _run_worker(task)
-        assert report.num_attempts == 7
 
 
 class TestGenerateInParallel:
@@ -33,15 +19,9 @@ class TestGenerateInParallel:
         )
         assert report.num_attempts == 12
 
-    def test_attempts_split_across_workers(self, unnoised_model, acs_splits, params):
-        report = generate_in_parallel(
-            unnoised_model, acs_splits.seeds, params, num_attempts=9, num_workers=2
-        )
-        assert report.num_attempts == 9
-
     def test_zero_attempts(self, unnoised_model, acs_splits, params):
         report = generate_in_parallel(
-            unnoised_model, acs_splits.seeds, params, num_attempts=0, num_workers=2
+            unnoised_model, acs_splits.seeds, params, num_attempts=0, num_workers=1
         )
         assert report.num_attempts == 0
 
@@ -62,24 +42,26 @@ class TestGenerateInParallel:
             first.all_candidates_dataset().data, second.all_candidates_dataset().data
         )
 
-    def test_adjacent_base_seeds_do_not_share_worker_streams(
+    def test_adjacent_base_seeds_use_distinct_streams(
         self, unnoised_model, acs_splits, params
     ):
-        # Regression: with the old base_seed + worker_index seeding, worker 1
-        # of a base_seed=0 run used the same RNG stream as worker 0 of a
-        # base_seed=1 run, so their candidate blocks were identical.  Spawned
-        # SeedSequence streams never collide.
+        # Chunk streams are SeedSequence children of the base seed; unlike the
+        # original base_seed + worker_index scheme, adjacent base seeds can
+        # never share a stream.
         first = generate_in_parallel(
-            unnoised_model, acs_splits.seeds, params, 8, num_workers=2, base_seed=0
+            unnoised_model, acs_splits.seeds, params, 8, num_workers=1, base_seed=0,
+            chunk_size=4,
         )
         second = generate_in_parallel(
-            unnoised_model, acs_splits.seeds, params, 8, num_workers=2, base_seed=1
+            unnoised_model, acs_splits.seeds, params, 8, num_workers=1, base_seed=1,
+            chunk_size=4,
         )
-        overlap_block_first = first.all_candidates_dataset().data[4:8]
-        overlap_block_second = second.all_candidates_dataset().data[0:4]
-        assert not np.array_equal(overlap_block_first, overlap_block_second)
+        assert not np.array_equal(
+            first.all_candidates_dataset().data[4:8],
+            second.all_candidates_dataset().data[0:4],
+        )
 
-    def test_batched_workers_run_requested_attempts(
+    def test_batched_path_runs_requested_attempts(
         self, unnoised_model, acs_splits, params
     ):
         report = generate_in_parallel(

@@ -19,8 +19,16 @@ def fitted_pipeline(acs_dataset):
 
 
 class TestLifecycle:
+    def test_explicit_rng_required(self, acs_dataset):
+        # Same policy as the learners and the builder: no silent
+        # default_rng(0) fallback.
+        with pytest.raises(ValueError, match="rng"):
+            SynthesisPipeline(acs_dataset)
+        with pytest.raises(ValueError, match="rng"):
+            SynthesisPipeline(acs_dataset, GenerationConfig(), rng=None)
+
     def test_accessors_require_fit(self, acs_dataset):
-        pipeline = SynthesisPipeline(acs_dataset)
+        pipeline = SynthesisPipeline(acs_dataset, rng=np.random.default_rng(0))
         with pytest.raises(RuntimeError):
             _ = pipeline.model
         with pytest.raises(RuntimeError):
@@ -79,7 +87,7 @@ class TestPrivacyReporting:
             privacy=PlausibleDeniabilityParams(k=10, gamma=4.0),
             model=GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None),
         )
-        pipeline = SynthesisPipeline(acs_dataset, config)
+        pipeline = SynthesisPipeline(acs_dataset, config, rng=np.random.default_rng(0))
         with pytest.raises(ValueError):
             pipeline.release_privacy_guarantee()
 
@@ -87,3 +95,104 @@ class TestPrivacyReporting:
         # The marginals baseline must not inflate the main model's ledger.
         labels = fitted_pipeline.accountant.labels()
         assert "marginals/counts" not in labels
+
+
+class TestEnginePath:
+    def test_generate_via_in_process_engine(self, fitted_pipeline):
+        report = fitted_pipeline.generate(8, num_workers=1)
+        assert report.num_released == 8
+
+    def test_config_num_workers_routes_to_engine(self, acs_dataset, monkeypatch):
+        config = GenerationConfig(
+            privacy=PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0),
+            model=GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None),
+            num_workers=1,
+            chunk_size=64,
+        )
+        pipeline = SynthesisPipeline(acs_dataset, config, rng=np.random.default_rng(2))
+        calls = []
+        from repro.core import pipeline as pipeline_module
+
+        original = pipeline_module.SynthesisEngine
+
+        def _tracking(*args, **kwargs):
+            calls.append(kwargs)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "SynthesisEngine", _tracking)
+        report = pipeline.generate(5)
+        assert report.num_released == 5
+        assert calls and calls[0]["num_workers"] == 1
+        assert calls[0]["chunk_size"] == 64
+
+
+class TestRunStoreCaching:
+    def test_fit_cached_across_pipelines(self, acs_dataset, tmp_path):
+        from repro.core.run_store import RunStore
+
+        store = RunStore(tmp_path / "store")
+        config = GenerationConfig(
+            privacy=PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0),
+            model=GenerativeModelSpec.with_total_epsilon(1.0, num_attributes=11, omega=9),
+        )
+        first = SynthesisPipeline(
+            acs_dataset, config, rng=np.random.default_rng(5), run_store=store
+        ).fit()
+        report_first = first.generate(5)
+
+        # Same dataset/config/seed: the second pipeline loads the artifact
+        # (no refit) and, because the RNG is restored to its post-fit state,
+        # generates bit-identical synthetics.
+        import repro.core.pipeline as pipeline_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("cached fit must not refit the model")
+
+        original = pipeline_module.fit_bayesian_network
+        pipeline_module.fit_bayesian_network = _boom
+        try:
+            second = SynthesisPipeline(
+                acs_dataset, config, rng=np.random.default_rng(5), run_store=store
+            ).fit()
+        finally:
+            pipeline_module.fit_bayesian_network = original
+        report_second = second.generate(5)
+        assert np.array_equal(
+            report_first.all_candidates_dataset().data,
+            report_second.all_candidates_dataset().data,
+        )
+        assert first.model_privacy_guarantee() == second.model_privacy_guarantee()
+
+    def test_generation_knobs_do_not_invalidate_the_fit_key(self, acs_dataset):
+        def key_for(**overrides):
+            config = GenerationConfig(
+                privacy=PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0),
+                model=GenerativeModelSpec(
+                    omega=9, epsilon_structure=None, epsilon_parameters=None
+                ),
+                **overrides,
+            )
+            return SynthesisPipeline(
+                acs_dataset, config, rng=np.random.default_rng(5)
+            )._fit_artifact_key()
+
+        base = key_for()
+        assert key_for(num_workers=2, batch_size=64, chunk_size=128) == base
+        assert key_for(seed_fraction=0.5, structure_fraction=0.2) != base
+
+    def test_different_seed_is_a_different_artifact(self, acs_dataset, tmp_path):
+        from repro.core.run_store import RunStore
+
+        store = RunStore(tmp_path / "store")
+        config = GenerationConfig(
+            privacy=PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0),
+            model=GenerativeModelSpec(omega=9, epsilon_structure=None, epsilon_parameters=None),
+        )
+        SynthesisPipeline(
+            acs_dataset, config, rng=np.random.default_rng(5), run_store=store
+        ).fit()
+        artifacts = list((store.root / "artifacts").iterdir())
+        SynthesisPipeline(
+            acs_dataset, config, rng=np.random.default_rng(6), run_store=store
+        ).fit()
+        assert len(list((store.root / "artifacts").iterdir())) == len(artifacts) + 1

@@ -83,3 +83,49 @@ class TestSynthesisReport:
         second = SynthesisReport(schema=acs_dataset.schema)
         with pytest.raises(ValueError):
             first.merge(second)
+
+    def test_merge_accepts_many_reports(self, toy_schema):
+        # Regression: merging W worker reports used to re-copy the growing
+        # attempt list once per worker; merge now takes them all at once.
+        reports = []
+        for index in range(5):
+            report = SynthesisReport(schema=toy_schema)
+            report.record(make_attempt(toy_schema, passed=index % 2 == 0, value=index))
+            reports.append(report)
+        merged = reports[0].merge(*reports[1:])
+        assert merged.num_attempts == 5
+        assert merged.num_released == 3
+        assert [a.candidate[0] for a in merged.attempts] == [0, 1, 0, 1, 0]
+
+    def test_merged_truncates_at_release_target(self, toy_schema):
+        chunks = []
+        for _ in range(3):
+            chunk = SynthesisReport(schema=toy_schema)
+            chunk.record(make_attempt(toy_schema, passed=True))
+            chunk.record(make_attempt(toy_schema, passed=False))
+            chunk.record(make_attempt(toy_schema, passed=True))
+            chunks.append(chunk)
+        # Concatenated: P F P | P F P | P F P — the 3rd release is attempt 3.
+        merged = SynthesisReport.merged(toy_schema, chunks, stop_after_released=3)
+        assert merged.num_released == 3
+        assert merged.num_attempts == 4
+        assert merged.attempts[-1].released
+
+    def test_arrays_round_trip(self, toy_schema):
+        report = SynthesisReport(schema=toy_schema)
+        for index in range(4):
+            report.record(
+                make_attempt(toy_schema, passed=index % 2 == 0, seed_index=index, value=index)
+            )
+        rebuilt = SynthesisReport.from_arrays(toy_schema, report.to_arrays())
+        assert rebuilt.num_attempts == report.num_attempts
+        assert rebuilt.num_released == report.num_released
+        for original, restored in zip(report.attempts, rebuilt.attempts):
+            assert original.seed_index == restored.seed_index
+            assert np.array_equal(original.candidate, restored.candidate)
+            assert original.test == restored.test
+
+    def test_empty_arrays_round_trip(self, toy_schema):
+        report = SynthesisReport(schema=toy_schema)
+        rebuilt = SynthesisReport.from_arrays(toy_schema, report.to_arrays())
+        assert rebuilt.num_attempts == 0

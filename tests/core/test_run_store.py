@@ -1,0 +1,96 @@
+"""Tests for the disk-backed experiment artifact store."""
+
+import numpy as np
+import pytest
+
+from repro.core.run_store import RunStore, canonical_payload, dataset_fingerprint
+from repro.datasets.dataset import Dataset
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+class TestCanonicalPayload:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_payload({"a": 1, "b": 2}) == canonical_payload({"b": 2, "a": 1})
+
+    def test_tuples_and_numpy_scalars_normalize(self):
+        assert canonical_payload((1, np.int64(2))) == canonical_payload([1, 2])
+        assert canonical_payload(np.float64(0.5)) == canonical_payload(0.5)
+
+    def test_non_json_values_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_payload({"rng": np.random.default_rng(0)})
+
+
+class TestArtifacts:
+    def test_round_trip(self, store):
+        key = RunStore.artifact_key("demo", {"x": 1})
+        assert not store.has_artifact(key)
+        store.save_artifact(key, {"array": np.arange(5), "label": "hi"})
+        assert store.has_artifact(key)
+        loaded = store.load_artifact(key)
+        assert loaded["label"] == "hi"
+        assert np.array_equal(loaded["array"], np.arange(5))
+
+    def test_key_depends_on_kind_and_payload(self):
+        base = RunStore.artifact_key("demo", {"x": 1})
+        assert RunStore.artifact_key("demo", {"x": 2}) != base
+        assert RunStore.artifact_key("other", {"x": 1}) != base
+        assert RunStore.artifact_key("demo", {"x": 1}) == base
+
+    def test_missing_artifact_raises(self, store):
+        with pytest.raises(KeyError):
+            store.load_artifact(RunStore.artifact_key("demo", {"x": 1}))
+
+    def test_malformed_key_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.has_artifact("../escape")
+
+    def test_shared_across_store_instances(self, tmp_path):
+        key = RunStore.artifact_key("demo", {"x": 1})
+        RunStore(tmp_path / "store").save_artifact(key, 42)
+        assert RunStore(tmp_path / "store").load_artifact(key) == 42
+
+
+class TestRunCheckpoints:
+    def test_chunk_round_trip(self, store):
+        arrays = {
+            "seed_indices": np.array([1, 2, 3]),
+            "candidates": np.arange(12).reshape(3, 4),
+        }
+        store.save_chunk("run-a", 0, arrays)
+        store.save_chunk("run-a", 7, arrays)
+        assert store.completed_chunks("run-a") == {0, 7}
+        loaded = store.load_chunks("run-a")
+        assert set(loaded) == {0, 7}
+        assert np.array_equal(loaded[7]["candidates"], arrays["candidates"])
+
+    def test_meta_round_trip(self, store):
+        assert store.load_run_meta("run-b") is None
+        store.save_run_meta("run-b", {"chunk_size": 16, "base_seed": 3})
+        assert store.load_run_meta("run-b") == {"chunk_size": 16, "base_seed": 3}
+
+    def test_unknown_run_is_empty(self, store):
+        assert store.load_chunks("never-ran") == {}
+        assert store.completed_chunks("never-ran") == set()
+
+    def test_invalid_run_ids_rejected(self, store):
+        for bad in ("", "../up", "a/b", ".hidden", "x" * 200):
+            with pytest.raises(ValueError):
+                store.save_run_meta(bad, {})
+
+    def test_negative_chunk_index_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.save_chunk("run-c", -1, {"x": np.arange(2)})
+
+
+class TestDatasetFingerprint:
+    def test_sensitive_to_contents_and_schema(self, toy_schema, toy_dataset_small):
+        base = dataset_fingerprint(toy_dataset_small)
+        assert dataset_fingerprint(toy_dataset_small) == base
+        mutated = toy_dataset_small.data.copy()
+        mutated[0, 0] = (mutated[0, 0] + 1) % 2
+        assert dataset_fingerprint(Dataset(toy_schema, mutated)) != base

@@ -94,3 +94,87 @@ class TestExperimentContext:
     def test_generation_config_reflects_context(self, context):
         config = context.generation_config()
         assert config.privacy.k == context.k
+
+
+class TestContextRngStreams:
+    def test_streams_are_seedsequence_children(self):
+        import numpy as np
+
+        context = ExperimentContext(num_raw_records=4000, seed=7)
+        children = np.random.SeedSequence(7).spawn(3)
+        for offset, child in enumerate(children):
+            expected = np.random.default_rng(child).integers(2**63, size=4)
+            actual = context.rng(offset).integers(2**63, size=4)
+            assert np.array_equal(expected, actual)
+
+    def test_adjacent_seeds_do_not_share_streams(self):
+        import numpy as np
+
+        # Regression: with the old seed + offset derivation, (seed=7,
+        # offset=1) and (seed=8, offset=0) were the same stream.
+        first = ExperimentContext(num_raw_records=4000, seed=7).rng(1)
+        second = ExperimentContext(num_raw_records=4000, seed=8).rng(0)
+        assert not np.array_equal(
+            first.integers(2**63, size=8), second.integers(2**63, size=8)
+        )
+
+
+class TestContextRunStore:
+    _SUBPROCESS_SCRIPT = """
+import sys
+from repro.core.run_store import RunStore
+from repro.experiments.harness import ExperimentContext
+
+context = ExperimentContext(
+    num_raw_records=4000, synthetic_records=50, k=10, seed=3,
+    run_store=RunStore(sys.argv[1]),
+)
+model = context.model("omega=9")
+print("edges:", model.structure.num_edges)
+"""
+
+    def test_model_reused_across_processes(self, tmp_path, monkeypatch):
+        # Process 1 (a real subprocess) fits the model and stores it; process
+        # 2 (this test) must load it from the store without refitting.
+        import subprocess
+        import sys
+
+        from repro.core.run_store import RunStore
+
+        store_path = tmp_path / "store"
+        completed = subprocess.run(
+            [sys.executable, "-c", self._SUBPROCESS_SCRIPT, str(store_path)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+        import repro.experiments.harness as harness_module
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("the stored model must be loaded, not refitted")
+
+        monkeypatch.setattr(harness_module, "fit_bayesian_network", _boom)
+        context = ExperimentContext(
+            num_raw_records=4000, synthetic_records=50, k=10, seed=3,
+            run_store=RunStore(store_path),
+        )
+        model = context.model("omega=9")
+        assert model.omegas == (9,)
+        # The fit's privacy spend travels with the artifact.
+        assert len(context.accountant.entries) > 0
+
+    def test_synthetics_reused_within_store(self, tmp_path):
+        import numpy as np
+
+        from repro.core.run_store import RunStore
+
+        store = RunStore(tmp_path / "store")
+        make = lambda: ExperimentContext(
+            num_raw_records=4000, synthetic_records=40, k=10, seed=3, run_store=store
+        )
+        first = make().synthetic_dataset("omega=9")
+        fresh_context = make()
+        second = fresh_context.synthetic_dataset("omega=9")
+        assert np.array_equal(first.data, second.data)
