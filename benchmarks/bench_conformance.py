@@ -1,0 +1,21 @@
+"""Per-scenario conformance throughput: fit + golden digest wall-clock.
+
+Times the end-to-end conformance unit of work — scenario fit plus the
+golden-run digest — for every registered scenario, and sanity-checks that two
+digest runs of the same scenario agree (the property the golden store relies
+on).  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_conformance.py -q
+"""
+
+from conftest import run_once
+
+from repro.testing.golden import scenario_digest
+
+
+def test_scenario_fit_and_digest(benchmark, scenario):
+    digest = run_once(benchmark, lambda: scenario_digest(scenario, seed=0))
+    assert digest["attempts"] == scenario.attempts
+    assert 0 <= digest["released_count"] <= digest["attempts"]
+    # Digest stability is what makes golden checks meaningful.
+    assert scenario_digest(scenario, seed=0) == digest

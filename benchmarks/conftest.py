@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.harness import ExperimentContext, ExperimentResult
+from repro.testing.scenarios import get_scenario, scenario_names
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -46,6 +47,17 @@ def context() -> ExperimentContext:
         epsilon0=1.0,
         seed=7,
     )
+
+
+@pytest.fixture(params=scenario_names())
+def scenario(request):
+    """One registered conformance scenario per parametrization.
+
+    Benchmarks and tests draw their small-dataset builders from the same
+    registry (:mod:`repro.testing.scenarios`) instead of maintaining separate
+    toy fixtures.
+    """
+    return get_scenario(request.param)
 
 
 @pytest.fixture(scope="session")

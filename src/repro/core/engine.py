@@ -346,6 +346,11 @@ class SynthesisEngine:
         """Attempts per dispatched chunk."""
         return self._chunk_size
 
+    @property
+    def batch_size(self) -> int | None:
+        """Vectorized proposal batch size inside each chunk (None/1 = reference loop)."""
+        return self._batch_size
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #

@@ -35,6 +35,7 @@ import json
 import os
 import pickle
 import re
+import zipfile
 from pathlib import Path
 from typing import Any
 
@@ -42,7 +43,23 @@ import numpy as np
 
 from repro.datasets.dataset import Dataset
 
-__all__ = ["RunStore", "canonical_payload", "dataset_fingerprint"]
+__all__ = [
+    "RunStore",
+    "RunStoreCorruptionError",
+    "canonical_payload",
+    "dataset_fingerprint",
+]
+
+
+class RunStoreCorruptionError(RuntimeError):
+    """A stored artifact or checkpoint exists but could not be decoded.
+
+    Raised instead of the underlying pickle / zip / json error so callers can
+    distinguish "the store is damaged (delete the entry and regenerate)" from
+    programming errors.  Atomic writes mean a *crash* never produces this —
+    seeing it indicates external corruption (disk fault, manual edit,
+    truncated copy).
+    """
 
 #: Bump when the stored artifact formats or the fitting algorithms change in a
 #: way that invalidates previously stored artifacts.
@@ -143,7 +160,15 @@ class RunStore:
         path = self._artifact_path(key)
         if not path.exists():
             raise KeyError(f"no artifact stored under key {key}")
-        return pickle.loads(path.read_bytes())
+        try:
+            return pickle.loads(path.read_bytes())
+        except (pickle.PickleError, EOFError, ValueError, IndexError) as exc:
+            # AttributeError / ImportError deliberately propagate unchanged:
+            # they mean the stored *code* moved (a renamed class — bump
+            # STORE_VERSION), not that the bytes on disk are damaged.
+            raise RunStoreCorruptionError(
+                f"artifact {path} is corrupted and cannot be unpickled: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ #
     # Run checkpoints
@@ -169,7 +194,12 @@ class RunStore:
         path = self._run_dir(run_id) / "meta.json"
         if not path.exists():
             return None
-        return json.loads(path.read_text())
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise RunStoreCorruptionError(
+                f"run metadata {path} is corrupted and cannot be parsed: {exc}"
+            ) from exc
 
     def save_chunk(self, run_id: str, index: int, arrays: dict[str, np.ndarray]) -> None:
         """Checkpoint one completed chunk's report arrays (atomic)."""
@@ -190,8 +220,16 @@ class RunStore:
             match = _CHUNK_PATTERN.fullmatch(path.name)
             if match is None:
                 continue
-            with np.load(path) as archive:
-                chunks[int(match.group(1))] = {name: archive[name] for name in archive.files}
+            try:
+                with np.load(path) as archive:
+                    chunks[int(match.group(1))] = {
+                        name: archive[name] for name in archive.files
+                    }
+            except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as exc:
+                raise RunStoreCorruptionError(
+                    f"checkpoint chunk {path} is corrupted and cannot be "
+                    f"loaded: {exc}"
+                ) from exc
         return chunks
 
     def completed_chunks(self, run_id: str) -> set[int]:

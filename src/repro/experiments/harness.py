@@ -121,6 +121,13 @@ class ExperimentContext:
         keyed by the context's configuration and seed, so a second benchmark
         session — in this process or another — reuses them instead of
         refitting.
+    dataset:
+        An explicit input dataset to evaluate instead of the ACS-like sample
+        (``num_raw_records`` is then ignored).  Used by the conformance
+        scenario registry (:mod:`repro.testing.scenarios`) to drive the
+        experiment harness over synthetic schema families; the dataset's
+        content fingerprint becomes part of every artifact key so cached
+        fits can never be confused with the ACS ones.
     """
 
     def __init__(
@@ -130,10 +137,11 @@ class ExperimentContext:
         total_epsilon: float = 1.0,
         k: int = 50,
         gamma: float = 4.0,
-        epsilon0: float = 1.0,
+        epsilon0: float | None = 1.0,
         seed: int = 7,
         adaptive_table_cells: bool = True,
         run_store: "RunStore | None" = None,
+        dataset: Dataset | None = None,
     ):
         self.num_raw_records = num_raw_records
         self.synthetic_records = synthetic_records
@@ -144,7 +152,8 @@ class ExperimentContext:
         self.seed = seed
         self.adaptive_table_cells = adaptive_table_cells
         self.run_store = run_store
-        self._dataset: Dataset | None = None
+        self._dataset: Dataset | None = dataset
+        self._dataset_provided = dataset is not None
         self._splits: DataSplits | None = None
         self._models: dict[str, BayesianNetworkSynthesizer] = {}
         self._marginal_model: MarginalSynthesizer | None = None
@@ -255,6 +264,10 @@ class ExperimentContext:
             # when the stream scheme changes so stale artifacts never match.
             "rng_scheme": "seedseq-spawn-v1",
         }
+        if self._dataset_provided:
+            from repro.core.run_store import dataset_fingerprint
+
+            payload["dataset"] = dataset_fingerprint(self.dataset)
         if omega is not None:
             payload["omega"] = (
                 [int(omega)]

@@ -309,6 +309,19 @@ class StructureLearner:
                     h_bkt_bkt[j, i] = h_bkt_bkt[i, j]
         return h_raw, h_bkt, h_raw_bkt, h_bkt_bkt
 
+    def entropy_tables(
+        self, dataset: Dataset, rng: np.random.Generator | None = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The (possibly noisy) entropy tables the greedy search consumes.
+
+        Returns ``(H(x_i), H(bkt(x_i)), H(x_i, bkt(x_j)), H(bkt(x_i),
+        bkt(x_j)))`` exactly as :meth:`learn` would see them.  Public so the
+        conformance layer (:mod:`repro.testing.invariants`) can assert
+        bit-exact equality between the ``"vectorized"`` and ``"reference"``
+        engines without reaching into learner internals.
+        """
+        return self._compute_entropies(dataset, rng)
+
     def _compute_entropies(
         self, dataset: Dataset, rng: np.random.Generator | None
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

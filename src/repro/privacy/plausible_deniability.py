@@ -37,6 +37,7 @@ __all__ = [
     "PrivacyTestResult",
     "DeterministicPrivacyTest",
     "RandomizedPrivacyTest",
+    "make_privacy_test",
     "partition_number",
     "partition_numbers",
     "plausible_seed_count",

@@ -377,6 +377,28 @@ class PairwiseStats:
         block_sums = np.add.reduceat(np.add.reduceat(plogp, starts, axis=0), starts, axis=1)
         return np.maximum(-block_sums, 0.0)
 
+    def exact_entropies(self) -> np.ndarray:
+        """Like :meth:`entropies`, but bit-identical to the per-pair loop.
+
+        Applies :func:`block_entropy` to every Gram block, reproducing the
+        reference float pipeline exactly (at some per-block Python overhead).
+        This is the variant to use when downstream decisions tie-break on
+        exactly equal values — ulp-level differences from the reduceat
+        reduction are enough to flip learned structures (see
+        :mod:`repro.generative.structure`).
+        """
+        m = self.num_attributes
+        result = np.zeros((m, m))
+        for i in range(m):
+            for j in range(m):
+                # Both orientations are reduced independently: H(x_i, x_j)
+                # and H(x_j, x_i) are equal mathematically but their blocks
+                # ravel in different orders, and matching the loop bit for
+                # bit requires summing in the loop's order for each entry.
+                block = self.marginal(i) if i == j else self.table(i, j)
+                result[i, j] = block_entropy(block)
+        return result
+
 
 def block_entropy(counts: np.ndarray) -> float:
     """Shannon entropy (bits) of one count block, bit-identical to the loop.

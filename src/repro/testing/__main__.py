@@ -1,0 +1,101 @@
+"""CLI for the golden-run regression store: ``python -m repro.testing``.
+
+Subcommands
+-----------
+``record``
+    Run every (or the selected) scenario × seed combination and write the
+    canonical digests to the golden file.  Run this after an *intentional*
+    behaviour change and commit the updated file with the change.
+``check``
+    Recompute the digests and compare them to the golden file.  Exits with
+    status 1 and prints every drift when behaviour has changed;
+    ``--drift-report`` additionally writes the drifts as JSON (uploaded as a
+    CI artifact on failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.testing.golden import (
+    DEFAULT_GOLDEN_PATH,
+    DEFAULT_SEEDS,
+    check_goldens,
+    format_drifts,
+    record_goldens,
+    write_drift_report,
+)
+from repro.testing.scenarios import get_scenario, scenario_names
+
+
+def _selected_scenarios(names: Sequence[str] | None):
+    if not names:
+        return None
+    return [get_scenario(name) for name in names]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="Record or check the golden-run conformance digests.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--path",
+        default=str(DEFAULT_GOLDEN_PATH),
+        help="golden digest file (default: the committed copy in repro.testing)",
+    )
+    common.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help=f"restrict to a scenario (repeatable); known: {', '.join(scenario_names())}",
+    )
+    common.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="seeds to run (record default: 0 1; check default: the recorded seeds)",
+    )
+
+    subparsers.add_parser(
+        "record", parents=[common], help="run scenarios and write the golden file"
+    )
+    check_parser = subparsers.add_parser(
+        "check", parents=[common], help="recompute digests and fail on drift"
+    )
+    check_parser.add_argument(
+        "--drift-report",
+        default=None,
+        metavar="OUT.json",
+        help="also write detected drifts as JSON (for CI artifact upload)",
+    )
+
+    args = parser.parse_args(argv)
+    scenarios = _selected_scenarios(args.scenarios)
+
+    if args.command == "record":
+        seeds = tuple(args.seeds) if args.seeds else DEFAULT_SEEDS
+        document = record_goldens(args.path, scenarios, seeds)
+        print(
+            f"recorded {len(document['entries'])} golden entrie(s) to {args.path}"
+        )
+        return 0
+
+    drifts = check_goldens(args.path, scenarios, args.seeds)
+    print(format_drifts(drifts))
+    if drifts and args.drift_report:
+        write_drift_report(drifts, args.drift_report)
+        print(f"drift report written to {args.drift_report}")
+    return 1 if drifts else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

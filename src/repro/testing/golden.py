@@ -1,0 +1,272 @@
+"""Golden-run regression store: canonical per-scenario digests, checked for drift.
+
+In the spirit of regression-store evaluation discipline, each registered
+scenario is run end to end (fit + a fixed-budget chunked engine run) and
+reduced to a handful of content digests built on the
+:class:`~repro.core.run_store.RunStore` canonical-hash machinery:
+
+* ``dataset`` — fingerprint of the scenario's input dataset;
+* ``structure`` — hash of the learned dependency structure (parents + order);
+* ``ledger`` — hash of the model-learning privacy-ledger entries;
+* ``released`` — hash of the released synthetic rows;
+* ``accounting`` — hash of the full per-attempt accounting arrays;
+
+plus the plain ``attempts`` / ``released_count`` tallies.  ``record`` writes
+the digests of every scenario × seed to a JSON file (the committed copy lives
+next to this module); ``check`` recomputes them and reports every drift — a
+changed fast path that silently alters releases, spend or learned structures
+fails loudly instead of shipping.
+
+Command line::
+
+    PYTHONPATH=src python -m repro.testing record            # refresh goldens
+    PYTHONPATH=src python -m repro.testing check             # verify, exit 1 on drift
+    PYTHONPATH=src python -m repro.testing check --drift-report drift.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core.engine import SynthesisEngine
+from repro.core.run_store import (
+    RunStore,
+    RunStoreCorruptionError,
+    _atomic_write,
+    dataset_fingerprint,
+)
+from repro.testing.scenarios import Scenario, iter_scenarios
+
+__all__ = [
+    "DEFAULT_GOLDEN_PATH",
+    "GOLDEN_VERSION",
+    "GoldenDrift",
+    "scenario_digest",
+    "compute_goldens",
+    "record_goldens",
+    "check_goldens",
+    "format_drifts",
+    "write_drift_report",
+]
+
+#: Bump when the digest recipe itself changes (not when behaviour drifts).
+GOLDEN_VERSION = 1
+
+#: The committed golden file ships inside the package so the CLI finds it
+#: regardless of the working directory.
+DEFAULT_GOLDEN_PATH = Path(__file__).with_name("golden_digests.json")
+
+DEFAULT_SEEDS: tuple[int, ...] = (0, 1)
+
+
+@dataclass(frozen=True)
+class GoldenDrift:
+    """One divergence between the stored goldens and a fresh run."""
+
+    entry: str
+    field: str
+    expected: object
+    actual: object
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        if self.expected is None:
+            return f"{self.entry}: unexpected new entry ({self.field})"
+        if self.actual is None:
+            return f"{self.entry}: missing from this run ({self.field})"
+        return (
+            f"{self.entry}: {self.field} drifted "
+            f"(recorded {self.expected!r}, got {self.actual!r})"
+        )
+
+
+def _entry_key(scenario_name: str, seed: int) -> str:
+    return f"{scenario_name}@seed{seed}"
+
+
+def scenario_digest(scenario: Scenario, seed: int) -> dict:
+    """Run one scenario end to end and reduce it to its canonical digests.
+
+    Always runs the default (vectorized) engines: goldens pin the behaviour
+    users get, while reference-engine agreement is asserted separately by
+    :func:`repro.testing.invariants.check_structure_engine_equivalence`.
+    """
+    fit = scenario.fit(seed)
+    with SynthesisEngine(
+        fit.model,
+        fit.seeds,
+        fit.params,
+        num_workers=1,
+        chunk_size=scenario.chunk_size,
+        batch_size=scenario.batch_size,
+    ) as synthesis_engine:
+        report = synthesis_engine.run_attempts(scenario.attempts, base_seed=seed)
+    structure = fit.model.structure
+    return {
+        "dataset": dataset_fingerprint(fit.dataset),
+        "structure": RunStore.artifact_key(
+            "golden-structure",
+            {"parents": structure.parents, "order": structure.order},
+        ),
+        "ledger": RunStore.artifact_key(
+            "golden-ledger",
+            {
+                "entries": [
+                    [entry.label, entry.epsilon, entry.delta, entry.count, entry.scope]
+                    for entry in fit.accountant.entries
+                ]
+            },
+        ),
+        "released": RunStore.artifact_key(
+            "golden-released", {"rows": report.released_dataset().data}
+        ),
+        "accounting": RunStore.artifact_key("golden-accounting", report.to_arrays()),
+        "attempts": report.num_attempts,
+        "released_count": report.num_released,
+    }
+
+
+def compute_goldens(
+    scenarios: Iterable[Scenario] | None = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> dict[str, dict]:
+    """Digest every scenario × seed combination."""
+    chosen = list(scenarios) if scenarios is not None else list(iter_scenarios())
+    return {
+        _entry_key(scenario.name, seed): scenario_digest(scenario, seed)
+        for scenario in chosen
+        for seed in seeds
+    }
+
+
+def record_goldens(
+    path: str | Path = DEFAULT_GOLDEN_PATH,
+    scenarios: Iterable[Scenario] | None = None,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+) -> dict:
+    """Compute and write the golden file; returns the written document.
+
+    A subset record (explicit ``scenarios``) against an existing same-version
+    file *merges*: only the requested entries are replaced, everything else
+    is preserved — re-recording one changed scenario never discards the other
+    scenarios' committed digests.  A subset record must cover exactly the
+    file's recorded seed grid (every scenario covers the same seeds, which is
+    what a later full ``check`` recomputes; a partial re-record would leave
+    the scenario's other-seed digests stale).  Changing the grid, or
+    migrating a file recorded under another ``GOLDEN_VERSION``, requires a
+    full record.  A full-registry record rewrites the file.
+    """
+    target = Path(path)
+    existing = None
+    if scenarios is not None and target.exists():
+        existing = _load_golden_file(target)
+        if existing.get("version") != GOLDEN_VERSION:
+            raise ValueError(
+                f"golden file {target} was recorded under version "
+                f"{existing.get('version')!r} (current: {GOLDEN_VERSION}); a "
+                "subset record cannot migrate it — run a full record"
+            )
+        if set(seeds) != set(existing["seeds"]):
+            raise ValueError(
+                f"subset record uses seeds {sorted(set(seeds))} but the file's "
+                f"recorded grid is {sorted(existing['seeds'])}; a partial grid "
+                "would leave stale or missing per-seed digests that a later "
+                "full check reports as drift — record the full grid, or run a "
+                "full record to change it"
+            )
+    entries = compute_goldens(scenarios, seeds)
+    recorded_seeds = sorted(seeds)
+    if existing is not None:
+        entries = {**existing["entries"], **entries}
+        recorded_seeds = existing["seeds"]
+    document = {
+        "version": GOLDEN_VERSION,
+        "seeds": recorded_seeds,
+        "entries": entries,
+    }
+    _atomic_write(
+        target, (json.dumps(document, indent=2, sort_keys=True) + "\n").encode()
+    )
+    return document
+
+
+def _load_golden_file(path: Path) -> dict:
+    """Parse a golden file, diagnosing damage instead of leaking a raw error."""
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise RunStoreCorruptionError(
+            f"golden file {path} is corrupted and cannot be parsed: {exc}; "
+            "restore it from version control or run a full record"
+        ) from exc
+
+
+def check_goldens(
+    path: str | Path = DEFAULT_GOLDEN_PATH,
+    scenarios: Iterable[Scenario] | None = None,
+    seeds: Sequence[int] | None = None,
+) -> list[GoldenDrift]:
+    """Recompute digests and diff them against the stored goldens.
+
+    ``seeds`` defaults to the seeds recorded in the file.  Scenarios that are
+    registered but missing from the file (or recorded but no longer
+    registered / requested) are reported as drifts too — a silently shrinking
+    conformance surface is itself a regression.
+    """
+    document = _load_golden_file(Path(path))
+    if document.get("version") != GOLDEN_VERSION:
+        return [
+            GoldenDrift(
+                entry="<file>",
+                field="version",
+                expected=GOLDEN_VERSION,
+                actual=document.get("version"),
+            )
+        ]
+    stored: dict[str, dict] = document["entries"]
+    run_seeds = tuple(seeds) if seeds is not None else tuple(document["seeds"])
+    chosen = list(scenarios) if scenarios is not None else list(iter_scenarios())
+    fresh = compute_goldens(chosen, run_seeds)
+    if scenarios is not None or seeds is not None:
+        # A subset check (CI smoke) only judges the requested combinations;
+        # the full-registry check still flags missing/extra entries.
+        expected_keys = {
+            _entry_key(scenario.name, seed)
+            for scenario in chosen
+            for seed in run_seeds
+        }
+        stored = {key: value for key, value in stored.items() if key in expected_keys}
+
+    drifts: list[GoldenDrift] = []
+    for key in sorted(set(stored) | set(fresh)):
+        if key not in fresh:
+            drifts.append(GoldenDrift(key, "entry", stored[key], None))
+            continue
+        if key not in stored:
+            drifts.append(GoldenDrift(key, "entry", None, fresh[key]))
+            continue
+        for field_name in sorted(set(stored[key]) | set(fresh[key])):
+            expected = stored[key].get(field_name)
+            actual = fresh[key].get(field_name)
+            if expected != actual:
+                drifts.append(GoldenDrift(key, field_name, expected, actual))
+    return drifts
+
+
+def format_drifts(drifts: Sequence[GoldenDrift]) -> str:
+    """Render drifts as a readable report."""
+    if not drifts:
+        return "all golden digests match"
+    lines = [f"{len(drifts)} golden digest drift(s) detected:"]
+    lines.extend(f"  - {drift.describe()}" for drift in drifts)
+    return "\n".join(lines)
+
+
+def write_drift_report(drifts: Sequence[GoldenDrift], path: str | Path) -> None:
+    """Write drifts as JSON (the CI workflow uploads this as an artifact)."""
+    Path(path).write_text(
+        json.dumps([asdict(drift) for drift in drifts], indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,522 @@
+"""Scenario registry: parameterizable synthetic schema families for conformance.
+
+Every scale/speed PR so far (batched Mechanism 1, the vectorized model-fitting
+engine, the parallel synthesis engine) shipped its own bespoke toy dataset for
+its parity tests.  This module turns those one-offs into a single registry of
+named :class:`Scenario` objects — diverse schema families (wide/narrow,
+skewed/uniform, high-cardinality, correlated-attribute, tiny-n edge cases)
+with everything needed to run the whole pipeline end to end:
+
+* a schema and a deterministic data generator (pure functions of a seed),
+* the plausible-deniability and generative-model parameters sized to the
+  scenario's scale,
+* a :meth:`Scenario.fit` helper that runs the real
+  :class:`~repro.core.pipeline.SynthesisPipeline` fit phase and hands back the
+  fitted model, splits and privacy ledger.
+
+The registry is the one source of small-dataset builders for the unit-test
+suite (``tests/conftest.py``), the benchmark harness
+(``benchmarks/conftest.py``), the conformance cross-product suite
+(``tests/testing/``) and the golden-run regression store
+(:mod:`repro.testing.golden`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Attribute, AttributeType, Schema
+from repro.datasets.splits import DataSplits
+from repro.generative.builder import GenerativeModelSpec
+from repro.generative.structure import StructureLearningConfig
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+__all__ = [
+    "Scenario",
+    "ScenarioFit",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "toy_schema",
+    "correlated_toy_matrix",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Hoisted shared builders (formerly duplicated across test/benchmark conftests)
+# --------------------------------------------------------------------------- #
+def toy_schema() -> Schema:
+    """A small 4-attribute schema with one bucketized numerical attribute."""
+    return Schema(
+        [
+            Attribute("age", AttributeType.NUMERICAL, tuple(range(20)), bucket_size=5),
+            Attribute("color", AttributeType.CATEGORICAL, ("red", "green", "blue")),
+            Attribute("size", AttributeType.CATEGORICAL, ("small", "large")),
+            Attribute("label", AttributeType.CATEGORICAL, ("no", "yes")),
+        ]
+    )
+
+
+def correlated_toy_matrix(num_records: int, rng: np.random.Generator) -> np.ndarray:
+    """Correlated toy data: size depends on age, label depends on size and color."""
+    age = rng.integers(0, 20, size=num_records)
+    color = rng.integers(0, 3, size=num_records)
+    size = (age >= 10).astype(np.int64)
+    flip = rng.random(num_records) < 0.15
+    size = np.where(flip, 1 - size, size)
+    label_probability = 0.15 + 0.55 * size + 0.15 * (color == 2)
+    label = (rng.random(num_records) < label_probability).astype(np.int64)
+    return np.column_stack([age, color, size, label])
+
+
+# --------------------------------------------------------------------------- #
+# Scenario definition
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioFit:
+    """The fitted state of one scenario run: model, splits, ledger, mechanism RNG."""
+
+    scenario: "Scenario"
+    seed: int
+    engine: str
+    dataset: Dataset
+    pipeline: SynthesisPipeline
+
+    @property
+    def splits(self) -> DataSplits:
+        """The DS / DT / DP / test splits."""
+        return self.pipeline.splits
+
+    @property
+    def model(self):
+        """The fitted Bayesian-network synthesizer."""
+        return self.pipeline.model
+
+    @property
+    def seeds(self) -> Dataset:
+        """The seed split DS."""
+        return self.pipeline.splits.seeds
+
+    @property
+    def params(self) -> PlausibleDeniabilityParams:
+        """The plausible-deniability parameters of the scenario."""
+        return self.pipeline.config.privacy
+
+    @property
+    def accountant(self) -> PrivacyAccountant:
+        """The model-learning privacy ledger."""
+        return self.pipeline.accountant
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named conformance scenario: schema family + privacy/model parameters.
+
+    Parameters
+    ----------
+    name, description, tags:
+        Registry identity.  Tags (e.g. ``"dp"``, ``"deterministic-test"``,
+        ``"edge-case"``) let suites select subsets.
+    num_records:
+        Input dataset size.  Deliberately small: scenarios exist to cross
+        engines/workers/seeds, not to stress scale.
+    schema_builder, matrix_builder:
+        ``schema_builder()`` builds the schema; ``matrix_builder(num_records,
+        rng)`` builds the encoded data matrix.  Both must be deterministic
+        given the rng so a scenario dataset is a pure function of its seed.
+    k, gamma, epsilon0:
+        Privacy-test parameters; ``epsilon0=None`` selects the deterministic
+        Privacy Test 1.
+    omega:
+        Re-sampled attribute count (or set) of the generative model.
+    total_epsilon:
+        Overall DP model-learning budget; ``None`` fits without noise.
+    attempts, target_released, chunk_size, batch_size:
+        The canonical generation workload of the scenario, shared by the
+        conformance suite and the golden-run store so their runs are
+        comparable.
+    """
+
+    name: str
+    description: str
+    num_records: int
+    schema_builder: Callable[[], Schema]
+    matrix_builder: Callable[[int, np.random.Generator], np.ndarray]
+    k: int = 8
+    gamma: float = 4.0
+    epsilon0: float | None = 1.0
+    max_check_plausible: int | None = None
+    max_plausible: int | None = None
+    omega: int | tuple[int, ...] = 2
+    total_epsilon: float | None = 1.0
+    attempts: int = 48
+    target_released: int = 8
+    chunk_size: int = 16
+    batch_size: int = 8
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------ #
+    # Deterministic construction
+    # ------------------------------------------------------------------ #
+    def _rng(self, seed: int, stream: int) -> np.random.Generator:
+        """A scenario-private stream: keyed by scenario name, seed and purpose."""
+        name_key = zlib.crc32(self.name.encode())
+        return np.random.default_rng(
+            np.random.SeedSequence(seed, spawn_key=(name_key, stream))
+        )
+
+    def schema(self) -> Schema:
+        """The scenario's schema (freshly built; schemas are cheap)."""
+        return self.schema_builder()
+
+    def dataset(self, seed: int = 0) -> Dataset:
+        """The scenario's input dataset for one seed (pure function of the seed)."""
+        schema = self.schema()
+        matrix = self.matrix_builder(self.num_records, self._rng(seed, 0))
+        return Dataset(schema, matrix)
+
+    def privacy_params(self) -> PlausibleDeniabilityParams:
+        """The plausible-deniability test parameters."""
+        return PlausibleDeniabilityParams(
+            k=self.k,
+            gamma=self.gamma,
+            epsilon0=self.epsilon0,
+            max_check_plausible=self.max_check_plausible,
+            max_plausible=self.max_plausible,
+        )
+
+    def model_spec(self, engine: str = "vectorized") -> GenerativeModelSpec:
+        """The generative-model spec, with the structure-learning engine knob."""
+        structure = StructureLearningConfig(engine=engine)
+        if self.total_epsilon is None:
+            return GenerativeModelSpec(
+                omega=self.omega,
+                epsilon_structure=None,
+                epsilon_parameters=None,
+                structure=structure,
+            )
+        return GenerativeModelSpec.with_total_epsilon(
+            self.total_epsilon,
+            num_attributes=len(self.schema()),
+            omega=self.omega,
+            structure=structure,
+        )
+
+    def config(self, engine: str = "vectorized") -> GenerationConfig:
+        """A full pipeline configuration for this scenario."""
+        return GenerationConfig(
+            privacy=self.privacy_params(),
+            model=self.model_spec(engine),
+            batch_size=self.batch_size,
+            chunk_size=self.chunk_size,
+        )
+
+    def fit(self, seed: int = 0, engine: str = "vectorized") -> ScenarioFit:
+        """Run the real pipeline fit phase and return the fitted bundle."""
+        dataset = self.dataset(seed)
+        pipeline = SynthesisPipeline(
+            dataset, config=self.config(engine), rng=self._rng(seed, 1)
+        )
+        pipeline.fit()
+        return ScenarioFit(
+            scenario=self, seed=seed, engine=engine, dataset=dataset, pipeline=pipeline
+        )
+
+    def experiment_context(self, seed: int = 0, **overrides):
+        """An :class:`~repro.experiments.harness.ExperimentContext` on this scenario.
+
+        Lets the benchmark/experiment harness run over a registry scenario
+        instead of the ACS-like sample; the scenario dataset's fingerprint
+        enters every artifact key.  ``epsilon0`` passes through unchanged
+        (``None`` keeps the deterministic test in the bridged context).  The
+        harness always fits with a DP budget, so a non-DP scenario
+        (``total_epsilon=None``) is bridged with the harness default ε = 1 —
+        its harness fits differ from :meth:`fit` in that one respect.
+        """
+        from repro.experiments.harness import ExperimentContext
+
+        settings = dict(
+            dataset=self.dataset(seed),
+            total_epsilon=self.total_epsilon if self.total_epsilon is not None else 1.0,
+            k=self.k,
+            gamma=self.gamma,
+            epsilon0=self.epsilon0,
+            seed=seed,
+        )
+        settings.update(overrides)
+        return ExperimentContext(**settings)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (names must be unique)."""
+    if scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def scenario_names(tags: Iterable[str] | None = None) -> list[str]:
+    """Registered scenario names (optionally only those carrying all ``tags``)."""
+    return [scenario.name for scenario in iter_scenarios(tags)]
+
+
+def iter_scenarios(tags: Iterable[str] | None = None) -> Iterator[Scenario]:
+    """Iterate registered scenarios in registration order, filtered by tags."""
+    wanted = frozenset(tags) if tags is not None else frozenset()
+    for scenario in _REGISTRY.values():
+        if wanted <= scenario.tags:
+            yield scenario
+
+
+# --------------------------------------------------------------------------- #
+# Built-in scenario families
+# --------------------------------------------------------------------------- #
+def _uniform_schema(cardinalities: tuple[int, ...], prefix: str = "u") -> Callable[[], Schema]:
+    def build() -> Schema:
+        return Schema(
+            [
+                Attribute(
+                    f"{prefix}{index}",
+                    AttributeType.CATEGORICAL,
+                    tuple(f"v{value}" for value in range(cardinality)),
+                )
+                for index, cardinality in enumerate(cardinalities)
+            ]
+        )
+
+    return build
+
+
+def _uniform_matrix(cardinalities: tuple[int, ...]):
+    def build(num_records: int, rng: np.random.Generator) -> np.ndarray:
+        return np.column_stack(
+            [rng.integers(0, c, size=num_records) for c in cardinalities]
+        )
+
+    return build
+
+
+def _skewed_matrix(num_records: int, rng: np.random.Generator) -> np.ndarray:
+    """Geometric-skew marginals with a correlated binary outcome."""
+    heavy = np.minimum(rng.geometric(0.45, size=num_records) - 1, 11)
+    mid = np.minimum(rng.geometric(0.6, size=num_records) - 1, 5)
+    outcome = ((heavy + mid) >= 3).astype(np.int64)
+    flip = rng.random(num_records) < 0.2
+    outcome = np.where(flip, 1 - outcome, outcome)
+    return np.column_stack([heavy, mid, outcome])
+
+
+def _skewed_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("heavy", AttributeType.NUMERICAL, tuple(range(12))),
+            Attribute("mid", AttributeType.NUMERICAL, tuple(range(6))),
+            Attribute("outcome", AttributeType.CATEGORICAL, ("lo", "hi")),
+        ]
+    )
+
+
+def _high_cardinality_schema() -> Schema:
+    return Schema(
+        [
+            Attribute(
+                "code", AttributeType.NUMERICAL, tuple(range(40)), bucket_size=8
+            ),
+            Attribute("group", AttributeType.CATEGORICAL, ("a", "b", "c", "d")),
+            Attribute("flag", AttributeType.CATEGORICAL, ("off", "on")),
+        ]
+    )
+
+
+def _high_cardinality_matrix(num_records: int, rng: np.random.Generator) -> np.ndarray:
+    code = rng.integers(0, 40, size=num_records)
+    group = np.minimum(code // 10, 3)
+    shuffle = rng.random(num_records) < 0.25
+    group = np.where(shuffle, rng.integers(0, 4, size=num_records), group)
+    flag = (code % 2 == 0).astype(np.int64)
+    return np.column_stack([code, group, flag])
+
+
+def _chain_schema() -> Schema:
+    return Schema(
+        [
+            Attribute(f"c{index}", AttributeType.CATEGORICAL, ("x", "y", "z"))
+            for index in range(5)
+        ]
+    )
+
+
+def _chain_matrix(num_records: int, rng: np.random.Generator) -> np.ndarray:
+    """A Markov chain over 5 ternary attributes: c_{i+1} mostly copies c_i."""
+    columns = [rng.integers(0, 3, size=num_records)]
+    for _ in range(4):
+        stay = rng.random(num_records) < 0.75
+        step = rng.integers(0, 3, size=num_records)
+        columns.append(np.where(stay, columns[-1], step))
+    return np.column_stack(columns)
+
+
+def _wide_matrix(num_records: int, rng: np.random.Generator) -> np.ndarray:
+    base = rng.integers(0, 2, size=num_records)
+    columns = [base]
+    for index in range(7):
+        cardinality = 3 if index % 3 == 0 else 2
+        if index % 2 == 0:
+            noisy = (base + rng.integers(0, cardinality, size=num_records)) % cardinality
+            columns.append(noisy)
+        else:
+            columns.append(rng.integers(0, cardinality, size=num_records))
+    return np.column_stack(columns)
+
+
+def _wide_schema() -> Schema:
+    attributes = [Attribute("w0", AttributeType.CATEGORICAL, ("n", "y"))]
+    for index in range(7):
+        cardinality = 3 if index % 3 == 0 else 2
+        attributes.append(
+            Attribute(
+                f"w{index + 1}",
+                AttributeType.CATEGORICAL,
+                tuple(f"v{value}" for value in range(cardinality)),
+            )
+        )
+    return Schema(attributes)
+
+
+register_scenario(
+    Scenario(
+        name="toy-correlated",
+        description="4 correlated attributes with one bucketized numerical column",
+        num_records=600,
+        schema_builder=toy_schema,
+        matrix_builder=correlated_toy_matrix,
+        k=80,
+        epsilon0=1.0,
+        omega=(2, 3),
+        total_epsilon=1.0,
+        tags=frozenset({"dp", "randomized-test", "correlated", "smoke"}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="narrow-uniform",
+        description="2 independent uniform attributes (smallest possible schema)",
+        num_records=400,
+        schema_builder=_uniform_schema((4, 3)),
+        matrix_builder=_uniform_matrix((4, 3)),
+        k=8,
+        epsilon0=None,
+        omega=1,
+        total_epsilon=None,
+        tags=frozenset({"deterministic-test", "narrow", "uniform"}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="wide-mixed",
+        description="8 low-cardinality attributes, half correlated with a hidden base",
+        num_records=500,
+        schema_builder=_wide_schema,
+        matrix_builder=_wide_matrix,
+        k=40,
+        epsilon0=1.0,
+        omega=6,
+        total_epsilon=1.0,
+        tags=frozenset({"dp", "randomized-test", "wide"}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="skewed-geometric",
+        description="geometric-skew marginals with a correlated binary outcome",
+        num_records=600,
+        schema_builder=_skewed_schema,
+        matrix_builder=_skewed_matrix,
+        k=80,
+        epsilon0=1.0,
+        omega=2,
+        total_epsilon=1.0,
+        tags=frozenset({"dp", "randomized-test", "skewed"}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="high-cardinality",
+        description="a 40-value bucketized column driving two coarse attributes",
+        num_records=800,
+        schema_builder=_high_cardinality_schema,
+        matrix_builder=_high_cardinality_matrix,
+        k=8,
+        epsilon0=None,
+        # Early-termination knobs (Section 5): subset scans disable the
+        # prefix-key fast count, so this scenario covers the scanned path.
+        max_check_plausible=200,
+        max_plausible=16,
+        omega=2,
+        total_epsilon=None,
+        tags=frozenset({"deterministic-test", "high-cardinality", "early-termination"}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="correlated-chain",
+        description="a 5-attribute Markov chain (dense sequential correlation)",
+        num_records=600,
+        schema_builder=_chain_schema,
+        matrix_builder=_chain_matrix,
+        k=8,
+        epsilon0=1.0,
+        omega=4,
+        total_epsilon=1.0,
+        tags=frozenset({"dp", "randomized-test", "correlated"}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="tiny-n",
+        description="60-record edge case: seed split barely above k",
+        num_records=60,
+        schema_builder=_uniform_schema((3, 2, 2), prefix="t"),
+        matrix_builder=_uniform_matrix((3, 2, 2)),
+        k=4,
+        epsilon0=None,
+        omega=2,
+        total_epsilon=None,
+        attempts=32,
+        target_released=4,
+        chunk_size=8,
+        batch_size=4,
+        tags=frozenset({"deterministic-test", "edge-case", "smoke"}),
+    )
+)

@@ -2,7 +2,9 @@
 
 Heavy objects (the ACS-like dataset, fitted generative models) are
 session-scoped so the whole suite stays fast; individual tests that need to
-mutate state build their own small instances instead.
+mutate state build their own small instances instead.  The small-dataset and
+schema builders live in the conformance scenario registry
+(:mod:`repro.testing.scenarios`) so tests and benchmarks draw from one source.
 """
 
 from __future__ import annotations
@@ -12,47 +14,32 @@ import pytest
 
 from repro.datasets.acs import load_acs
 from repro.datasets.dataset import Dataset
-from repro.datasets.schema import Attribute, AttributeType, Schema
+from repro.datasets.schema import Schema
 from repro.datasets.splits import split_dataset
 from repro.generative.builder import GenerativeModelSpec, fit_bayesian_network, fit_marginal_model
+from repro.testing import scenarios
 
 
 @pytest.fixture(scope="session")
 def toy_schema() -> Schema:
     """A small 4-attribute schema with one bucketized numerical attribute."""
-    return Schema(
-        [
-            Attribute("age", AttributeType.NUMERICAL, tuple(range(20)), bucket_size=5),
-            Attribute("color", AttributeType.CATEGORICAL, ("red", "green", "blue")),
-            Attribute("size", AttributeType.CATEGORICAL, ("small", "large")),
-            Attribute("label", AttributeType.CATEGORICAL, ("no", "yes")),
-        ]
-    )
-
-
-def _toy_matrix(num_records: int, seed: int) -> np.ndarray:
-    """Correlated toy data: size depends on age, label depends on size and color."""
-    rng = np.random.default_rng(seed)
-    age = rng.integers(0, 20, size=num_records)
-    color = rng.integers(0, 3, size=num_records)
-    size = (age >= 10).astype(np.int64)
-    flip = rng.random(num_records) < 0.15
-    size = np.where(flip, 1 - size, size)
-    label_probability = 0.15 + 0.55 * size + 0.15 * (color == 2)
-    label = (rng.random(num_records) < label_probability).astype(np.int64)
-    return np.column_stack([age, color, size, label])
+    return scenarios.toy_schema()
 
 
 @pytest.fixture(scope="session")
 def toy_dataset(toy_schema: Schema) -> Dataset:
     """A 2000-record correlated toy dataset."""
-    return Dataset(toy_schema, _toy_matrix(2000, seed=0))
+    return Dataset(
+        toy_schema, scenarios.correlated_toy_matrix(2000, np.random.default_rng(0))
+    )
 
 
 @pytest.fixture(scope="session")
 def toy_dataset_small(toy_schema: Schema) -> Dataset:
     """A 300-record correlated toy dataset (for quick structural tests)."""
-    return Dataset(toy_schema, _toy_matrix(300, seed=1))
+    return Dataset(
+        toy_schema, scenarios.correlated_toy_matrix(300, np.random.default_rng(1))
+    )
 
 
 @pytest.fixture(scope="session")

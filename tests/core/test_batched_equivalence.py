@@ -3,7 +3,9 @@
 The batched Mechanism 1 must be a pure performance optimization: probability
 computations agree exactly with the per-record loop, release decisions for a
 given candidate are identical under the deterministic test, and the sampled
-candidates follow the same distribution.
+candidates follow the same distribution.  Decision-level comparisons go
+through the shared conformance checker
+(:func:`repro.testing.invariants.check_batched_mechanism_parity`).
 """
 
 import numpy as np
@@ -15,6 +17,7 @@ from repro.privacy.plausible_deniability import (
     batch_plausible_seed_counts,
     plausible_seed_count,
 )
+from repro.testing.invariants import check_batched_mechanism_parity
 
 
 @pytest.fixture(scope="module")
@@ -187,15 +190,8 @@ class TestMechanismBatchEquivalence:
         # Same candidates -> same release decisions: the deterministic test is
         # a pure function of the candidate, so re-running each batched attempt
         # through the single-record path must reproduce it exactly.
-        attempts = det_mechanism.propose_batch(50, rng)
-        for attempt in attempts:
-            reference = det_mechanism.evaluate_candidate(
-                attempt.seed_index, attempt.candidate, rng
-            )
-            assert attempt.test.passed == reference.test.passed
-            assert attempt.test.plausible_seeds == reference.test.plausible_seeds
-            assert attempt.test.partition_index == reference.test.partition_index
-            assert attempt.test.records_checked == reference.test.records_checked
+        attempts = check_batched_mechanism_parity(det_mechanism, rng, batch_size=50)
+        assert len(attempts) == 50
 
     def test_run_attempts_batched_counts(self, det_mechanism, rng):
         report = det_mechanism.run_attempts_batched(70, rng, batch_size=32)
@@ -293,10 +289,4 @@ class TestFastCountEquivalence:
         mechanism = SynthesisMechanism(
             omega_set_model, acs_splits.seeds, PlausibleDeniabilityParams(k=20, gamma=4.0)
         )
-        for attempt in mechanism.propose_batch(40, rng):
-            reference = mechanism.evaluate_candidate(
-                attempt.seed_index, attempt.candidate, rng
-            )
-            assert attempt.test.passed == reference.test.passed
-            assert attempt.test.plausible_seeds == reference.test.plausible_seeds
-            assert attempt.test.partition_index == reference.test.partition_index
+        check_batched_mechanism_parity(mechanism, rng, batch_size=40)

@@ -1,26 +1,26 @@
-"""Tests for the shared-memory parallel synthesis engine."""
+"""Tests for the shared-memory parallel synthesis engine.
+
+Parity and reproducibility assertions go through the shared conformance
+checkers (:mod:`repro.testing.invariants`); this module keeps the
+engine-specific lifecycle, progress and checkpointing coverage.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.engine import ChunkProgress, SynthesisEngine, chunk_rng
-from repro.core.run_store import RunStore
+from repro.core.run_store import RunStore, RunStoreCorruptionError
 from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+from repro.testing.invariants import (
+    assert_reports_identical,
+    check_engine_parity,
+    report_accounting as _accounting,
+)
 
 
 @pytest.fixture(scope="module")
 def params():
     return PlausibleDeniabilityParams(k=10, gamma=4.0, epsilon0=1.0)
-
-
-def _released(report):
-    return report.released_dataset().data
-
-
-def _accounting(report):
-    """The full per-attempt accounting of a report, as comparable arrays."""
-    arrays = report.to_arrays()
-    return {name: arrays[name].tolist() for name in arrays}
 
 
 class TestChunkRng:
@@ -56,7 +56,7 @@ class TestSerialEngine:
             for index, size in enumerate((16, 16, 8))
         ]
         merged = oracle[0].merge(*oracle[1:])
-        assert _accounting(report) == _accounting(merged)
+        assert_reports_identical(merged, report)
 
     def test_run_attempts_counts(self, unnoised_model, acs_splits, params):
         with SynthesisEngine(
@@ -123,7 +123,8 @@ class TestSerialEngine:
 class TestWorkerPoolParity:
     """Spawn-context multi-worker runs must match the serial reference exactly.
 
-    One persistent 2-worker pool is shared by the whole class so the suite
+    The comparisons go through :func:`repro.testing.invariants.check_engine_parity`;
+    one persistent 2-worker pool is shared by the whole class so the suite
     pays the spawn startup cost once.
     """
 
@@ -139,30 +140,36 @@ class TestWorkerPoolParity:
         ) as engine:
             yield engine.start()
 
-    @pytest.fixture(scope="class")
-    def serial_engine(self, unnoised_model, acs_splits, params):
-        with SynthesisEngine(
-            unnoised_model, acs_splits.seeds, params, chunk_size=16, batch_size=8
-        ) as engine:
-            yield engine
+    def test_run_attempts_parity(self, pool_engine, unnoised_model, acs_splits, params):
+        check_engine_parity(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            base_seed=11,
+            num_attempts=60,
+            chunk_size=16,
+            batch_size=8,
+            engines=[pool_engine],
+        )
 
-    def test_run_attempts_parity(self, pool_engine, serial_engine):
-        serial = serial_engine.run_attempts(60, base_seed=11)
-        pooled = pool_engine.run_attempts(60, base_seed=11)
-        assert np.array_equal(_released(serial), _released(pooled))
-        assert _accounting(serial) == _accounting(pooled)
-
-    def test_until_n_released_parity(self, pool_engine, serial_engine):
-        serial = serial_engine.generate(12, base_seed=13, max_attempts=4000)
-        pooled = pool_engine.generate(12, base_seed=13, max_attempts=4000)
+    def test_until_n_released_parity(self, pool_engine, unnoised_model, acs_splits, params):
+        serial = check_engine_parity(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            base_seed=13,
+            num_released=12,
+            max_attempts=4000,
+            chunk_size=16,
+            batch_size=8,
+            engines=[pool_engine],
+        )
         assert serial.num_released == 12
-        assert np.array_equal(_released(serial), _released(pooled))
-        assert _accounting(serial) == _accounting(pooled)
 
     def test_pool_persists_across_calls(self, pool_engine):
         first = pool_engine.run_attempts(20, base_seed=1)
         second = pool_engine.run_attempts(20, base_seed=1)
-        assert _accounting(first) == _accounting(second)
+        assert_reports_identical(first, second)
 
 
 class TestCheckpointing:
@@ -251,6 +258,68 @@ class TestCheckpointing:
             engine.run_attempts(32, base_seed=5, run_id="sig")
             with pytest.raises(ValueError):
                 engine.run_attempts(32, base_seed=6, run_id="sig")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"chunk_size": 8}, {"batch_size": 4}],
+        ids=["chunk-size", "batch-size"],
+    )
+    def test_changed_rng_layout_rejects_resume(
+        self, unnoised_model, acs_splits, params, tmp_path, kwargs
+    ):
+        # Chunk and batch sizes are part of a run's RNG layout; resuming a
+        # run id under a different grid would splice together incompatible
+        # chunk streams, so the signature check must reject it.
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params,
+            chunk_size=16, batch_size=8, run_store=store,
+        ) as engine:
+            engine.run_attempts(32, base_seed=5, run_id="layout")
+        changed = {"chunk_size": 16, "batch_size": 8, **kwargs}
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, run_store=store, **changed
+        ) as engine:
+            with pytest.raises(ValueError, match="different job signature"):
+                engine.run_attempts(32, base_seed=5, run_id="layout")
+
+    def test_corrupted_chunk_fails_loudly_on_resume(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            engine.run_attempts(48, base_seed=5, run_id="corrupt")
+        chunk_path = store.root / "runs" / "corrupt" / "chunk_00000001.npz"
+        chunk_path.write_bytes(chunk_path.read_bytes()[: 40])
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            with pytest.raises(RunStoreCorruptionError, match="chunk_00000001"):
+                engine.run_attempts(48, base_seed=5, run_id="corrupt")
+
+    def test_partial_final_chunk_write_is_ignored(
+        self, unnoised_model, acs_splits, params, tmp_path
+    ):
+        # Atomic writes leave a *.tmp file behind only if the process dies
+        # mid-write; resume must skip it and regenerate the chunk instead of
+        # treating the partial file as a checkpoint.
+        store = RunStore(tmp_path / "store")
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            full = engine.run_attempts(48, base_seed=5, run_id="partial-write")
+        run_dir = store.root / "runs" / "partial-write"
+        final = run_dir / "chunk_00000002.npz"
+        (run_dir / "chunk_00000002.npz.tmp").write_bytes(final.read_bytes()[: 40])
+        final.unlink()
+        assert store.completed_chunks("partial-write") == {0, 1}
+        with SynthesisEngine(
+            unnoised_model, acs_splits.seeds, params, chunk_size=16, run_store=store
+        ) as engine:
+            resumed = engine.run_attempts(48, base_seed=5, run_id="partial-write")
+        assert_reports_identical(full, resumed)
 
     def test_changed_privacy_knobs_reject_resume(
         self, unnoised_model, acs_splits, params, tmp_path

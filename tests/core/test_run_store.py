@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.run_store import RunStore, canonical_payload, dataset_fingerprint
+from repro.core.run_store import (
+    RunStore,
+    RunStoreCorruptionError,
+    canonical_payload,
+    dataset_fingerprint,
+)
 from repro.datasets.dataset import Dataset
 
 
@@ -85,6 +90,54 @@ class TestRunCheckpoints:
     def test_negative_chunk_index_rejected(self, store):
         with pytest.raises(ValueError):
             store.save_chunk("run-c", -1, {"x": np.arange(2)})
+
+
+class TestCorruptionHandling:
+    """Damaged store entries fail with a diagnosable error, never silently."""
+
+    def test_truncated_artifact_raises_corruption_error(self, store):
+        key = RunStore.artifact_key("demo", {"x": 1})
+        store.save_artifact(key, {"array": np.arange(100)})
+        path = store.root / "artifacts" / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[: 20])
+        with pytest.raises(RunStoreCorruptionError, match="cannot be unpickled"):
+            store.load_artifact(key)
+
+    def test_garbage_artifact_raises_corruption_error(self, store):
+        key = RunStore.artifact_key("demo", {"x": 2})
+        path = store.root / "artifacts" / f"{key}.pkl"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(RunStoreCorruptionError):
+            store.load_artifact(key)
+
+    def test_corrupted_chunk_raises_corruption_error(self, store):
+        store.save_chunk("run-x", 0, {"values": np.arange(10)})
+        path = store.root / "runs" / "run-x" / "chunk_00000000.npz"
+        path.write_bytes(b"\x00" * 16)
+        with pytest.raises(RunStoreCorruptionError, match="chunk_00000000"):
+            store.load_chunks("run-x")
+
+    def test_corrupted_meta_raises_corruption_error(self, store):
+        store.save_run_meta("run-y", {"chunk_size": 16})
+        path = store.root / "runs" / "run-y" / "meta.json"
+        path.write_text('{"chunk_size": 16')  # truncated JSON
+        with pytest.raises(RunStoreCorruptionError, match="meta.json"):
+            store.load_run_meta("run-y")
+
+    def test_partial_tmp_write_is_invisible(self, store):
+        # A crash between the temp write and the atomic rename leaves only a
+        # *.tmp file; neither chunk listing nor loading may see it.
+        store.save_chunk("run-z", 0, {"values": np.arange(4)})
+        run_dir = store.root / "runs" / "run-z"
+        (run_dir / "chunk_00000001.npz.tmp").write_bytes(b"partial")
+        assert store.completed_chunks("run-z") == {0}
+        assert set(store.load_chunks("run-z")) == {0}
+
+    def test_missing_entries_still_raise_key_errors(self, store):
+        # Corruption handling must not blur the absent-vs-damaged distinction.
+        with pytest.raises(KeyError):
+            store.load_artifact(RunStore.artifact_key("demo", {"x": 3}))
+        assert store.load_run_meta("never") is None
 
 
 class TestDatasetFingerprint:

@@ -91,6 +91,21 @@ class TestExperimentContext:
         fixed = ExperimentContext(num_raw_records=4000, adaptive_table_cells=False)
         assert fixed.max_table_cells() is None
 
+    def test_injected_dataset_drives_the_context(self):
+        from repro.core.run_store import dataset_fingerprint
+        from repro.testing.scenarios import get_scenario
+
+        scenario = get_scenario("toy-correlated")
+        dataset = scenario.dataset(seed=0)
+        context = ExperimentContext(dataset=dataset, k=8, seed=3)
+        assert context.dataset is dataset
+        assert context.splits.total_records == len(dataset)
+        # The injected data's fingerprint keys the context's artifacts, so a
+        # scenario-driven context can never collide with an ACS-driven one.
+        assert context._artifact_payload()["dataset"] == dataset_fingerprint(dataset)
+        acs_context = ExperimentContext(num_raw_records=2000, seed=3)
+        assert "dataset" not in acs_context._artifact_payload()
+
     def test_generation_config_reflects_context(self, context):
         config = context.generation_config()
         assert config.privacy.k == context.k

@@ -11,6 +11,7 @@ from repro.generative.structure import (
     StructureLearningConfig,
 )
 from repro.privacy.accountant import PrivacyAccountant
+from repro.testing.invariants import check_structure_engine_equivalence
 
 
 class TestDependencyStructure:
@@ -189,7 +190,13 @@ class TestLearning:
 
 
 class TestEngineEquivalence:
-    """The vectorized engine must reproduce the loop reference exactly."""
+    """The vectorized engine must reproduce the loop reference exactly.
+
+    The entropy / structure / DP-spend / stream-position comparisons go
+    through the shared conformance checker
+    (:func:`repro.testing.invariants.check_structure_engine_equivalence`);
+    the remaining tests cover aspects the checker does not define.
+    """
 
     @staticmethod
     def _learners(**kwargs):
@@ -201,11 +208,15 @@ class TestEngineEquivalence:
         with pytest.raises(ValueError, match="engine"):
             StructureLearningConfig(engine="turbo")
 
-    def test_entropies_are_bit_identical(self, acs_splits):
+    def test_entropies_and_structure_identical_on_acs_sample(self, acs_splits):
+        # Covers bit-exact entropy tables and identical learned structures.
+        check_structure_engine_equivalence(acs_splits.structure)
+
+    def test_public_entropy_tables_match_learn_inputs(self, acs_splits):
         reference, vectorized = self._learners()
         for expected, actual in zip(
-            reference._compute_entropies(acs_splits.structure, None),
-            vectorized._compute_entropies(acs_splits.structure, None),
+            reference.entropy_tables(acs_splits.structure),
+            vectorized.entropy_tables(acs_splits.structure),
         ):
             assert np.array_equal(expected, actual)
 
@@ -219,58 +230,30 @@ class TestEngineEquivalence:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {},
             {"max_parents": 1},
             {"max_parents": 2, "max_parent_cost": 10},
             {"max_table_cells": 200},
         ],
     )
-    def test_learned_structure_identical_on_acs_sample(self, acs_splits, kwargs):
-        reference, vectorized = self._learners(**kwargs)
-        expected = reference.learn(acs_splits.structure)
-        actual = vectorized.learn(acs_splits.structure)
-        assert expected.parents == actual.parents
-        assert expected.order == actual.order
+    def test_learned_structure_identical_under_search_constraints(self, acs_splits, kwargs):
+        check_structure_engine_equivalence(acs_splits.structure, **kwargs)
 
     def test_learned_structure_identical_on_toy_data(self, toy_dataset):
-        reference, vectorized = self._learners(max_parents=3)
-        assert reference.learn(toy_dataset).parents == vectorized.learn(toy_dataset).parents
+        check_structure_engine_equivalence(toy_dataset, max_parents=3)
 
-    def test_dp_accountant_spend_identical(self, toy_dataset):
-        spends = []
-        for engine in ("reference", "vectorized"):
-            accountant = PrivacyAccountant()
-            config = StructureLearningConfig(
-                engine=engine, epsilon_entropy=0.5, epsilon_count=0.1
-            )
-            StructureLearner(config, accountant).learn(
-                toy_dataset, np.random.default_rng(11)
-            )
-            spends.append(accountant.entries)
-        assert spends[0] == spends[1]
-
-    def test_dp_noise_draw_budget_identical(self, toy_dataset):
-        """Both engines consume the same number of Laplace variates.
-
-        The batched engine draws all entropy noise in one ``rng.laplace`` call
-        and the reference engine draws per value; equal generator states after
-        learning prove the stream advanced by exactly the same amount.
-        """
-        states = []
-        for engine in ("reference", "vectorized"):
-            rng = np.random.default_rng(23)
-            config = StructureLearningConfig(engine=engine, epsilon_entropy=0.5)
-            StructureLearner(config).learn(toy_dataset, rng)
-            states.append(rng.bit_generator.state)
-        assert states[0] == states[1]
+    def test_dp_spend_and_stream_position_identical(self, toy_dataset):
+        """Both engines record the same ledger entries and consume the same
+        number of Laplace variates (equal generator states after learning)."""
+        check_structure_engine_equivalence(
+            toy_dataset, seed=11, epsilon_entropy=0.5, epsilon_count=0.1
+        )
 
     def test_dp_noisy_structure_is_valid_in_both_engines(self, toy_dataset):
         # DP structures are not expected to be identical across engines (the
         # noise is assigned to entropy values in a different order), but both
-        # must produce valid DAG structures.
-        for engine in ("reference", "vectorized"):
-            config = StructureLearningConfig(engine=engine, epsilon_entropy=0.5)
-            structure = StructureLearner(config).learn(
-                toy_dataset, np.random.default_rng(5)
-            )
-            assert nx.is_directed_acyclic_graph(structure.as_digraph())
+        # must produce valid DAG structures — the checker verifies exactly
+        # that contract.
+        structure = check_structure_engine_equivalence(
+            toy_dataset, seed=5, epsilon_entropy=0.5
+        )
+        assert nx.is_directed_acyclic_graph(structure.as_digraph())

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.datasets.dataset import Dataset
+from repro.datasets.schema import Attribute, AttributeType, Schema
 from repro.ml.encoding import (
     attribute_features,
     normalize_rows,
@@ -59,6 +61,67 @@ class TestNormalizeRows:
             normalize_rows(np.zeros((2, 2)), max_norm=0.0)
         with pytest.raises(ValueError):
             normalize_rows(np.zeros(3))
+
+
+class TestEdgeCases:
+    """Unseen categories, single-category columns and empty splits."""
+
+    @pytest.fixture()
+    def degenerate_schema(self):
+        return Schema(
+            [
+                Attribute("constant", AttributeType.CATEGORICAL, ("only",)),
+                Attribute("scalar", AttributeType.NUMERICAL, (7,)),
+                Attribute("target", AttributeType.CATEGORICAL, ("no", "yes")),
+            ]
+        )
+
+    def test_unseen_category_at_transform_time_raises(self, toy_schema):
+        # Synthetic/test records must be encodable under the training schema;
+        # a value outside the domain fails loudly at encode time rather than
+        # producing a bogus indicator column downstream.
+        with pytest.raises(ValueError, match="not in the domain"):
+            toy_schema["color"].encode(["red", "purple"])
+        with pytest.raises(ValueError, match="not in the domain"):
+            Dataset.from_records(toy_schema, [[0, "purple", "small", "no"]])
+
+    def test_out_of_range_codes_rejected_by_dataset(self, toy_schema):
+        bad = np.zeros((1, 4), dtype=np.int64)
+        bad[0, 1] = 3  # color has cardinality 3
+        with pytest.raises(ValueError, match="outside"):
+            Dataset(toy_schema, bad)
+
+    def test_single_category_column_encodes_constant_block(self, degenerate_schema):
+        dataset = Dataset(degenerate_schema, np.zeros((5, 3), dtype=np.int64))
+        encoded = one_hot_encode(dataset, exclude="target")
+        # constant -> one always-on indicator; scalar -> one column scaled by
+        # max(1, cardinality - 1) = 1, so the constant code 0 stays 0.
+        assert encoded.shape == (5, 2)
+        assert np.array_equal(encoded[:, 0], np.ones(5))
+        assert np.array_equal(encoded[:, 1], np.zeros(5))
+
+    def test_single_category_target_rejected_by_erm(self, degenerate_schema):
+        dataset = Dataset(degenerate_schema, np.zeros((5, 3), dtype=np.int64))
+        with pytest.raises(ValueError, match="binary target"):
+            prepare_erm_data(dataset, "constant")
+
+    def test_empty_split_round_trips_every_encoder(self, toy_schema):
+        empty = Dataset(toy_schema, np.empty((0, 4), dtype=np.int64))
+        features, labels, target_index = attribute_features(empty, "label")
+        assert features.shape == (0, 3)
+        assert labels.shape == (0,)
+        assert target_index == 3
+        encoded = one_hot_encode(empty, exclude="label")
+        assert encoded.shape == (0, 6)
+        erm_features, erm_labels = prepare_erm_data(empty, "label")
+        assert erm_features.shape == (0, 6)
+        assert erm_labels.shape == (0,)
+        assert normalize_rows(encoded).shape == (0, 6)
+
+    def test_excluding_the_only_attribute_yields_zero_columns(self):
+        schema = Schema([Attribute("only", AttributeType.CATEGORICAL, ("a", "b"))])
+        dataset = Dataset(schema, np.zeros((4, 1), dtype=np.int64))
+        assert one_hot_encode(dataset, exclude="only").shape == (4, 0)
 
 
 class TestPrepareErmData:

@@ -1,0 +1,252 @@
+"""Property-based tests (hypothesis) for the privacy primitives.
+
+The example-based suites pin specific values; these properties assert the
+algebraic contracts on randomly drawn inputs: Laplace noise scales linearly
+with sensitivity (and inversely with ε), composition never under-reports
+spend, the plausible-deniability criterion is monotone in k, and the
+partition-number algebra respects its bucket boundaries.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.composition import (
+    advanced_composition,
+    amplification_by_sampling,
+    sequential_composition,
+)
+from repro.privacy.laplace import laplace_mechanism, laplace_noise
+from repro.privacy.plausible_deniability import (
+    partition_number,
+    partition_numbers,
+    plausible_seed_count,
+    satisfies_plausible_deniability,
+    theorem1_delta,
+    theorem1_epsilon,
+)
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+probabilities = st.floats(min_value=1e-12, max_value=1.0, exclude_max=False)
+gammas = st.floats(min_value=1.01, max_value=16.0)
+
+
+class TestLaplaceScaling:
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        value=st.floats(-100, 100),
+        sensitivity=positive_floats,
+        scale_factor=st.floats(min_value=0.1, max_value=10.0),
+        epsilon=positive_floats,
+    )
+    def test_noise_scales_linearly_with_sensitivity(
+        self, seed, value, sensitivity, scale_factor, epsilon
+    ):
+        base = laplace_mechanism(value, sensitivity, epsilon, np.random.default_rng(seed))
+        scaled = laplace_mechanism(
+            value, sensitivity * scale_factor, epsilon, np.random.default_rng(seed)
+        )
+        assert scaled - value == pytest.approx(
+            (base - value) * scale_factor, rel=1e-9, abs=1e-12
+        )
+
+    @_SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        sensitivity=positive_floats,
+        epsilon=positive_floats,
+        tighten=st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_noise_shrinks_inversely_with_epsilon(self, seed, sensitivity, epsilon, tighten):
+        loose = laplace_mechanism(0.0, sensitivity, epsilon, np.random.default_rng(seed))
+        tight = laplace_mechanism(
+            0.0, sensitivity, epsilon * tighten, np.random.default_rng(seed)
+        )
+        assert tight == pytest.approx(loose / tighten, rel=1e-9, abs=1e-12)
+
+    @_SETTINGS
+    @given(seed=st.integers(0, 2**31 - 1), scale=positive_floats, size=st.integers(1, 64))
+    def test_vector_noise_is_scale_times_standard_draw(self, seed, scale, size):
+        standard = laplace_noise(1.0, np.random.default_rng(seed), size=size)
+        scaled = laplace_noise(scale, np.random.default_rng(seed), size=size)
+        np.testing.assert_allclose(scaled, standard * scale, rtol=1e-9)
+
+    def test_zero_sensitivity_is_noise_free(self):
+        rng = np.random.default_rng(0)
+        assert laplace_mechanism(3.5, 0.0, 1.0, rng) == 3.5
+
+
+class TestCompositionNeverUnderReports:
+    guarantee = st.tuples(
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=1e-3),
+    )
+
+    @_SETTINGS
+    @given(guarantees=st.lists(guarantee, min_size=1, max_size=10))
+    def test_sequential_dominates_every_component(self, guarantees):
+        epsilon, delta = sequential_composition(guarantees)
+        assert epsilon == pytest.approx(sum(e for e, _ in guarantees), rel=1e-12)
+        assert epsilon >= max(e for e, _ in guarantees) - 1e-15
+        assert delta >= max(d for _, d in guarantees) - 1e-15
+
+    @_SETTINGS
+    @given(
+        epsilon=st.floats(min_value=1e-4, max_value=2.0),
+        delta=st.floats(min_value=0.0, max_value=1e-4),
+        num_queries=st.integers(1, 200),
+        slack=st.floats(min_value=1e-12, max_value=0.5),
+    )
+    def test_advanced_never_cheaper_than_one_query(self, epsilon, delta, num_queries, slack):
+        composed_epsilon, composed_delta = advanced_composition(
+            epsilon, delta, num_queries, slack
+        )
+        assert composed_epsilon >= epsilon * (1 - 1e-12)
+        assert composed_delta >= min(1.0, num_queries * delta) - 1e-15
+
+    @_SETTINGS
+    @given(
+        epsilon=st.floats(min_value=1e-4, max_value=5.0),
+        delta=st.floats(min_value=0.0, max_value=1e-3),
+        probability=st.floats(min_value=1e-6, max_value=1.0),
+    )
+    def test_amplification_never_amplifies_upward(self, epsilon, delta, probability):
+        amplified_epsilon, amplified_delta = amplification_by_sampling(
+            epsilon, delta, probability
+        )
+        assert amplified_epsilon <= epsilon * (1 + 1e-12)
+        assert amplified_delta <= delta * (1 + 1e-12)
+
+    @_SETTINGS
+    @given(
+        spends=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(min_value=1e-4, max_value=1.0),
+                st.integers(1, 50),
+                st.sampled_from(["left", "right"]),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_accountant_total_conserves_recorded_spend(self, spends):
+        accountant = PrivacyAccountant()
+        for label, epsilon, count, scope in spends:
+            accountant.spend(label, epsilon, count=count, scope=scope)
+        sequential_total = accountant.total_guarantee(use_advanced=False)
+        exact = sum(epsilon * count for _, epsilon, count, _ in spends)
+        assert sequential_total[0] == pytest.approx(exact, rel=1e-9)
+        disjoint_total = accountant.total_guarantee(
+            use_advanced=False, disjoint_scopes=True
+        )
+        assert disjoint_total[0] <= sequential_total[0] * (1 + 1e-12)
+        advanced_total = accountant.total_guarantee(use_advanced=True)
+        assert advanced_total[0] <= sequential_total[0] * (1 + 1e-12)
+        assert advanced_total[0] >= max(e for _, e, _, _ in spends) * (1 - 1e-12)
+
+
+class TestPlausibleDeniabilityMonotonicity:
+    @_SETTINGS
+    @given(
+        data=st.data(),
+        gamma=gammas,
+        num_records=st.integers(2, 80),
+        k=st.integers(1, 40),
+    )
+    def test_count_criterion_is_monotone_in_k(self, data, gamma, num_records, k):
+        seed_probability = data.draw(probabilities, label="seed probability")
+        others = data.draw(
+            st.lists(
+                st.one_of(st.just(0.0), probabilities),
+                min_size=num_records - 1,
+                max_size=num_records - 1,
+            ),
+            label="dataset probabilities",
+        )
+        dataset = np.array([seed_probability] + others)
+        if satisfies_plausible_deniability(seed_probability, dataset, k + 1, gamma):
+            assert satisfies_plausible_deniability(seed_probability, dataset, k, gamma)
+
+    @_SETTINGS
+    @given(data=st.data(), gamma=gammas, num_records=st.integers(1, 80))
+    def test_full_scan_count_includes_the_seed_and_is_bounded(
+        self, data, gamma, num_records
+    ):
+        seed_probability = data.draw(probabilities, label="seed probability")
+        others = data.draw(
+            st.lists(
+                st.one_of(st.just(0.0), probabilities),
+                min_size=num_records - 1,
+                max_size=num_records - 1,
+            ),
+            label="dataset probabilities",
+        )
+        dataset = np.array([seed_probability] + others)
+        count, partition, checked = plausible_seed_count(seed_probability, dataset, gamma)
+        assert 1 <= count <= num_records
+        assert checked == num_records
+        assert partition == partition_number(seed_probability, gamma)
+
+
+class TestPartitionAlgebra:
+    @_SETTINGS
+    @given(probability=probabilities, gamma=gammas)
+    def test_bucket_contains_its_probability(self, probability, gamma):
+        index = partition_number(probability, gamma)
+        assert index >= 0
+        # γ^-(i+1) < p <= γ^-i, up to the documented boundary tolerance.
+        assert probability <= gamma ** (-index) * (1 + 1e-9)
+        assert probability > gamma ** (-(index + 1)) * (1 - 1e-9)
+
+    @_SETTINGS
+    @given(
+        probs=st.lists(st.one_of(st.just(0.0), probabilities), min_size=1, max_size=50),
+        gamma=gammas,
+    )
+    def test_vectorized_matches_scalar(self, probs, gamma):
+        array = np.array(probs)
+        vectorized = partition_numbers(array, gamma)
+        scalar = [partition_number(p, gamma) for p in probs]
+        assert vectorized.tolist() == scalar
+
+
+class TestTheorem1Algebra:
+    @_SETTINGS
+    @given(
+        # epsilon0 * (k - 1) stays well below ~745 so exp(-epsilon0 (k - t))
+        # never underflows to 0.0 — underflow makes strict monotonicity (and
+        # 0 < delta) mathematically true but float-false.
+        epsilon0=st.floats(min_value=1e-2, max_value=2.0),
+        gamma=gammas,
+        k=st.integers(2, 200),
+    )
+    def test_epsilon_decreases_and_delta_increases_in_t(self, epsilon0, gamma, k):
+        epsilons = [theorem1_epsilon(epsilon0, gamma, t) for t in range(1, k)]
+        deltas = [theorem1_delta(epsilon0, k, t) for t in range(1, k)]
+        assert all(a > b for a, b in zip(epsilons, epsilons[1:]))
+        assert all(a < b for a, b in zip(deltas, deltas[1:]))
+        assert all(epsilon > epsilon0 for epsilon in epsilons)
+        assert all(0.0 < delta < 1.0 for delta in deltas)
+
+    @_SETTINGS
+    @given(
+        epsilon0=st.floats(min_value=1e-2, max_value=4.0),
+        k=st.integers(2, 500),
+        t=st.integers(1, 100),
+    )
+    def test_delta_matches_closed_form(self, epsilon0, k, t):
+        if not t < k:
+            return
+        assert theorem1_delta(epsilon0, k, t) == pytest.approx(
+            math.exp(-epsilon0 * (k - t)), rel=1e-12
+        )

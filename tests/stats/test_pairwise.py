@@ -184,6 +184,20 @@ class TestEntropies:
         assert np.allclose(entropies, entropies.T)
         assert np.all(entropies >= 0)
 
+    def test_exact_entropies_are_bit_identical_to_the_scalar_pipeline(self, matrix):
+        stats = PairwiseStats.from_matrix(matrix, CARDS)
+        exact = stats.exact_entropies()
+        m = len(CARDS)
+        for i in range(m):
+            assert exact[i, i] == entropy(matrix[:, i], CARDS[i])
+            for j in range(m):
+                if i != j:
+                    assert exact[i, j] == joint_entropy(
+                        matrix[:, i], matrix[:, j], CARDS[i], CARDS[j]
+                    )
+        # The batched reduceat variant agrees to float tolerance (not bits).
+        assert np.allclose(exact, stats.entropies(), atol=1e-12)
+
     def test_block_entropy_is_bit_identical_to_entropy_from_counts(self, matrix):
         stats = PairwiseStats.from_matrix(matrix, CARDS)
         for i in range(len(CARDS)):

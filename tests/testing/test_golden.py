@@ -1,0 +1,204 @@
+"""Tests for the golden-run regression store and its CLI."""
+
+import json
+
+import pytest
+
+from repro.testing.golden import (
+    DEFAULT_GOLDEN_PATH,
+    check_goldens,
+    format_drifts,
+    record_goldens,
+    scenario_digest,
+    write_drift_report,
+)
+from repro.testing.scenarios import get_scenario
+
+SMOKE = [get_scenario("tiny-n")]
+
+
+@pytest.fixture()
+def golden_file(tmp_path):
+    path = tmp_path / "golden.json"
+    record_goldens(path, SMOKE, seeds=(0,))
+    return path
+
+
+class TestDigests:
+    def test_digest_is_deterministic(self):
+        scenario = get_scenario("tiny-n")
+        assert scenario_digest(scenario, seed=0) == scenario_digest(scenario, seed=0)
+
+    def test_digest_depends_on_seed(self):
+        scenario = get_scenario("tiny-n")
+        first = scenario_digest(scenario, seed=0)
+        second = scenario_digest(scenario, seed=1)
+        assert first["dataset"] != second["dataset"]
+        assert first["released"] != second["released"]
+
+    def test_digest_fields(self):
+        digest = scenario_digest(get_scenario("tiny-n"), seed=0)
+        assert set(digest) == {
+            "dataset",
+            "structure",
+            "ledger",
+            "released",
+            "accounting",
+            "attempts",
+            "released_count",
+        }
+
+
+class TestRecordCheck:
+    def test_round_trip_has_no_drift(self, golden_file):
+        assert check_goldens(golden_file, SMOKE, seeds=(0,)) == []
+
+    def test_perturbed_digest_detected(self, golden_file):
+        document = json.loads(golden_file.read_text())
+        entry = document["entries"]["tiny-n@seed0"]
+        entry["released"] = "0" * 64  # deliberate perturbation
+        golden_file.write_text(json.dumps(document))
+        drifts = check_goldens(golden_file, SMOKE, seeds=(0,))
+        assert [(d.entry, d.field) for d in drifts] == [("tiny-n@seed0", "released")]
+        assert "drifted" in format_drifts(drifts)
+
+    def test_missing_entry_detected(self, golden_file):
+        document = json.loads(golden_file.read_text())
+        del document["entries"]["tiny-n@seed0"]
+        golden_file.write_text(json.dumps(document))
+        drifts = check_goldens(golden_file, SMOKE, seeds=(0,))
+        assert len(drifts) == 1 and drifts[0].expected is None
+
+    def test_corrupted_golden_file_is_diagnosed(self, golden_file):
+        from repro.core.run_store import RunStoreCorruptionError
+
+        golden_file.write_text(golden_file.read_text()[:25])  # truncate mid-JSON
+        with pytest.raises(RunStoreCorruptionError, match="golden file"):
+            check_goldens(golden_file, SMOKE, seeds=(0,))
+        with pytest.raises(RunStoreCorruptionError, match="golden file"):
+            record_goldens(golden_file, SMOKE, seeds=(0,))
+
+    def test_version_bump_flags_everything(self, golden_file):
+        document = json.loads(golden_file.read_text())
+        document["version"] = 999
+        golden_file.write_text(json.dumps(document))
+        drifts = check_goldens(golden_file, SMOKE, seeds=(0,))
+        assert drifts and drifts[0].field == "version"
+
+    def test_drift_report_is_machine_readable(self, golden_file, tmp_path):
+        document = json.loads(golden_file.read_text())
+        document["entries"]["tiny-n@seed0"]["attempts"] = -1
+        golden_file.write_text(json.dumps(document))
+        drifts = check_goldens(golden_file, SMOKE, seeds=(0,))
+        out = tmp_path / "drift.json"
+        write_drift_report(drifts, out)
+        loaded = json.loads(out.read_text())
+        assert loaded[0]["entry"] == "tiny-n@seed0"
+        assert loaded[0]["field"] == "attempts"
+
+
+class TestCommittedGoldens:
+    """The committed golden file matches a fresh run of the smoke scenarios.
+
+    The full-registry check runs through the CLI in CI; re-verifying the
+    smoke subset here keeps the committed file honest under plain pytest.
+    """
+
+    @pytest.mark.conformance
+    @pytest.mark.conformance_smoke
+    def test_smoke_scenarios_match_committed_goldens(self):
+        from repro.testing.scenarios import scenario_names
+
+        smoke = [get_scenario(name) for name in scenario_names(tags={"smoke"})]
+        assert smoke
+        drifts = check_goldens(DEFAULT_GOLDEN_PATH, smoke, seeds=(0, 1))
+        assert drifts == [], format_drifts(drifts)
+
+    def test_committed_file_covers_every_registered_scenario(self):
+        from repro.testing.scenarios import scenario_names
+
+        document = json.loads(DEFAULT_GOLDEN_PATH.read_text())
+        recorded = {key.split("@")[0] for key in document["entries"]}
+        assert recorded == set(scenario_names())
+
+
+class TestCli:
+    def test_check_passes_on_committed_file(self):
+        from repro.testing.__main__ import main
+
+        assert main(["check", "--scenario", "tiny-n", "--seeds", "0"]) == 0
+
+    def test_check_fails_and_writes_report_on_drift(self, golden_file, tmp_path, capsys):
+        from repro.testing.__main__ import main
+
+        document = json.loads(golden_file.read_text())
+        document["entries"]["tiny-n@seed0"]["structure"] = "f" * 64
+        golden_file.write_text(json.dumps(document))
+        report = tmp_path / "drift.json"
+        status = main(
+            [
+                "check",
+                "--path",
+                str(golden_file),
+                "--scenario",
+                "tiny-n",
+                "--seeds",
+                "0",
+                "--drift-report",
+                str(report),
+            ]
+        )
+        assert status == 1
+        assert report.exists()
+        assert "drifted" in capsys.readouterr().out
+
+    def test_record_writes_requested_subset(self, tmp_path):
+        from repro.testing.__main__ import main
+
+        path = tmp_path / "subset.json"
+        status = main(
+            ["record", "--path", str(path), "--scenario", "tiny-n", "--seeds", "0"]
+        )
+        assert status == 0
+        document = json.loads(path.read_text())
+        assert list(document["entries"]) == ["tiny-n@seed0"]
+
+    def test_subset_record_merges_into_existing_file(self, tmp_path):
+        # Re-recording one scenario must not discard the other scenarios'
+        # committed digests, and the merged file must stay drift-free under
+        # a default (file-seeded) check.
+        path = tmp_path / "golden.json"
+        smoke = [get_scenario("tiny-n"), get_scenario("narrow-uniform")]
+        record_goldens(path, smoke, seeds=(0, 1))
+        before = json.loads(path.read_text())["entries"]
+        record_goldens(path, [get_scenario("tiny-n")], seeds=(0, 1))
+        document = json.loads(path.read_text())
+        assert set(document["entries"]) == set(before)
+        assert document["entries"]["narrow-uniform@seed0"] == before["narrow-uniform@seed0"]
+        assert document["seeds"] == [0, 1]
+        assert check_goldens(path, smoke) == []
+
+    @pytest.mark.parametrize("seeds", [(0,), (0, 1, 2)], ids=["narrower", "wider"])
+    def test_subset_record_rejects_a_different_seed_grid(self, tmp_path, seeds):
+        # A narrower grid leaves the re-recorded scenario's other-seed digests
+        # stale; a wider one leaves the other scenarios' new seeds missing.
+        # Either way the next full check reports spurious drift, so the grid
+        # only changes via a full record.
+        path = tmp_path / "golden.json"
+        smoke = [get_scenario("tiny-n"), get_scenario("narrow-uniform")]
+        record_goldens(path, smoke, seeds=(0, 1))
+        before = path.read_text()
+        with pytest.raises(ValueError, match="grid"):
+            record_goldens(path, [get_scenario("tiny-n")], seeds=seeds)
+        assert path.read_text() == before  # nothing was clobbered
+
+    def test_subset_record_rejects_version_mismatch(self, tmp_path):
+        path = tmp_path / "golden.json"
+        record_goldens(path, SMOKE, seeds=(0,))
+        document = json.loads(path.read_text())
+        document["version"] = 0
+        path.write_text(json.dumps(document))
+        before = path.read_text()
+        with pytest.raises(ValueError, match="full record"):
+            record_goldens(path, SMOKE, seeds=(0,))
+        assert path.read_text() == before
