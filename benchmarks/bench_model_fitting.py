@@ -188,10 +188,27 @@ def _scale_and_floor() -> tuple[int, int, float]:
     return num_attributes, num_records, (SMOKE_FLOOR if smoke else FULL_FLOOR)
 
 
+def _record_json(num_attributes: int, num_records: int, result, speedup: float) -> None:
+    from conftest import write_benchmark_json
+
+    reference_seconds, vectorized_seconds = result.row_by_key("structure learning")[1:3]
+    write_benchmark_json(
+        "bench_model_fitting",
+        params={"attributes": num_attributes, "records": num_records},
+        wall_time=float(reference_seconds) + float(vectorized_seconds),
+        throughput=speedup,  # speedup factor is this benchmark's headline number
+        extra={
+            "reference_seconds": float(reference_seconds),
+            "vectorized_seconds": float(vectorized_seconds),
+        },
+    )
+
+
 def test_model_fitting_speedup(record_result):
     num_attributes, num_records, floor = _scale_and_floor()
     result, speedup = run_benchmark(num_attributes, num_records)
     record_result("model_fitting.txt", result)
+    _record_json(num_attributes, num_records, result, speedup)
     assert speedup >= floor, (
         f"vectorized structure learning must be >= {floor}x faster than the "
         f"reference loop, got {speedup:.1f}x"
@@ -213,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "model_fitting.txt").write_text(result.to_text() + "\n")
+    _record_json(num_attributes, num_records, result, speedup)
     if speedup < floor:
         print(f"FAIL: speedup {speedup:.1f}x below the {floor}x floor", file=sys.stderr)
         return 1

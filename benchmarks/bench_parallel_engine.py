@@ -170,10 +170,30 @@ def _check_floors(seconds: dict[int, float], smoke: bool) -> list[str]:
     return failures
 
 
+def _record_json(raw_records, attempts, chunk, worker_counts, seconds) -> None:
+    from conftest import write_benchmark_json
+
+    best = min(seconds.values())
+    write_benchmark_json(
+        "bench_parallel_engine",
+        params={
+            "raw_records": raw_records,
+            "attempts": attempts,
+            "chunk_size": chunk,
+            "batch_size": BATCH_SIZE,
+            "worker_counts": list(worker_counts),
+        },
+        wall_time=sum(seconds.values()),
+        throughput=attempts / best if best > 0 else None,
+        extra={"seconds_per_worker_count": {str(w): s for w, s in seconds.items()}},
+    )
+
+
 def test_parallel_engine_scaling(record_result):
     raw_records, attempts, chunk, worker_counts = _scale()
     result, seconds = run_benchmark(raw_records, attempts, chunk, worker_counts)
     record_result("parallel_engine.txt", result)
+    _record_json(raw_records, attempts, chunk, worker_counts, seconds)
     failures = _check_floors(seconds, _smoke_env())
     assert not failures, "; ".join(failures)
 
@@ -195,6 +215,7 @@ def main(argv: list[str] | None = None) -> int:
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "parallel_engine.txt").write_text(result.to_text() + "\n")
+    _record_json(raw_records, attempts, chunk, worker_counts, seconds)
 
     cpus = _available_cpus()
     needed = 2 if args.smoke else FULL_FLOOR_WORKERS

@@ -1,0 +1,217 @@
+"""Service throughput: concurrent clients vs released rows per second.
+
+Drives the ``repro.service`` stack — registry, budgeted sessions, coalescing
+scheduler, persistent engine — with N concurrent client threads, each issuing
+a stream of fixed-seed ``/generate`` requests, and measures end-to-end
+released rows/sec at each concurrency level.  Because every request carries
+an explicit seed, the rows a given request releases must be bit-identical at
+every client count; the benchmark asserts that, so the throughput column
+measures scheduling, never nondeterminism.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_service_throughput.py
+[--smoke]``) or via pytest.  Results land in ``benchmarks/results/`` as both
+the human-readable table and the shared machine-readable JSON record.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SERVICE_RECORDS`` (default 2000, smoke 600) — input records;
+* ``REPRO_BENCH_SERVICE_REQUESTS`` (default 8, smoke 4) — requests per client;
+* ``REPRO_BENCH_SERVICE_ROWS`` (default 16, smoke 8) — rows per request;
+* ``REPRO_BENCH_SERVICE_SMOKE`` — any non-empty value selects smoke scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.service import ModelRegistry, ServiceApp
+from repro.testing.scenarios import correlated_toy_matrix, get_scenario, toy_schema
+
+CLIENT_COUNTS = (1, 2, 4)
+FULL_RECORDS = 2_000
+FULL_REQUESTS = 8
+FULL_ROWS = 16
+SMOKE_RECORDS = 600
+SMOKE_REQUESTS = 4
+SMOKE_ROWS = 8
+
+
+def _int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _smoke_env() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SERVICE_SMOKE"))
+
+
+def _scale() -> tuple[int, int, int]:
+    smoke = _smoke_env()
+    return (
+        _int_env("REPRO_BENCH_SERVICE_RECORDS", SMOKE_RECORDS if smoke else FULL_RECORDS),
+        _int_env("REPRO_BENCH_SERVICE_REQUESTS", SMOKE_REQUESTS if smoke else FULL_REQUESTS),
+        _int_env("REPRO_BENCH_SERVICE_ROWS", SMOKE_ROWS if smoke else FULL_ROWS),
+    )
+
+
+def _build_app(num_records: int) -> tuple[ServiceApp, str]:
+    """A service with one published toy-correlated model at benchmark scale."""
+    from repro.datasets.dataset import Dataset
+
+    scenario = get_scenario("toy-correlated")
+    dataset = Dataset(
+        toy_schema(), correlated_toy_matrix(num_records, np.random.default_rng(11))
+    )
+    app = ServiceApp(ModelRegistry(), num_workers=1)
+    app.publish_model("bench", dataset, scenario.config(), seed=2)
+    return app, "bench"
+
+
+def _serve_round(
+    app: ServiceApp, clients: int, requests_per_client: int, rows: int
+) -> tuple[float, int, dict[str, np.ndarray]]:
+    """One concurrency level: C client threads, fixed request seeds."""
+    sessions = [
+        app.create_session("bench", tenant=f"client{index}")["session_id"]
+        for index in range(clients)
+    ]
+    released: dict[str, np.ndarray] = {}
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def _client(client_index: int) -> None:
+        try:
+            for request_index in range(requests_per_client):
+                # The seed identifies the request, not the client, so every
+                # concurrency level replays the identical request set.
+                seed = 1_000 + client_index * requests_per_client + request_index
+                record = app.generate(sessions[client_index], rows, seed=seed)
+                with lock:
+                    released[str(seed)] = record.report.released_dataset().data
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            with lock:
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=_client, args=(index,)) for index in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+    total_rows = sum(arr.shape[0] for arr in released.values())
+    return elapsed, total_rows, released
+
+
+def run_benchmark(
+    num_records: int, requests_per_client: int, rows: int
+) -> tuple[ExperimentResult, dict[int, float]]:
+    app, _name = _build_app(num_records)
+    result = ExperimentResult(
+        name=(
+            f"Service throughput (toy-correlated, n={num_records}, "
+            f"{requests_per_client} requests x {rows} rows per client)"
+        ),
+        headers=["clients", "requests", "released rows", "seconds", "rows / second"],
+    )
+    throughput: dict[int, float] = {}
+    reference: dict[str, np.ndarray] | None = None
+    try:
+        for clients in CLIENT_COUNTS:
+            elapsed, total_rows, released = _serve_round(
+                app, clients, requests_per_client, rows
+            )
+            if reference is None:
+                reference = released
+            else:
+                for seed, rows_array in released.items():
+                    if seed in reference and not np.array_equal(
+                        reference[seed], rows_array
+                    ):
+                        raise AssertionError(
+                            f"request seed {seed} released different rows at "
+                            f"{clients} clients than at {CLIENT_COUNTS[0]}"
+                        )
+            throughput[clients] = total_rows / elapsed if elapsed > 0 else 0.0
+            result.add_row(
+                clients,
+                clients * requests_per_client,
+                total_rows,
+                elapsed,
+                throughput[clients],
+            )
+        stats = app.scheduler.stats()
+        result.notes = (
+            f"scheduler: {stats.batches} batches for {stats.completed} requests, "
+            f"largest batch {stats.max_batch}, {stats.coalesced} requests coalesced; "
+            f"identical per-seed rows at every client count"
+        )
+    finally:
+        app.close()
+    return result, throughput
+
+
+def _record_json(num_records, requests_per_client, rows, throughput, wall_time) -> None:
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        "bench_service_throughput",
+        params={
+            "records": num_records,
+            "requests_per_client": requests_per_client,
+            "rows_per_request": rows,
+            "client_counts": list(CLIENT_COUNTS),
+        },
+        wall_time=wall_time,
+        throughput=max(throughput.values()) if throughput else None,
+        extra={"rows_per_second": {str(c): t for c, t in throughput.items()}},
+    )
+
+
+def test_service_throughput(record_result):
+    num_records, requests_per_client, rows = _scale()
+    start = time.perf_counter()
+    result, throughput = run_benchmark(num_records, requests_per_client, rows)
+    wall_time = time.perf_counter() - start
+    record_result("service_throughput.txt", result)
+    _record_json(num_records, requests_per_client, rows, throughput, wall_time)
+    assert all(value > 0 for value in throughput.values())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ["REPRO_BENCH_SERVICE_SMOKE"] = "1"
+
+    num_records, requests_per_client, rows = _scale()
+    start = time.perf_counter()
+    result, throughput = run_benchmark(num_records, requests_per_client, rows)
+    wall_time = time.perf_counter() - start
+    print(result.to_text())
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "service_throughput.txt").write_text(result.to_text() + "\n")
+    _record_json(num_records, requests_per_client, rows, throughput, wall_time)
+    if not all(value > 0 for value in throughput.values()):
+        print("FAIL: zero throughput at some client count", file=sys.stderr)
+        return 1
+    print("OK: service throughput recorded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

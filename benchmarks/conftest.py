@@ -19,7 +19,10 @@ defaults keep the full suite at a few minutes on a laptop.
 
 from __future__ import annotations
 
+import inspect
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -33,6 +36,40 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def _int_env(name: str, default: int) -> int:
     value = os.environ.get(name)
     return int(value) if value else default
+
+
+def write_benchmark_json(
+    name: str,
+    params: dict,
+    wall_time: float,
+    throughput: float | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """The shared machine-readable benchmark record.
+
+    Every benchmark — pytest-collected or standalone ``main()`` — lands one
+    ``benchmarks/results/<name>.json`` with the same shape, so the perf
+    trajectory across PRs can be diffed and plotted without parsing the
+    human-readable tables:
+
+    ``{"name", "params", "wall_time", "throughput", "recorded_at", ...}``
+
+    ``throughput`` is in the benchmark's natural unit (rows/sec, attempts/sec,
+    speedup factor) and may be ``None`` when the benchmark is a pure timing.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "name": name,
+        "params": params,
+        "wall_time": wall_time,
+        "throughput": throughput,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    if extra:
+        payload.update(extra)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -73,6 +110,26 @@ def record_result():
     return _record
 
 
-def run_once(benchmark, func):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, rounds=1, iterations=1)
+@pytest.fixture(scope="session")
+def record_json():
+    """The shared JSON result writer, as a fixture for pytest benchmarks."""
+    return write_benchmark_json
+
+
+def run_once(benchmark, func, params: dict | None = None, throughput: float | None = None):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Also lands the shared machine-readable JSON record, named
+    ``<module>.<test function>`` so modules with several benchmarks never
+    overwrite each other's record; the wall time is measured around the run.
+    Callers may pass ``params`` (scale knobs) and, after the fact, overwrite
+    the record via :func:`write_benchmark_json` when a derived throughput
+    number is available.
+    """
+    caller = inspect.stack()[1]
+    name = f"{Path(caller.filename).stem}.{caller.function}"
+    start = time.perf_counter()
+    result = benchmark.pedantic(func, rounds=1, iterations=1)
+    wall_time = time.perf_counter() - start
+    write_benchmark_json(name, params or {}, wall_time, throughput)
+    return result

@@ -1,0 +1,199 @@
+"""End-to-end demo client for the ``repro serve`` JSON/HTTP API.
+
+Connects to a running service (or spawns one with ``--spawn``), opens a
+budgeted tenant session, streams synthetic rows from several concurrent
+client threads, and finally demonstrates the budget governor by issuing a
+deliberately over-budget request and checking the 409 refusal carries the
+remaining budget.  Exits non-zero on any deviation, so the CI service-smoke
+job uses it as its assertion driver:
+
+    # terminal 1
+    PYTHONPATH=src python -m repro.cli serve --scenario toy-correlated \
+        --port 8765 --audit-log audit.jsonl
+
+    # terminal 2
+    PYTHONPATH=src python examples/service_client.py \
+        --base-url http://127.0.0.1:8765 --clients 2 --rows 4 --expect-refusal
+
+or, self-contained:
+
+    PYTHONPATH=src python examples/service_client.py --spawn
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+def get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def post(url: str, body: dict):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def wait_for_health(base_url: str, timeout_seconds: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout_seconds
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            status, payload = get(f"{base_url}/healthz")
+            if status == 200:
+                return payload
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            last_error = exc
+        time.sleep(0.5)
+    raise SystemExit(f"service at {base_url} never became healthy: {last_error}")
+
+
+def run_clients(base_url: str, session_id: str, clients: int, rows: int) -> int:
+    """``clients`` concurrent threads each request ``rows`` rows; returns total released."""
+    released = []
+    errors = []
+
+    def client(index: int) -> None:
+        # An explicit seed makes the request replayable bit-for-bit.
+        status, payload = post(
+            f"{base_url}/generate",
+            {"session": session_id, "rows": rows, "seed": 1000 + index},
+        )
+        if status != 200:
+            errors.append((index, status, payload))
+            return
+        released.append(payload["released_rows"])
+        print(
+            f"  client {index}: released {payload['released_rows']}/{rows} rows "
+            f"(pass rate {payload['pass_rate']:.1%}), e.g. {payload['rows'][:1]}"
+        )
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for index, status, payload in errors:
+        print(f"  client {index} FAILED: HTTP {status} {payload}", file=sys.stderr)
+    if errors:
+        raise SystemExit(1)
+    return sum(released)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base-url", default="http://127.0.0.1:8765")
+    parser.add_argument("--clients", type=int, default=2, help="concurrent clients")
+    parser.add_argument("--rows", type=int, default=4, help="rows per client request")
+    parser.add_argument(
+        "--expect-refusal",
+        action="store_true",
+        help="after the clients, issue an over-budget request and require a "
+        "409 refusal carrying the budget remainder",
+    )
+    parser.add_argument(
+        "--spawn",
+        action="store_true",
+        help="spawn a local 'repro serve --scenario toy-correlated' for the demo",
+    )
+    args = parser.parse_args(argv)
+
+    server = None
+    try:
+        if args.spawn:
+            server = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "serve",
+                    "--scenario", "toy-correlated",
+                    "--port", args.base_url.rsplit(":", 1)[1],
+                ],
+            )
+        health = wait_for_health(args.base_url)
+        print(f"service healthy: {health}")
+
+        _status, models = get(f"{args.base_url}/models")
+        model = models["models"][0]
+        print(
+            f"published model {model['name']!r}: k={model['k']}, per-row cost "
+            f"(ε={model['per_row_cost']['epsilon']:.4g}, "
+            f"δ={model['per_row_cost']['delta']:.3g})"
+        )
+
+        # Budget sized so the concurrent clients fit but a repeat of the same
+        # load cannot: clients * rows releases at most that many rows.
+        budget_rows = args.clients * args.rows
+        status, session = post(
+            f"{args.base_url}/sessions",
+            {
+                "model": model["model_id"],
+                "tenant": "demo",
+                "budget": {"max_rows": budget_rows},
+            },
+        )
+        if status != 201:
+            print(f"session creation failed: HTTP {status} {session}", file=sys.stderr)
+            return 1
+        session_id = session["session_id"]
+        print(f"session {session_id}: budget {session['budget']}")
+
+        print(f"running {args.clients} concurrent clients x {args.rows} rows:")
+        total = run_clients(args.base_url, session_id, args.clients, args.rows)
+        print(f"total released: {total}")
+
+        _status, budget = get(f"{args.base_url}/budget?session={session_id}")
+        if budget["spent"]["rows"] != total:
+            print(
+                f"FAIL: budget reports {budget['spent']['rows']} spent rows, "
+                f"clients saw {total}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"budget after serving: {budget['remaining']}")
+
+        if args.expect_refusal:
+            over = budget_rows + 1  # cannot fit no matter what was released
+            status, refusal = post(
+                f"{args.base_url}/generate",
+                {"session": session_id, "rows": over},
+            )
+            if status != 409 or refusal.get("code") != "budget_exceeded":
+                print(
+                    f"FAIL: over-budget request returned HTTP {status} {refusal}, "
+                    "expected a 409 budget_exceeded refusal",
+                    file=sys.stderr,
+                )
+                return 1
+            if "remaining" not in refusal:
+                print("FAIL: refusal carries no budget remainder", file=sys.stderr)
+                return 1
+            print(f"over-budget request correctly refused: {refusal['remaining']}")
+
+        print("OK")
+        return 0
+    finally:
+        if server is not None:
+            server.terminate()
+            server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,12 @@ workflow:
         --input demo/acs.csv --metadata demo/metadata.json \
         --config demo/config.json --output demo/synthetic.csv --records 1000
 
+    # or serve the fitted model to many tenants over HTTP (see the README's
+    # "Serving synthetics" section for the API)
+    python -m repro.cli serve \
+        --input demo/acs.csv --metadata demo/metadata.json \
+        --config demo/config.json --port 8765
+
 The config file is a JSON object with the privacy-test parameters (``k``,
 ``gamma``, ``epsilon0``, ``max_plausible``, ``max_check_plausible``), the
 generative-model parameters (``omega``, ``total_epsilon``), the data-split
@@ -190,6 +196,65 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_dataset_and_config(args: argparse.Namespace):
+    """Resolve the dataset + config a ``repro serve`` invocation publishes."""
+    if args.scenario:
+        if args.input or args.metadata or args.config:
+            raise SystemExit(
+                "--scenario and --input/--metadata/--config are mutually "
+                "exclusive (a scenario carries its own config)"
+            )
+        from repro.testing.scenarios import get_scenario
+
+        scenario = get_scenario(args.scenario)
+        return scenario.dataset(args.seed), scenario.config(), args.scenario
+    if not args.input or not args.metadata:
+        raise SystemExit("serve needs either --scenario or both --input and --metadata")
+    schema = read_metadata(args.metadata)
+    dataset = Dataset.from_csv(schema, args.input)
+    options = json.loads(Path(args.config).read_text()) if args.config else {}
+    config = build_config(options, num_attributes=len(schema))
+    return dataset, config, Path(args.input).stem
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ModelRegistry, ServiceApp, SessionBudget, build_server
+
+    dataset, config, default_name = _serve_dataset_and_config(args)
+    run_store = RunStore(args.run_store) if args.run_store else None
+    default_budget = SessionBudget(
+        epsilon=args.budget_epsilon,
+        delta=args.budget_delta,
+        max_rows=args.budget_max_rows,
+        min_k=args.budget_min_k,
+    )
+    app = ServiceApp(
+        ModelRegistry(run_store=run_store),
+        num_workers=args.workers if args.workers is not None else 1,
+        default_budget=default_budget,
+        audit_log=args.audit_log,
+        store_max_bytes=args.store_max_bytes,
+    )
+    name = args.model_name or default_name
+    print(f"fitting and publishing model {name!r} ({len(dataset)} records)...")
+    info = app.publish_model(name, dataset, config, seed=args.seed)
+    print(f"model {info['model_id'][:16]}…  k={info['k']}  "
+          f"per-row cost (ε={info['per_row_cost']['epsilon']:.4g}, "
+          f"δ={info['per_row_cost']['delta']:.3g})")
+    server = build_server(app, host=args.host, port=args.port, quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro.cli``."""
     parser = argparse.ArgumentParser(
@@ -240,6 +305,73 @@ def main(argv: list[str] | None = None) -> int:
         "completed chunks",
     )
     generate.set_defaults(handler=_command_generate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve plausibly-deniable synthetics over a budgeted JSON/HTTP API",
+    )
+    serve.add_argument("--input", default=None, help="input CSV dataset to publish")
+    serve.add_argument("--metadata", default=None, help="JSON metadata for --input")
+    serve.add_argument("--config", default=None, help="JSON config file (optional)")
+    serve.add_argument(
+        "--scenario",
+        default=None,
+        help="publish a registered conformance scenario instead of a CSV "
+        "(e.g. toy-correlated; see repro.testing.scenarios)",
+    )
+    serve.add_argument("--model-name", default=None, help="published model name")
+    serve.add_argument("--seed", type=int, default=0, help="RNG seed of the model fit")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine worker processes per published model (default: in-process)",
+    )
+    serve.add_argument(
+        "--run-store",
+        default=None,
+        help="artifact store directory: caches the published fit across restarts",
+    )
+    serve.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        help="size bound for the artifact store; LRU-gc'd after each publish "
+        "with published models pinned",
+    )
+    serve.add_argument(
+        "--audit-log",
+        default=None,
+        help="append every budget event (reserve/commit/refusal) to this "
+        "JSON-lines file",
+    )
+    serve.add_argument(
+        "--budget-epsilon", type=float, default=None,
+        help="default per-session ε release budget (omit = uncapped)",
+    )
+    serve.add_argument(
+        "--budget-delta", type=float, default=None,
+        help="default per-session δ release budget (omit = uncapped)",
+    )
+    serve.add_argument(
+        "--budget-max-rows", type=int, default=None,
+        help="default per-session released-row cap (omit = uncapped)",
+    )
+    serve.add_argument(
+        "--budget-min-k", type=int, default=1,
+        help="default per-session k-deniability floor",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", default=True,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--verbose", dest="quiet", action="store_false",
+        help="log each HTTP request to stderr",
+    )
+    serve.set_defaults(handler=_command_serve)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -729,12 +729,14 @@ class SynthesisEngine:
     # ------------------------------------------------------------------ #
     # Checkpointing
     # ------------------------------------------------------------------ #
-    def _workload_fingerprint(self) -> str:
+    def workload_fingerprint(self) -> str:
         """Content hash of the model and seed dataset driving this engine.
 
         Part of every run's checkpoint signature: resuming a run id against a
         refitted model or a different seed split would otherwise silently
         merge chunks generated from different distributions into one report.
+        The serving layer also uses it to prove two engines serve the same
+        published workload.
         """
         if self._workload_digest is None:
             from repro.generative.bayesian_network import BayesianNetworkSynthesizer
@@ -766,7 +768,7 @@ class SynthesisEngine:
             "epsilon0": self._params.epsilon0,
             "max_plausible": self._params.max_plausible,
             "max_check_plausible": self._params.max_check_plausible,
-            "workload": self._workload_fingerprint(),
+            "workload": self.workload_fingerprint(),
         }
 
     def _load_checkpoint(self, job: _Job, run_id: str | None) -> dict[int, SynthesisReport]:

@@ -143,12 +143,16 @@ class SynthesisPipeline:
     # ------------------------------------------------------------------ #
     # Phases
     # ------------------------------------------------------------------ #
-    def _fit_artifact_key(self) -> str:
+    def fit_artifact_key(self) -> str:
         """Content key of the fit phase: dataset + fit inputs + RNG state.
 
         Only the configuration the fit actually consumes (split fractions and
         the model spec) enters the key — generation-only knobs like
         ``num_workers`` or ``batch_size`` must not invalidate a cached fit.
+        The key is stable before and after :meth:`fit` only when computed
+        *before* fitting (fitting advances the RNG), so callers that want the
+        published identity of a pipeline must capture it up front — the model
+        registry does exactly that.
         """
         from dataclasses import asdict
 
@@ -174,7 +178,7 @@ class SynthesisPipeline:
         matches an uncached run exactly.
         """
         start = time.perf_counter()
-        key = self._fit_artifact_key() if self._run_store is not None else None
+        key = self.fit_artifact_key() if self._run_store is not None else None
         if key is not None and self._run_store.has_artifact(key):
             artifact = self._run_store.load_artifact(key)
             self._splits = artifact["splits"]

@@ -37,7 +37,7 @@ import pickle
 import re
 import zipfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -156,12 +156,17 @@ class RunStore:
         _atomic_write(self._artifact_path(key), pickle.dumps(obj, protocol=4))
 
     def load_artifact(self, key: str) -> Any:
-        """Unpickle the artifact stored under ``key``."""
+        """Unpickle the artifact stored under ``key``.
+
+        Loading marks the artifact as recently used (its mtime is bumped),
+        which is what :meth:`gc` orders eviction by.
+        """
         path = self._artifact_path(key)
         if not path.exists():
             raise KeyError(f"no artifact stored under key {key}")
+        data = path.read_bytes()
         try:
-            return pickle.loads(path.read_bytes())
+            obj = pickle.loads(data)
         except (pickle.PickleError, EOFError, ValueError, IndexError) as exc:
             # AttributeError / ImportError deliberately propagate unchanged:
             # they mean the stored *code* moved (a renamed class — bump
@@ -169,6 +174,50 @@ class RunStore:
             raise RunStoreCorruptionError(
                 f"artifact {path} is corrupted and cannot be unpickled: {exc}"
             ) from exc
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # recency tracking is best-effort; the load itself succeeded
+        return obj
+
+    def artifact_keys(self) -> list[str]:
+        """Keys of every stored artifact (unordered)."""
+        return [path.stem for path in self._artifacts_dir.glob("*.pkl")]
+
+    def artifacts_size_bytes(self) -> int:
+        """Total on-disk size of the artifact directory."""
+        return sum(path.stat().st_size for path in self._artifacts_dir.glob("*.pkl"))
+
+    def gc(self, max_bytes: int, keep: Iterable[str] = ()) -> list[str]:
+        """Evict least-recently-used artifacts until the store fits ``max_bytes``.
+
+        Artifacts are deleted oldest-mtime-first (:meth:`load_artifact` bumps
+        the mtime, so "oldest" means least recently *used*, not written) until
+        the total artifact size is at most ``max_bytes``.  Keys in ``keep``
+        (e.g. artifacts a model registry still references) are never evicted,
+        even when the pinned set alone exceeds the bound.  Run checkpoints
+        under ``runs/`` are never touched.  Returns the evicted keys.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        pinned = set(keep)
+        entries = []
+        total = 0
+        for path in self._artifacts_dir.glob("*.pkl"):
+            stat = path.stat()
+            total += stat.st_size
+            entries.append((stat.st_mtime, path))
+        evicted: list[str] = []
+        for _mtime, path in sorted(entries):
+            if total <= max_bytes:
+                break
+            if path.stem in pinned:
+                continue
+            size = path.stat().st_size
+            path.unlink()
+            total -= size
+            evicted.append(path.stem)
+        return evicted
 
     # ------------------------------------------------------------------ #
     # Run checkpoints

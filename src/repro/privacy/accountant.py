@@ -16,6 +16,7 @@ total (ε, δ) guarantee the same way.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.privacy.composition import (
@@ -64,6 +65,12 @@ class BudgetEntry:
 class PrivacyAccountant:
     """Accumulates per-group budget entries and composes them.
 
+    Thread safety: :meth:`spend` and every guarantee read take an internal
+    lock, so concurrent callers (e.g. the serving layer's tenant sessions)
+    can never interleave an append with a composition pass and under-report
+    spend.  The lock is recreated on unpickling/deep-copying, so cached
+    pipeline-fit artifacts that embed an accountant round-trip unchanged.
+
     Parameters
     ----------
     delta_slack:
@@ -74,6 +81,18 @@ class PrivacyAccountant:
     delta_slack: float = 1e-9
     entries: list[BudgetEntry] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks are neither picklable nor shareable
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def spend(
         self,
         label: str,
@@ -83,7 +102,14 @@ class PrivacyAccountant:
         scope: str = "default",
     ) -> None:
         """Record ``count`` queries each satisfying (ε, δ)-DP under ``label``."""
-        self.entries.append(BudgetEntry(label, epsilon, delta, count, scope))
+        entry = BudgetEntry(label, epsilon, delta, count, scope)
+        with self._lock:
+            self.entries.append(entry)
+
+    def _snapshot(self) -> list[BudgetEntry]:
+        """A consistent view of the ledger for one composition pass."""
+        with self._lock:
+            return list(self.entries)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -91,7 +117,7 @@ class PrivacyAccountant:
     def labels(self) -> list[str]:
         """All distinct labels in recording order."""
         seen: list[str] = []
-        for entry in self.entries:
+        for entry in self._snapshot():
             if entry.label not in seen:
                 seen.append(entry.label)
         return seen
@@ -99,7 +125,7 @@ class PrivacyAccountant:
     def scopes(self) -> list[str]:
         """All distinct scopes in recording order."""
         seen: list[str] = []
-        for entry in self.entries:
+        for entry in self._snapshot():
             if entry.scope not in seen:
                 seen.append(entry.scope)
         return seen
@@ -119,7 +145,7 @@ class PrivacyAccountant:
 
     def phase_guarantee(self, label: str, use_advanced: bool = True) -> tuple[float, float]:
         """Composed guarantee of all entries recorded under one label."""
-        matching = [entry for entry in self.entries if entry.label == label]
+        matching = [entry for entry in self._snapshot() if entry.label == label]
         if not matching:
             raise KeyError(f"no budget entries recorded under label {label!r}")
         return sequential_composition(
@@ -128,7 +154,12 @@ class PrivacyAccountant:
 
     def scope_guarantee(self, scope: str, use_advanced: bool = True) -> tuple[float, float]:
         """Composed guarantee of all entries that touched one data scope."""
-        matching = [entry for entry in self.entries if entry.scope == scope]
+        return self._scope_guarantee(self._snapshot(), scope, use_advanced)
+
+    def _scope_guarantee(
+        self, entries: list[BudgetEntry], scope: str, use_advanced: bool
+    ) -> tuple[float, float]:
+        matching = [entry for entry in entries if entry.scope == scope]
         if not matching:
             raise KeyError(f"no budget entries recorded under scope {scope!r}")
         return sequential_composition(
@@ -156,9 +187,16 @@ class PrivacyAccountant:
             If the data each scope saw was a random p-subsample of the full
             dataset, apply Theorem 4 amplification to the final guarantee.
         """
-        if not self.entries:
+        entries = self._snapshot()
+        if not entries:
             raise ValueError("no privacy budget has been spent yet")
-        per_scope = [self.scope_guarantee(scope, use_advanced) for scope in self.scopes()]
+        scopes: list[str] = []
+        for entry in entries:
+            if entry.scope not in scopes:
+                scopes.append(entry.scope)
+        per_scope = [
+            self._scope_guarantee(entries, scope, use_advanced) for scope in scopes
+        ]
         if disjoint_scopes:
             epsilon = max(eps for eps, _ in per_scope)
             delta = max(delta for _, delta in per_scope)

@@ -1,0 +1,43 @@
+"""Multi-tenant synthesis-as-a-service subsystem (``repro serve``).
+
+Layers the paper's seed-based synthesis pipeline into a long-running serving
+system: a fit-once :class:`ModelRegistry` of content-hashed published models,
+budget-governed :class:`TenantSession` handles with an auditable spend
+ledger, a coalescing :class:`RequestScheduler` over persistent
+:class:`~repro.core.engine.SynthesisEngine` pools (per-request chunk-indexed
+RNG streams keep any interleaving bit-identical to serial service), and a
+stdlib JSON/HTTP front end (:class:`ServiceApp`, :func:`build_server`).
+"""
+
+from repro.service.api import (
+    ReleaseRecord,
+    ServiceApp,
+    ServiceError,
+    build_server,
+    derive_request_seed,
+)
+from repro.service.registry import ModelRegistry, PublishedModel
+from repro.service.scheduler import GenerateRequest, RequestScheduler, SchedulerStats
+from repro.service.session import (
+    BudgetExceededError,
+    Reservation,
+    SessionBudget,
+    TenantSession,
+)
+
+__all__ = [
+    "BudgetExceededError",
+    "GenerateRequest",
+    "ModelRegistry",
+    "PublishedModel",
+    "ReleaseRecord",
+    "RequestScheduler",
+    "Reservation",
+    "SchedulerStats",
+    "ServiceApp",
+    "ServiceError",
+    "SessionBudget",
+    "TenantSession",
+    "build_server",
+    "derive_request_seed",
+]

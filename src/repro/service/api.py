@@ -1,0 +1,619 @@
+"""The synthesis service: application core plus a stdlib JSON/HTTP front end.
+
+:class:`ServiceApp` is the transport-agnostic heart of ``repro serve``.  It
+wires the other service pieces together:
+
+* a :class:`~repro.service.registry.ModelRegistry` of fit-once published
+  pipelines (optionally size-bounded via :meth:`~repro.core.run_store.RunStore.gc`
+  with the registry's pinned artifacts kept),
+* per-tenant :class:`~repro.service.session.TenantSession` budgets with a
+  reserve → dispatch → commit protocol (refusals carry the remaining budget;
+  a refused or failed request never releases a partial result),
+* a coalescing :class:`~repro.service.scheduler.RequestScheduler` feeding one
+  persistent :class:`~repro.core.engine.SynthesisEngine` per model, with
+  per-request chunk-indexed RNG streams so concurrent requests release
+  bit-identical rows to serving them serially,
+* an append-only JSON-lines audit log of every budget event.
+
+The HTTP layer is a thin shim over the app: a stdlib
+:class:`~http.server.ThreadingHTTPServer` (one thread per connection, no
+third-party dependencies) exposing
+
+====================  ======================================================
+``GET  /healthz``      liveness + model count
+``GET  /models``       published models
+``POST /sessions``     open a budgeted tenant session
+``GET  /budget``       a session's spend / reservations / remainder (+ledger)
+``POST /generate``     budget-checked synthesis (JSON page or NDJSON stream)
+``GET  /releases/<id>``paginated access to a past release's rows
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.core.engine import SynthesisEngine
+from repro.core.results import SynthesisReport
+from repro.service.registry import ModelRegistry, PublishedModel
+from repro.service.scheduler import GenerateRequest, RequestScheduler
+from repro.service.session import BudgetExceededError, SessionBudget, TenantSession
+
+__all__ = [
+    "ReleaseRecord",
+    "ServiceApp",
+    "ServiceError",
+    "build_server",
+    "derive_request_seed",
+]
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB of JSON is far beyond any legitimate request
+_DEFAULT_PAGE_LIMIT = 100
+
+
+class ServiceError(Exception):
+    """An API-level failure with an HTTP status and machine-readable code."""
+
+    def __init__(self, status: int, code: str, message: str, **payload):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.payload = payload
+
+    def to_json(self) -> dict:
+        return {"error": str(self), "code": self.code, **self.payload}
+
+
+def derive_request_seed(model_id: str, session_id: str, sequence: int) -> int:
+    """The deterministic base seed of a session's ``sequence``-th request.
+
+    A pure function of (model, session, per-session sequence) — independent
+    of wall clock, thread scheduling and other sessions' traffic — so a
+    session replayed request-by-request regenerates identical rows.  Clients
+    needing cross-session determinism pass an explicit ``seed`` instead.
+    """
+    digest = hashlib.sha256(
+        f"{model_id}:{session_id}:{sequence}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1  # non-negative int64
+
+
+def _as_int(value, name: str, default: int | None = None) -> int | None:
+    """Parse a client-supplied integer; malformed input is a 400, not a 500."""
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(400, "bad_parameter", f"{name!r} must be an integer") from None
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars so payloads survive ``json.dumps``."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """One completed release: its identity, rows and accounting."""
+
+    release_id: str
+    request_id: str
+    session_id: str
+    model_id: str
+    base_seed: int
+    requested_rows: int
+    report: SynthesisReport
+    created_at: float
+
+    @property
+    def num_released(self) -> int:
+        return self.report.num_released
+
+    def decoded_rows(self, offset: int = 0, limit: int | None = None) -> list[list]:
+        """A window of released rows decoded to raw attribute values.
+
+        Only the requested window is decoded, so paginating a large release
+        costs O(page), not O(total rows per page).
+        """
+        from repro.datasets.dataset import Dataset
+
+        released = self.report.released_dataset()
+        stop = len(released.data) if limit is None else offset + limit
+        window = Dataset(released.schema, released.data[offset:stop])
+        return _jsonable(window.decoded_records())
+
+    def page(self, offset: int = 0, limit: int = _DEFAULT_PAGE_LIMIT) -> dict:
+        """One page of released rows plus the offset of the next page."""
+        if offset < 0 or limit < 1:
+            raise ServiceError(400, "bad_page", "offset must be >= 0 and limit >= 1")
+        total = self.num_released
+        window = self.decoded_rows(offset, limit)
+        next_offset = offset + len(window)
+        return {
+            "release_id": self.release_id,
+            "offset": offset,
+            "rows": window,
+            "next_offset": next_offset if next_offset < total else None,
+            "total_rows": total,
+        }
+
+    def describe(self) -> dict:
+        return {
+            "release_id": self.release_id,
+            "request_id": self.request_id,
+            "session_id": self.session_id,
+            "model_id": self.model_id,
+            "base_seed": self.base_seed,
+            "requested_rows": self.requested_rows,
+            "released_rows": self.num_released,
+            "attempts": self.report.num_attempts,
+            "pass_rate": self.report.pass_rate,
+            "created_at": self.created_at,
+        }
+
+
+class ServiceApp:
+    """The multi-tenant synthesis-serving application core."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        *,
+        num_workers: int = 1,
+        default_budget: SessionBudget | None = None,
+        audit_log: str | Path | None = None,
+        store_max_bytes: int | None = None,
+        scheduler_max_batch: int | None = None,
+        max_releases: int = 256,
+    ):
+        """``num_workers`` sizes each model's persistent engine pool (1 = the
+        in-process chunked reference path).  ``store_max_bytes`` caps the
+        backing artifact store: after every publish the store is gc'd down to
+        the bound with the registry's published models pinned.
+        ``max_releases`` bounds the in-memory release history available to
+        ``GET /releases/<id>`` — a long-running server retains the newest N
+        releases and expires the rest (404 after expiry), so held reports
+        can never grow without bound.  Session budget state is tiny and kept
+        for the server's lifetime regardless.
+        """
+        if max_releases < 1:
+            raise ValueError("max_releases must be at least 1")
+        self._registry = registry if registry is not None else ModelRegistry()
+        self._num_workers = num_workers
+        self._default_budget = default_budget or SessionBudget()
+        self._audit_path = Path(audit_log) if audit_log is not None else None
+        self._audit_lock = threading.Lock()
+        self._store_max_bytes = store_max_bytes
+        self._max_releases = max_releases
+        self._lock = threading.Lock()
+        self._sessions: dict[str, TenantSession] = {}
+        self._releases: "OrderedDict[str, ReleaseRecord]" = OrderedDict()
+        self._engines: dict[str, SynthesisEngine] = {}
+        self._session_counter = 0
+        self._release_counter = 0
+        self._closed = False
+        self._scheduler = RequestScheduler(
+            self._execute, max_batch=scheduler_max_batch
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ServiceApp":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the scheduler and release every persistent engine."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            engines = list(self._engines.values())
+            self._engines.clear()
+        self._scheduler.close()
+        for engine in engines:
+            engine.close()
+
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    @property
+    def scheduler(self) -> RequestScheduler:
+        return self._scheduler
+
+    def _audit(self, event: dict) -> None:
+        if self._audit_path is None:
+            return
+        line = json.dumps(_jsonable(event), sort_keys=True)
+        with self._audit_lock:
+            with self._audit_path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Models
+    # ------------------------------------------------------------------ #
+    def publish_model(self, name, dataset, config=None, seed: int = 0) -> dict:
+        """Publish a fitted model (fit-once) and size-bound the store."""
+        model = self._registry.publish(name, dataset, config, seed=seed)
+        if self._store_max_bytes is not None:
+            evicted = self._registry.gc_store(self._store_max_bytes)
+            if evicted:
+                self._audit(
+                    {"event": "store_gc", "evicted": evicted, "timestamp": time.time()}
+                )
+        return model.describe()
+
+    def list_models(self) -> list[dict]:
+        return self._registry.list_models()
+
+    def model(self, model_id_or_name: str) -> PublishedModel:
+        """A published model by id or name (404 :class:`ServiceError` if absent)."""
+        try:
+            return self._registry.get(model_id_or_name)
+        except KeyError:
+            raise ServiceError(
+                404, "unknown_model", f"no published model {model_id_or_name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def create_session(
+        self,
+        model: str,
+        tenant: str = "default",
+        budget: SessionBudget | dict | None = None,
+    ) -> dict:
+        """Open a budgeted session against a published model."""
+        published = self.model(model)
+        if isinstance(budget, dict):
+            unknown = set(budget) - {"epsilon", "delta", "max_rows", "min_k"}
+            if unknown:
+                raise ServiceError(
+                    400, "bad_budget", f"unknown budget keys: {sorted(unknown)}"
+                )
+            try:
+                budget = SessionBudget(**budget)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, "bad_budget", str(exc)) from exc
+        elif budget is None:
+            budget = self._default_budget
+        with self._lock:
+            self._session_counter += 1
+            session_id = f"s{self._session_counter:05d}"
+        try:
+            session = TenantSession(
+                session_id=session_id,
+                tenant=tenant,
+                model_id=published.model_id,
+                budget=budget,
+                per_row_cost=published.per_row_cost(),
+                model_k=published.params.k,
+                audit_sink=self._audit,
+            )
+        except ValueError as exc:
+            raise ServiceError(409, "k_floor_violation", str(exc)) from exc
+        with self._lock:
+            self._sessions[session_id] = session
+        self._audit(
+            {
+                "event": "session_created",
+                "session_id": session_id,
+                "tenant": tenant,
+                "model_id": published.model_id,
+                "budget": budget.to_dict(),
+                "timestamp": time.time(),
+            }
+        )
+        return session.describe()
+
+    def _session(self, session_id: str) -> TenantSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(404, "unknown_session", f"no session {session_id!r}")
+        return session
+
+    def budget(self, session_id: str, include_ledger: bool = False) -> dict:
+        """A session's budget status (optionally with the full audit trail)."""
+        session = self._session(session_id)
+        info = session.describe()
+        if include_ledger:
+            info["ledger"] = _jsonable(session.ledger())
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def _engine(self, model: PublishedModel) -> SynthesisEngine:
+        with self._lock:
+            if self._closed:
+                raise ServiceError(503, "shutting_down", "the service is closing")
+            engine = self._engines.get(model.model_id)
+            if engine is None:
+                config = model.pipeline.config
+                engine = SynthesisEngine(
+                    model.pipeline.model,
+                    model.pipeline.splits.seeds,
+                    config.privacy,
+                    num_workers=self._num_workers,
+                    chunk_size=config.chunk_size,
+                    batch_size=config.batch_size,
+                )
+                self._engines[model.model_id] = engine
+            return engine
+
+    def _execute(self, request: GenerateRequest) -> SynthesisReport:
+        model = self._registry.get(request.model_id)
+        engine = self._engine(model)
+        return engine.generate(
+            request.num_rows,
+            base_seed=request.base_seed,
+            max_attempts=request.max_attempts,
+        )
+
+    def generate(
+        self,
+        session_id: str,
+        rows: int,
+        seed: int | None = None,
+        max_attempts: int | None = None,
+    ) -> ReleaseRecord:
+        """Budget-checked synthesis: reserve, dispatch, commit, never partial.
+
+        The worst-case cost of ``rows`` rows is reserved before dispatch; a
+        request that cannot fit is refused with the budget remainder
+        (:class:`~repro.service.session.BudgetExceededError` →  HTTP 409).
+        After generation only the rows that actually passed the privacy test
+        are charged; a failed dispatch cancels the hold entirely.
+        """
+        if rows < 1:
+            raise ServiceError(400, "bad_rows", "rows must be a positive integer")
+        session = self._session(session_id)
+        model = self.model(session.model_id)
+        sequence = session.next_sequence()
+        request_id = f"{session_id}-r{sequence:05d}"
+        base_seed = (
+            int(seed)
+            if seed is not None
+            else derive_request_seed(model.model_id, session_id, sequence)
+        )
+        try:
+            reservation = session.reserve(request_id, rows)
+        except BudgetExceededError as exc:
+            raise ServiceError(
+                409,
+                "budget_exceeded",
+                str(exc),
+                remaining=_jsonable(exc.remaining),
+            ) from exc
+        request = GenerateRequest(
+            request_id=request_id,
+            model_id=model.model_id,
+            num_rows=rows,
+            base_seed=base_seed,
+            max_attempts=max_attempts,
+        )
+        try:
+            report = self._scheduler.submit(request).result()
+        except BaseException:
+            session.cancel(reservation)
+            raise
+        session.commit(reservation, report.num_released)
+        with self._lock:
+            self._release_counter += 1
+            release_id = f"rel{self._release_counter:06d}"
+            record = ReleaseRecord(
+                release_id=release_id,
+                request_id=request_id,
+                session_id=session_id,
+                model_id=model.model_id,
+                base_seed=base_seed,
+                requested_rows=rows,
+                report=report,
+                created_at=time.time(),
+            )
+            self._releases[release_id] = record
+            while len(self._releases) > self._max_releases:
+                self._releases.popitem(last=False)
+        return record
+
+    def release(self, release_id: str) -> ReleaseRecord:
+        with self._lock:
+            record = self._releases.get(release_id)
+        if record is None:
+            raise ServiceError(
+                404,
+                "unknown_release",
+                f"no release {release_id!r} (unknown, or expired from the "
+                f"{self._max_releases}-release history)",
+            )
+        return record
+
+    def healthz(self) -> dict:
+        with self._lock:
+            models = len(self._registry.pinned_keys())
+            sessions = len(self._sessions)
+        return {"status": "ok", "models": models, "sessions": sessions}
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front end
+# --------------------------------------------------------------------------- #
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim over :class:`ServiceApp` (stored on the server)."""
+
+    server_version = "repro-serve/1"
+
+    @property
+    def app(self) -> ServiceApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(_jsonable(payload)).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ServiceError(413, "body_too_large", "request body too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, "bad_json", f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "bad_json", "the request body must be a JSON object")
+        return payload
+
+    def _handle(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        query = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+        try:
+            self._route(method, parsed.path.rstrip("/") or "/", query)
+        except ServiceError as exc:
+            self._send_json(exc.status, exc.to_json())
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}", "code": "internal"}
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("POST")
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def _route(self, method: str, path: str, query: dict) -> None:
+        if method == "GET" and path == "/healthz":
+            self._send_json(200, self.app.healthz())
+        elif method == "GET" and path == "/models":
+            self._send_json(200, {"models": self.app.list_models()})
+        elif method == "GET" and path.startswith("/models/"):
+            model = self.app.model(path.removeprefix("/models/"))
+            self._send_json(200, model.describe())
+        elif method == "POST" and path == "/sessions":
+            body = self._read_json()
+            model = body.get("model")
+            if not model:
+                raise ServiceError(400, "bad_session", "a 'model' id or name is required")
+            info = self.app.create_session(
+                model=model,
+                tenant=str(body.get("tenant", "default")),
+                budget=body.get("budget"),
+            )
+            self._send_json(201, info)
+        elif method == "GET" and (path == "/budget" or path.endswith("/budget")):
+            if path == "/budget":
+                session_id = query.get("session", "")
+            else:  # /sessions/<id>/budget
+                session_id = path.removeprefix("/sessions/").removesuffix("/budget")
+            if not session_id:
+                raise ServiceError(400, "bad_budget", "pass ?session=<session_id>")
+            include_ledger = query.get("ledger", "") in ("1", "true", "yes")
+            self._send_json(200, self.app.budget(session_id, include_ledger))
+        elif method == "POST" and path == "/generate":
+            self._generate()
+        elif method == "GET" and path.startswith("/releases/"):
+            record = self.app.release(path.removeprefix("/releases/"))
+            offset = _as_int(query.get("offset"), "offset", 0)
+            limit = _as_int(query.get("limit"), "limit", _DEFAULT_PAGE_LIMIT)
+            page = record.page(offset, limit)
+            page.update(record.describe())
+            self._send_json(200, page)
+        else:
+            raise ServiceError(404, "not_found", f"no route {method} {path}")
+
+    def _generate(self) -> None:
+        body = self._read_json()
+        session_id = body.get("session")
+        if not session_id:
+            raise ServiceError(400, "bad_generate", "a 'session' id is required")
+        record = self.app.generate(
+            session_id,
+            _as_int(body.get("rows"), "rows", 0),
+            seed=_as_int(body.get("seed"), "seed"),
+            max_attempts=_as_int(body.get("max_attempts"), "max_attempts"),
+        )
+        if body.get("stream"):
+            # NDJSON stream: one header line, then one line per released row.
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.end_headers()
+            header = record.describe()
+            header["columns"] = record.report.schema.names
+            self.wfile.write((json.dumps(_jsonable(header)) + "\n").encode())
+            for row in record.decoded_rows():
+                self.wfile.write((json.dumps(_jsonable(row)) + "\n").encode())
+            return
+        limit = _as_int(body.get("limit"), "limit", _DEFAULT_PAGE_LIMIT)
+        page = record.page(0, limit)
+        page.update(record.describe())
+        page["columns"] = record.report.schema.names
+        page["budget"] = self.app.budget(record.session_id)["remaining"]
+        self._send_json(200, page)
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying the :class:`ServiceApp` instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ServiceApp, quiet: bool = True):
+        super().__init__(address, _ServiceHandler)
+        self.app = app
+        self.quiet = quiet
+
+
+def build_server(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> ServiceHTTPServer:
+    """Bind the JSON API to ``host:port`` (port 0 = ephemeral) without serving.
+
+    Call ``serve_forever()`` on the result (or run it in a thread); the bound
+    port is ``server.server_address[1]``.
+    """
+    return ServiceHTTPServer((host, port), app, quiet=quiet)

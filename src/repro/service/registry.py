@@ -1,0 +1,229 @@
+"""Fit-once model registry: published pipelines as content-hashed artifacts.
+
+Publishing a (dataset, config, rng) triple fits the full
+:class:`~repro.core.pipeline.SynthesisPipeline` exactly once and exposes the
+result as a :class:`PublishedModel` whose ``model_id`` *is* the pipeline's
+content-hashed fit-artifact key (dataset fingerprint + fit config + initial
+RNG state).  Re-publishing the same triple — in this process or, with a
+:class:`~repro.core.run_store.RunStore` attached, in any process that shares
+the store — returns the identical fitted state without refitting; the
+registry tracks how many real fits it performed so callers can verify the
+fit-once contract.
+
+The registry also implements the warm/cold split of a long-running service:
+fitted pipelines live in a bounded in-process LRU cache, while the publish
+*specs* (dataset + config + seed) are retained so an evicted model is
+transparently rebuilt — from the store artifact when one exists, by refitting
+otherwise.  :meth:`pinned_keys` names every artifact a published model still
+references, which is exactly the ``keep`` set for
+:meth:`~repro.core.run_store.RunStore.gc`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import GenerationConfig
+from repro.core.pipeline import SynthesisPipeline
+from repro.core.run_store import RunStore, dataset_fingerprint
+from repro.datasets.dataset import Dataset
+from repro.privacy.plausible_deniability import theorem1_guarantee
+
+__all__ = ["ModelRegistry", "PublishedModel"]
+
+
+@dataclass(frozen=True)
+class _PublishSpec:
+    """Everything needed to (re)build a published pipeline deterministically."""
+
+    name: str
+    dataset: Dataset
+    config: GenerationConfig
+    seed: int
+
+    def pipeline(self, run_store: RunStore | None) -> SynthesisPipeline:
+        return SynthesisPipeline(
+            self.dataset,
+            self.config,
+            rng=np.random.default_rng(self.seed),
+            run_store=run_store,
+        )
+
+
+@dataclass(frozen=True)
+class PublishedModel:
+    """One published, fitted synthesis pipeline."""
+
+    model_id: str
+    name: str
+    pipeline: SynthesisPipeline
+    dataset_fingerprint: str
+    seed: int
+    published_at: float
+
+    @property
+    def params(self):
+        """The plausible-deniability parameters of the published model."""
+        return self.pipeline.config.privacy
+
+    def per_row_cost(self) -> tuple[float, float]:
+        """Worst-case (ε, δ) of releasing one row under this model.
+
+        The Theorem 1 guarantee for the randomized test; the deterministic
+        test's releases carry no DP spend (their guarantee is k-deniability
+        itself), so its per-row cost is (0, 0) and sessions bound those
+        models by ``max_rows`` / ``min_k`` instead.
+        """
+        params = self.params
+        if params.epsilon0 is None:
+            return (0.0, 0.0)
+        epsilon, delta, _t = theorem1_guarantee(params.k, params.gamma, params.epsilon0)
+        return (epsilon, delta)
+
+    def describe(self) -> dict:
+        """Plain-JSON summary for the ``/models`` endpoint."""
+        params = self.params
+        epsilon, delta = self.per_row_cost()
+        return {
+            "model_id": self.model_id,
+            "name": self.name,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "num_seed_records": len(self.pipeline.splits.seeds),
+            "schema": self.pipeline.splits.seeds.schema.names,
+            "k": params.k,
+            "gamma": params.gamma,
+            "epsilon0": params.epsilon0,
+            "per_row_cost": {"epsilon": epsilon, "delta": delta},
+            "seed": self.seed,
+            "published_at": self.published_at,
+        }
+
+
+class ModelRegistry:
+    """Publishes fitted pipelines once and serves them from a warm LRU cache."""
+
+    def __init__(self, run_store: RunStore | None = None, max_cached: int = 8):
+        if max_cached < 1:
+            raise ValueError("max_cached must be at least 1")
+        self._run_store = run_store
+        self._max_cached = max_cached
+        self._lock = threading.RLock()
+        self._specs: dict[str, _PublishSpec] = {}  # model_id -> spec
+        self._names: dict[str, str] = {}  # name -> model_id
+        self._cache: OrderedDict[str, PublishedModel] = OrderedDict()
+        self._published_at: dict[str, float] = {}
+        self._descriptions: dict[str, dict] = {}  # captured at publish time
+        self._fits_performed = 0
+
+    @property
+    def run_store(self) -> RunStore | None:
+        """The backing artifact store (None = in-process only)."""
+        return self._run_store
+
+    @property
+    def fits_performed(self) -> int:
+        """How many real (non-cached) pipeline fits this registry has run."""
+        with self._lock:
+            return self._fits_performed
+
+    # ------------------------------------------------------------------ #
+    # Publishing
+    # ------------------------------------------------------------------ #
+    def publish(
+        self,
+        name: str,
+        dataset: Dataset,
+        config: GenerationConfig | None = None,
+        seed: int = 0,
+    ) -> PublishedModel:
+        """Fit (at most once) and publish a pipeline under ``name``.
+
+        The model id is the content hash of (dataset, fit config, initial RNG
+        state); publishing an identical triple under any name reuses the
+        fitted state.  Re-using an existing ``name`` for a *different* triple
+        is rejected — published models are immutable.
+        """
+        if config is None:
+            config = GenerationConfig.paper_defaults(num_attributes=len(dataset.schema))
+        spec = _PublishSpec(name=name, dataset=dataset, config=config, seed=seed)
+        model_id = spec.pipeline(self._run_store).fit_artifact_key()
+        with self._lock:
+            existing_id = self._names.get(name)
+            if existing_id is not None and existing_id != model_id:
+                raise ValueError(
+                    f"model name {name!r} is already published with a different "
+                    f"content identity ({existing_id[:12]}…); published models "
+                    "are immutable — pick a new name"
+                )
+            if model_id not in self._specs:
+                self._specs[model_id] = spec
+                self._published_at[model_id] = time.time()
+            self._names[name] = model_id
+            return self._get_locked(model_id)
+
+    def _fit(self, spec: _PublishSpec, model_id: str) -> PublishedModel:
+        pipeline = spec.pipeline(self._run_store)
+        store = self._run_store
+        cached_on_disk = store is not None and store.has_artifact(model_id)
+        pipeline.fit()
+        if not cached_on_disk:
+            self._fits_performed += 1
+        return PublishedModel(
+            model_id=model_id,
+            name=spec.name,
+            pipeline=pipeline,
+            dataset_fingerprint=dataset_fingerprint(spec.dataset),
+            seed=spec.seed,
+            published_at=self._published_at[model_id],
+        )
+
+    def _get_locked(self, model_id: str) -> PublishedModel:
+        cached = self._cache.get(model_id)
+        if cached is not None:
+            self._cache.move_to_end(model_id)
+            return cached
+        spec = self._specs.get(model_id)
+        if spec is None:
+            raise KeyError(f"no published model {model_id!r}")
+        model = self._fit(spec, model_id)
+        self._cache[model_id] = model
+        self._descriptions[model_id] = model.describe()
+        while len(self._cache) > self._max_cached:
+            self._cache.popitem(last=False)
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def get(self, model_id_or_name: str) -> PublishedModel:
+        """A published model by id or name (warming the cache if evicted)."""
+        with self._lock:
+            model_id = self._names.get(model_id_or_name, model_id_or_name)
+            return self._get_locked(model_id)
+
+    def list_models(self) -> list[dict]:
+        """Summaries of every published model, in publish order.
+
+        Served from descriptions captured when each model was fitted —
+        listing never refits or warms evicted pipelines, so ``GET /models``
+        stays cheap no matter how many models the cache has dropped.
+        """
+        with self._lock:
+            ordered = sorted(self._specs, key=lambda mid: self._published_at[mid])
+            return [dict(self._descriptions[model_id]) for model_id in ordered]
+
+    def pinned_keys(self) -> set[str]:
+        """Artifact keys still referenced by published models (gc ``keep`` set)."""
+        with self._lock:
+            return set(self._specs)
+
+    def gc_store(self, max_bytes: int) -> list[str]:
+        """Size-bound the backing store, never evicting published models."""
+        if self._run_store is None:
+            return []
+        return self._run_store.gc(max_bytes, keep=self.pinned_keys())

@@ -1,0 +1,212 @@
+"""Coalescing request scheduler over persistent synthesis engines.
+
+Concurrent ``/generate`` requests are funnelled through one dispatcher
+thread: the first blocked ``get`` and a non-blocking drain coalesce every
+request queued at that moment into one *batch*, which is then dispatched
+request-by-request onto the shared persistent
+:class:`~repro.core.engine.SynthesisEngine` worker pool of the request's
+model.  Because every request carries its own base seed — and an engine run
+is a pure function of ``(workload, base_seed, budget, chunk/batch size)``
+through chunk-indexed RNG streams — the rows a request releases are
+independent of which batch it landed in, of the requests around it, and of
+the dispatch order: any interleaving of concurrent requests is bit-identical
+to serving them one at a time (the service conformance suite proves this with
+the shared :mod:`repro.testing.invariants` checkers).
+
+Dispatch is deliberately one request at a time: a
+:class:`~repro.core.engine.SynthesisEngine` pool supports a single in-flight
+run (its chunk/release counters are per-job), so parallelism *within* a
+request comes from the engine's worker processes while the dispatcher keeps
+each engine to one run at a time.  The scheduler is model-agnostic — it
+executes whatever callable the service hands it — and reports coalescing
+statistics (batches dispatched, largest batch, requests served) so
+throughput benchmarks can attribute wins to batching rather than luck.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.results import SynthesisReport
+
+__all__ = ["GenerateRequest", "RequestScheduler", "SchedulerStats"]
+
+
+@dataclass(frozen=True)
+class GenerateRequest:
+    """One deterministic generation request.
+
+    ``base_seed`` fully determines the request's RNG streams (chunk ``i`` of
+    the run uses ``SeedSequence(base_seed, spawn_key=(i,))``), making the
+    result interleaving-independent.
+    """
+
+    request_id: str
+    model_id: str
+    num_rows: int
+    base_seed: int
+    max_attempts: int | None = None
+
+
+@dataclass
+class SchedulerStats:
+    """Coalescing counters (snapshot via :meth:`RequestScheduler.stats`)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    coalesced: int = 0  # requests that shared a batch with at least one other
+    batch_sizes: list[int] = field(default_factory=list)
+
+
+class RequestScheduler:
+    """Single-dispatcher queue that batches concurrent generation requests."""
+
+    def __init__(
+        self,
+        executor: Callable[[GenerateRequest], SynthesisReport],
+        *,
+        max_batch: int | None = None,
+        autostart: bool = True,
+    ):
+        """``executor`` runs one request on its model's persistent engine.
+
+        ``max_batch`` caps how many queued requests one drain may coalesce
+        (``None`` = drain everything pending).  ``autostart=False`` leaves
+        the dispatcher stopped until :meth:`start` — tests use this to queue
+        a burst deterministically and observe it coalesce into one batch.
+        """
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be positive when provided")
+        self._executor = executor
+        self._max_batch = max_batch
+        self._queue: queue.Queue = queue.Queue()
+        self._stats = SchedulerStats()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "RequestScheduler":
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the scheduler has been closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop, name="repro-scheduler", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop the dispatcher; pending requests fail with CancelledError."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+            self._queue.put(None)
+        if thread is not None:
+            thread.join(timeout=30)
+        # Fail anything still queued rather than leaving callers hanging.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                _request, future = item
+                future.cancel()
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: GenerateRequest) -> "Future[SynthesisReport]":
+        """Queue a request; the future resolves to its merged report."""
+        future: Future = Future()
+        # The put happens inside the closed-check critical section: close()
+        # also takes the lock before signalling shutdown, so a submitted
+        # request is always queued ahead of the sentinel (FIFO) and can never
+        # be stranded with a forever-pending future.
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the scheduler has been closed")
+            self._stats.submitted += 1
+            self._queue.put((request, future))
+        return future
+
+    def stats(self) -> SchedulerStats:
+        """A snapshot of the coalescing counters."""
+        with self._lock:
+            return SchedulerStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                batches=self._stats.batches,
+                max_batch=self._stats.max_batch,
+                coalesced=self._stats.coalesced,
+                batch_sizes=list(self._stats.batch_sizes),
+            )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch loop
+    # ------------------------------------------------------------------ #
+    def _drain_batch(self) -> list | None:
+        """Block for one item, then coalesce everything already queued."""
+        head = self._queue.get()
+        if head is None:
+            return None
+        batch = [head]
+        while self._max_batch is None or len(batch) < self._max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                # Preserve the shutdown signal for the outer loop.
+                self._queue.put(None)
+                break
+            batch.append(item)
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._drain_batch()
+            if batch is None:
+                return
+            with self._lock:
+                self._stats.batches += 1
+                self._stats.max_batch = max(self._stats.max_batch, len(batch))
+                self._stats.batch_sizes.append(len(batch))
+                if len(batch) > 1:
+                    self._stats.coalesced += len(batch)
+            for request, future in batch:
+                if not future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    report = self._executor(request)
+                except BaseException as exc:  # surface to the waiting caller
+                    with self._lock:
+                        self._stats.failed += 1
+                    future.set_exception(exc)
+                else:
+                    with self._lock:
+                        self._stats.completed += 1
+                    future.set_result(report)

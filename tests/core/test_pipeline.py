@@ -174,7 +174,7 @@ class TestRunStoreCaching:
             )
             return SynthesisPipeline(
                 acs_dataset, config, rng=np.random.default_rng(5)
-            )._fit_artifact_key()
+            ).fit_artifact_key()
 
         base = key_for()
         assert key_for(num_workers=2, batch_size=64, chunk_size=128) == base

@@ -147,3 +147,68 @@ class TestDatasetFingerprint:
         mutated = toy_dataset_small.data.copy()
         mutated[0, 0] = (mutated[0, 0] + 1) % 2
         assert dataset_fingerprint(Dataset(toy_schema, mutated)) != base
+
+
+class TestGarbageCollection:
+    @staticmethod
+    def _fill(store: RunStore, count: int, size: int = 2000) -> list[str]:
+        import os
+        import time as _time
+
+        keys = []
+        for index in range(count):
+            key = RunStore.artifact_key("gc-test", {"index": index})
+            store.save_artifact(key, b"x" * size)
+            # Distinct, strictly increasing mtimes without sleeping.
+            path = store.root / "artifacts" / f"{key}.pkl"
+            stamp = _time.time() - (count - index) * 60
+            os.utime(path, (stamp, stamp))
+            keys.append(key)
+        return keys
+
+    def test_evicts_oldest_first_until_under_bound(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self._fill(store, 4)
+        per_artifact = store.artifacts_size_bytes() // 4
+        evicted = store.gc(max_bytes=2 * per_artifact)
+        assert evicted == keys[:2]  # oldest two went first
+        assert store.artifacts_size_bytes() <= 2 * per_artifact
+        assert [store.has_artifact(key) for key in keys] == [False, False, True, True]
+
+    def test_load_refreshes_recency(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self._fill(store, 3)
+        store.load_artifact(keys[0])  # the oldest becomes the most recent
+        per_artifact = store.artifacts_size_bytes() // 3
+        evicted = store.gc(max_bytes=per_artifact)
+        assert keys[0] not in evicted
+        assert store.has_artifact(keys[0])
+
+    def test_pinned_artifacts_survive_eviction(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self._fill(store, 4)
+        pinned = {keys[0], keys[1]}  # pin the two *oldest* (worst case for LRU)
+        evicted = store.gc(max_bytes=0, keep=pinned)
+        assert set(evicted) == set(keys[2:])
+        assert store.has_artifact(keys[0]) and store.has_artifact(keys[1])
+
+    def test_gc_under_bound_is_a_noop(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        keys = self._fill(store, 2)
+        assert store.gc(max_bytes=store.artifacts_size_bytes()) == []
+        assert all(store.has_artifact(key) for key in keys)
+
+    def test_gc_never_touches_run_checkpoints(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        self._fill(store, 2)
+        store.save_run_meta("run1", {"sig": 1})
+        store.save_chunk("run1", 0, {"a": np.arange(5)})
+        store.gc(max_bytes=0)
+        assert store.artifact_keys() == []
+        assert store.load_run_meta("run1") == {"sig": 1}
+        assert 0 in store.load_chunks("run1")
+
+    def test_negative_bound_rejected(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            store.gc(max_bytes=-1)

@@ -94,3 +94,63 @@ class TestAccountant:
         accountant.spend("b", 0.1, scope="s2")
         assert accountant.labels() == ["b", "a"]
         assert accountant.scopes() == ["s2", "s1"]
+
+
+class TestThreadSafety:
+    """Concurrent spend must never drop entries or under-report composition."""
+
+    def test_concurrent_spend_never_under_reports(self):
+        import threading
+
+        accountant = PrivacyAccountant()
+        num_threads, per_thread = 8, 200
+        barrier = threading.Barrier(num_threads)
+        guarantees = []
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                accountant.spend(f"t{index}", 0.01, delta=1e-9, scope=f"scope{index % 2}")
+                if i % 50 == 0:
+                    # Guarantee reads interleaved with appends must not crash
+                    # or observe a torn ledger.
+                    guarantees.append(accountant.total_guarantee(use_advanced=False))
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = num_threads * per_thread
+        assert len(accountant.entries) == total
+        # Exact sequential composition over everything that was recorded:
+        # nothing dropped, nothing double-counted.
+        epsilon, delta = accountant.total_guarantee(use_advanced=False)
+        assert epsilon == pytest.approx(total * 0.01)
+        assert delta == pytest.approx(total * 1e-9)
+        # Interleaved reads saw monotonically consistent (never-too-small,
+        # never-above-final) totals.
+        assert all(0 < eps <= epsilon * (1 + 1e-12) for eps, _ in guarantees)
+        from repro.testing.invariants import check_accountant_conservation
+
+        check_accountant_conservation(accountant)
+
+    def test_lock_survives_pickle_and_deepcopy(self):
+        import copy
+        import pickle
+
+        accountant = PrivacyAccountant()
+        accountant.spend("a", 0.5)
+        clone = pickle.loads(pickle.dumps(accountant))
+        clone.spend("b", 0.5)  # the recreated lock works
+        assert len(clone.entries) == 2
+        assert len(accountant.entries) == 1
+
+        deep = copy.deepcopy(accountant)
+        deep.spend("c", 0.1)
+        assert len(deep.entries) == 2
+        assert accountant.entries == pickle.loads(pickle.dumps(accountant)).entries

@@ -1,0 +1,110 @@
+"""Fit-once model registry: content identity, warm cache, pinned gc."""
+
+import numpy as np
+import pytest
+
+from repro.core.run_store import RunStore
+from repro.service.registry import ModelRegistry
+from repro.testing.scenarios import get_scenario
+
+pytestmark = pytest.mark.service
+
+SCENARIO = get_scenario("tiny-n")
+
+
+@pytest.fixture
+def dataset():
+    return SCENARIO.dataset(0)
+
+
+@pytest.fixture
+def config():
+    return SCENARIO.config()
+
+
+class TestFitOnce:
+    def test_same_triple_fits_once(self, dataset, config):
+        registry = ModelRegistry()
+        first = registry.publish("a", dataset, config, seed=1)
+        second = registry.publish("b", dataset, config, seed=1)
+        assert first.model_id == second.model_id
+        assert first.pipeline is second.pipeline  # same warm-cache entry
+        assert registry.fits_performed == 1
+
+    def test_different_seed_is_a_different_model(self, dataset, config):
+        registry = ModelRegistry()
+        first = registry.publish("a", dataset, config, seed=1)
+        second = registry.publish("b", dataset, config, seed=2)
+        assert first.model_id != second.model_id
+        assert registry.fits_performed == 2
+
+    def test_name_reuse_for_different_content_rejected(self, dataset, config):
+        registry = ModelRegistry()
+        registry.publish("a", dataset, config, seed=1)
+        with pytest.raises(ValueError, match="immutable"):
+            registry.publish("a", dataset, config, seed=2)
+
+    def test_store_shares_the_fit_across_registries(self, dataset, config, tmp_path):
+        store = RunStore(tmp_path / "store")
+        first = ModelRegistry(run_store=store)
+        model = first.publish("a", dataset, config, seed=1)
+        assert first.fits_performed == 1
+
+        # A second registry (e.g. a restarted service) loads the artifact
+        # instead of refitting, and serves the identical fitted state.
+        second = ModelRegistry(run_store=store)
+        again = second.publish("a", dataset, config, seed=1)
+        assert second.fits_performed == 0
+        assert again.model_id == model.model_id
+        assert (
+            again.pipeline.accountant.entries == model.pipeline.accountant.entries
+        )
+        np.testing.assert_array_equal(
+            again.pipeline.splits.seeds.data, model.pipeline.splits.seeds.data
+        )
+
+
+class TestWarmCache:
+    def test_lru_eviction_rebuilds_transparently(self, dataset, config, tmp_path):
+        store = RunStore(tmp_path / "store")
+        registry = ModelRegistry(run_store=store, max_cached=1)
+        first = registry.publish("a", dataset, config, seed=1)
+        registry.publish("b", dataset, config, seed=2)  # evicts "a" from memory
+        again = registry.get("a")
+        assert again.model_id == first.model_id
+        # Rebuilt from the store artifact, not refitted.
+        assert registry.fits_performed == 2
+
+    def test_lookup_by_name_and_id(self, dataset, config):
+        registry = ModelRegistry()
+        model = registry.publish("a", dataset, config, seed=1)
+        assert registry.get("a").model_id == model.model_id
+        assert registry.get(model.model_id).model_id == model.model_id
+        with pytest.raises(KeyError):
+            registry.get("missing")
+
+    def test_list_models(self, dataset, config):
+        registry = ModelRegistry()
+        registry.publish("a", dataset, config, seed=1)
+        registry.publish("b", dataset, config, seed=2)
+        names = [info["name"] for info in registry.list_models()]
+        assert names == ["a", "b"]
+
+
+class TestPinnedGc:
+    def test_published_models_survive_gc(self, dataset, config, tmp_path):
+        store = RunStore(tmp_path / "store")
+        registry = ModelRegistry(run_store=store)
+        model = registry.publish("a", dataset, config, seed=1)
+        # Unpinned clutter that gc may evict.
+        for index in range(3):
+            store.save_artifact(
+                RunStore.artifact_key("clutter", {"i": index}), list(range(1000))
+            )
+        evicted = registry.gc_store(max_bytes=0)
+        assert len(evicted) == 3
+        assert store.has_artifact(model.model_id)
+        # The published model still loads from disk after gc.
+        fresh = ModelRegistry(run_store=store)
+        assert fresh.publish("a", dataset, config, seed=1).model_id == model.model_id
+        assert fresh.fits_performed == 0

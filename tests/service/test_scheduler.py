@@ -1,0 +1,91 @@
+"""Coalescing request scheduler: batching, ordering, error propagation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.scheduler import GenerateRequest, RequestScheduler
+
+pytestmark = pytest.mark.service
+
+
+def request(index: int) -> GenerateRequest:
+    return GenerateRequest(
+        request_id=f"r{index}", model_id="m", num_rows=1, base_seed=index
+    )
+
+
+class TestCoalescing:
+    def test_queued_burst_coalesces_into_one_batch(self):
+        executed = []
+        with RequestScheduler(
+            lambda req: executed.append(req.request_id), autostart=False
+        ) as scheduler:
+            futures = [scheduler.submit(request(index)) for index in range(4)]
+            scheduler.start()
+            for future in futures:
+                future.result(timeout=10)
+            stats = scheduler.stats()
+        assert executed == ["r0", "r1", "r2", "r3"]  # submission order preserved
+        assert stats.batches == 1
+        assert stats.max_batch == 4
+        assert stats.coalesced == 4
+
+    def test_max_batch_caps_a_drain(self):
+        with RequestScheduler(lambda req: None, max_batch=2, autostart=False) as scheduler:
+            futures = [scheduler.submit(request(index)) for index in range(5)]
+            scheduler.start()
+            for future in futures:
+                future.result(timeout=10)
+            stats = scheduler.stats()
+        assert stats.max_batch <= 2
+        assert stats.completed == 5
+
+    def test_concurrent_submitters_all_complete(self):
+        def slowish(req):
+            time.sleep(0.002)
+            return req.base_seed * 10
+
+        results = {}
+        with RequestScheduler(slowish) as scheduler:
+
+            def client(index):
+                results[index] = scheduler.submit(request(index)).result(timeout=30)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert results == {index: index * 10 for index in range(8)}
+
+
+class TestFailures:
+    def test_executor_error_reaches_the_caller_only(self):
+        def explode_on_two(req):
+            if req.base_seed == 2:
+                raise RuntimeError("boom")
+            return req.base_seed
+
+        with RequestScheduler(explode_on_two, autostart=False) as scheduler:
+            futures = [scheduler.submit(request(index)) for index in range(4)]
+            scheduler.start()
+            assert futures[0].result(timeout=10) == 0
+            with pytest.raises(RuntimeError, match="boom"):
+                futures[2].result(timeout=10)
+            assert futures[3].result(timeout=10) == 3
+            stats = scheduler.stats()
+        assert stats.failed == 1
+        assert stats.completed == 3
+
+    def test_submit_after_close_rejected(self):
+        scheduler = RequestScheduler(lambda req: None)
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit(request(0))
+
+    def test_close_is_idempotent(self):
+        scheduler = RequestScheduler(lambda req: None)
+        scheduler.close()
+        scheduler.close()

@@ -84,3 +84,24 @@ class TestEndToEndCli:
         released = Dataset.from_csv(schema, output_path)
         assert len(released) == 20
         assert released.schema == schema
+
+
+class TestServeArguments:
+    def test_serve_requires_an_input_source(self):
+        with pytest.raises(SystemExit, match="either --scenario or both"):
+            main(["serve", "--port", "0"])
+
+    def test_serve_scenario_and_input_are_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "serve",
+                    "--scenario", "tiny-n",
+                    "--input", "x.csv",
+                    "--metadata", "x.json",
+                ]
+            )
+
+    def test_serve_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["serve", "--scenario", "not-a-scenario", "--port", "0"])
