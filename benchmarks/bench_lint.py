@@ -1,0 +1,111 @@
+"""Lint-throughput benchmark: the static checker over the full source tree.
+
+``repro lint`` runs as a blocking CI gate and as a pre-commit habit, so its
+cost has to stay trivially small next to the test suite it guards.  This
+benchmark times :func:`repro.analysis.lint_paths` (every rule family, the
+same entry point the CLI uses) over ``src/repro`` and asserts:
+
+* the tree lints clean under the committed baseline — the benchmark doubles
+  as an end-to-end run of the exact configuration CI enforces;
+* throughput stays above a deliberately conservative floor
+  (``FLOOR_FILES_PER_SECOND``), so an accidentally quadratic rule shows up
+  as a perf regression here before it shows up as a slow CI queue.
+
+Run standalone (writes ``benchmarks/results/bench_lint.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--smoke]
+
+``--smoke`` does a single timed pass (CI); the default is best-of-3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_TREE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+#: Conservative floor for noisy shared runners; a laptop does ~10x this.
+FLOOR_FILES_PER_SECOND = 15.0
+
+
+def run_benchmark(repeats: int) -> dict:
+    from repro.analysis import lint_paths
+    from repro.analysis.baseline import Baseline
+
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = lint_paths([SRC_TREE], root=REPO_ROOT)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    Baseline.load(BASELINE).apply(result)
+    return {
+        "wall_time": best,
+        "files": result.files_scanned,
+        "files_per_second": result.files_scanned / best,
+        "findings_after_baseline": len(result.findings),
+        "inline_suppressed": result.inline_suppressed,
+        "baseline_suppressed": result.baseline_suppressed,
+        "parse_errors": len(result.parse_errors),
+    }
+
+
+def _record_json(stats: dict, repeats: int) -> None:
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        "bench_lint",
+        params={"files": stats["files"], "repeats": repeats},
+        wall_time=stats["wall_time"],
+        throughput=stats["files_per_second"],  # files/second over all rules
+        extra={
+            "findings_after_baseline": stats["findings_after_baseline"],
+            "inline_suppressed": stats["inline_suppressed"],
+            "baseline_suppressed": stats["baseline_suppressed"],
+        },
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="single timed pass (CI mode)"
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else 3
+
+    stats = run_benchmark(repeats)
+    _record_json(stats, repeats)
+    print(
+        f"linted {stats['files']} files in {stats['wall_time']:.3f}s "
+        f"({stats['files_per_second']:.0f} files/s, best of {repeats}); "
+        f"{stats['inline_suppressed']} inline + "
+        f"{stats['baseline_suppressed']} baselined suppression(s)"
+    )
+    if stats["parse_errors"] or stats["findings_after_baseline"]:
+        print(
+            f"FAIL: tree is not clean ({stats['findings_after_baseline']} "
+            f"finding(s), {stats['parse_errors']} parse error(s))",
+            file=sys.stderr,
+        )
+        return 1
+    if stats["files_per_second"] < FLOOR_FILES_PER_SECOND:
+        print(
+            f"FAIL: {stats['files_per_second']:.0f} files/s is below the "
+            f"{FLOOR_FILES_PER_SECOND:.0f} files/s floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: clean tree, throughput above {FLOOR_FILES_PER_SECOND:.0f} files/s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Static invariant checking for the repro codebase (``repro lint``).
+
+The repo's correctness story rests on conventions that runtime tests only
+exercise on the paths they happen to run: every source of randomness is an
+explicit ``rng``/``seed`` argument (bit-identical parallel synthesis), every
+noise draw is recorded on a :class:`~repro.privacy.accountant.PrivacyAccountant`
+(Theorem-1 spend accounting), and shared mutable state is only touched under
+its lock (multi-tenant budgets).  This package proves those conventions over
+*all* code paths with a lightweight AST/dataflow pass:
+
+* :mod:`repro.analysis.core` — the visitor framework: parsed
+  :class:`SourceModule` objects carrying ``# repro:`` annotations, the
+  :class:`Rule` registry, and the lint drivers;
+* :mod:`repro.analysis.rules` — the four rule families (``rng``,
+  ``privacy``, ``lock``, ``det``);
+* :mod:`repro.analysis.baseline` — the committed-baseline mechanism for the
+  few intentional suppressions;
+* :mod:`repro.analysis.reporters` — text and JSON output;
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis`` / ``repro lint``.
+
+Inline annotations understood by the checker::
+
+    x = unordered_thing()        # repro: allow[det-set-iteration]
+    self._spent = _Spent()       # repro: guarded-by[_lock]
+    def _helper(self):           # repro: requires-lock[_lock]
+
+``allow[rule-id]`` suppresses one rule on that line (comma-separate several
+ids; the comment may also sit on the preceding line).  ``guarded-by[lock]``
+declares an attribute as shared state protected by ``self.<lock>``;
+``requires-lock[lock]`` marks a method whose callers must already hold the
+lock.  See the README section "Static invariant checking" for the rule
+catalogue and how to register new rules.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    Rule,
+    SourceModule,
+    all_rules,
+    check_source,
+    lint_paths,
+    register,
+    rules_for,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "check_source",
+    "lint_paths",
+    "register",
+    "rules_for",
+]

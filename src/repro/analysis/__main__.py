@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the static invariant checker CLI."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Committed-baseline support for intentional suppressions.
+
+A baseline entry keys on ``(path, symbol, rule)`` with an occurrence count,
+so it survives unrelated line drift but goes stale (and is reported stale)
+the moment the suppressed code is fixed or moves to another symbol.  The
+committed file lives at the repo root (``lint-baseline.json``) and is passed
+to ``repro lint --baseline``; regenerate it with ``--write-baseline`` after
+auditing each entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding, LintResult
+
+__all__ = ["Baseline"]
+
+
+@dataclass
+class Baseline:
+    """Allowed finding counts keyed by ``path::symbol::rule``."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+        counts: dict[str, int] = {}
+        notes: dict[str, str] = {}
+        for entry in document.get("entries", []):
+            key = f"{entry['path']}::{entry.get('symbol', '')}::{entry['rule']}"
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+            if entry.get("note"):
+                notes[key] = entry["note"]
+        return cls(counts=counts, notes=notes)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = finding.baseline_key()
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+        return baseline
+
+    def write(self, path: Path | str) -> None:
+        entries = []
+        for key in sorted(self.counts):
+            file_path, symbol, rule = key.split("::")
+            entry: dict = {"path": file_path, "symbol": symbol, "rule": rule}
+            if self.counts[key] != 1:
+                entry["count"] = self.counts[key]
+            if key in self.notes:
+                entry["note"] = self.notes[key]
+            entries.append(entry)
+        document = {
+            "comment": (
+                "Intentional `repro lint` suppressions. Audit before adding; "
+                "regenerate with `repro lint --write-baseline` only after "
+                "every remaining finding has been judged intentional."
+            ),
+            "entries": entries,
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def apply(self, result: LintResult) -> None:
+        """Filter baselined findings out of ``result`` in place.
+
+        Remaining (never-matched) entries are reported as stale so the
+        baseline can only shrink, never silently rot.
+        """
+        budget = dict(self.counts)
+        kept: list[Finding] = []
+        for finding in result.findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                result.baseline_suppressed += 1
+            else:
+                kept.append(finding)
+        result.findings = kept
+        result.stale_baseline_keys = sorted(
+            key for key, remaining in budget.items() if remaining > 0
+        )

@@ -1,0 +1,152 @@
+"""Command line of the static invariant checker.
+
+Invoked as ``python -m repro.analysis`` or ``repro lint``::
+
+    repro lint                               # lint src/repro with the baseline
+    repro lint --select rng                  # one rule family only
+    repro lint --format json --output r.json # machine-readable report (CI)
+    repro lint --list-rules                  # rule catalogue
+    repro lint --write-baseline              # refresh lint-baseline.json
+
+Exit status: 0 when clean (after inline + baseline suppressions), 1 when
+findings or parse errors remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import all_rules, lint_paths
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = ["build_arg_parser", "main"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Statically enforce RNG hygiene, privacy-spend accounting, lock "
+            "discipline and determinism invariants over the repro tree."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro, or the "
+        "installed repro package directory)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="FAMILIES",
+        help="comma-separated rule families or ids to run "
+        "(rng, privacy, lock, det; default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (whatever --format says; "
+        "CI uploads this artifact on failure)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline of intentional suppressions (default: "
+        f"./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _default_paths() -> list[Path]:
+    src_tree = Path("src/repro")
+    if src_tree.is_dir():
+        return [src_tree]
+    return [Path(__file__).resolve().parent.parent]  # the installed package
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.is_file() else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id:28s} [{rule.family}]  {rule.summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else _default_paths()
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(paths, select=args.select)
+    except ValueError as exc:  # bad --select
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline(args)
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+        Baseline.from_findings(result.findings).write(target)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {target}; audit each "
+            "entry before committing"
+        )
+        return 0
+    if baseline_path is not None:
+        if not baseline_path.is_file():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        Baseline.load(baseline_path).apply(result)
+
+    if args.format == "json":
+        print(json.dumps(render_json(result), indent=2, sort_keys=True))
+    else:
+        print(render_text(result))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(render_json(result), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,351 @@
+"""Checker framework: parsed modules, ``# repro:`` annotations, rule registry.
+
+A :class:`SourceModule` wraps one parsed Python file together with the
+checker annotations extracted from its comments.  :class:`Rule` subclasses
+register themselves under a stable rule id (``<family>-<name>``) and yield
+:class:`Finding` objects from :meth:`Rule.check`; the drivers
+(:func:`lint_paths`, :func:`check_source`) apply inline ``allow``
+suppressions and collect everything into a :class:`LintResult`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "check_source",
+    "iter_python_files",
+    "lint_paths",
+    "register",
+    "rules_for",
+]
+
+#: ``# repro: allow[rule-a,rule-b]`` / ``guarded-by[_lock]`` / ``requires-lock[_lock]``
+_ANNOTATION_RE = re.compile(r"#\s*repro:\s*(allow|guarded-by|requires-lock)\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at a source location.
+
+    ``symbol`` is the dotted enclosing scope (``Class.method``); baselines
+    key on ``(path, symbol, rule)`` so they survive unrelated line drift.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_key(self) -> str:
+        return f"{self.path}::{self.symbol}::{self.rule}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+def _extract_annotations(text: str) -> tuple[dict, dict, dict]:
+    """Map comment lines to their checker annotations.
+
+    Returns ``(allow, guarded_by, requires_lock)``: ``allow`` maps a line
+    number to the set of rule ids suppressed there, the other two map a line
+    number to a lock attribute name.
+    """
+    allow: dict[int, set[str]] = {}
+    guarded: dict[int, str] = {}
+    requires: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            for kind, payload in _ANNOTATION_RE.findall(token.string):
+                line = token.start[0]
+                if kind == "allow":
+                    ids = {part.strip() for part in payload.split(",") if part.strip()}
+                    allow.setdefault(line, set()).update(ids)
+                elif kind == "guarded-by":
+                    guarded[line] = payload.strip()
+                else:
+                    requires[line] = payload.strip()
+    except tokenize.TokenError:
+        pass  # syntactically odd files still lint via the AST
+    return allow, guarded, requires
+
+
+class SourceModule:
+    """One parsed source file plus its checker annotations."""
+
+    def __init__(self, text: str, path: Path | str, rel_path: str | None = None):
+        self.path = Path(path)
+        self.text = text
+        self.rel_path = rel_path if rel_path is not None else self.path.as_posix()
+        self.tree = ast.parse(text, filename=str(path))
+        self.allow, self.guarded_by, self.requires_lock = _extract_annotations(text)
+        parts = set(self.path.parts)
+        self.is_test = "tests" in parts or self.path.name.startswith("test_")
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def read(cls, path: Path, rel_path: str | None = None) -> "SourceModule":
+        return cls(Path(path).read_text(encoding="utf-8"), path, rel_path)
+
+    @property
+    def package_rel(self) -> str:
+        """Path relative to the ``repro`` package (e.g. ``privacy/laplace.py``).
+
+        Lets path-scoped rules work no matter which directory the lint was
+        rooted at; files outside the package keep their given path.
+        """
+        parts = self.path.parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index + 1 :])
+        return self.rel_path
+
+    # ------------------------------------------------------------------ #
+    # AST helpers shared by the rules
+    # ------------------------------------------------------------------ #
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    self._parents[child] = node
+        return self._parents
+
+    def scope_name(self, node: ast.AST) -> str:
+        """Dotted name of the function/class scopes enclosing ``node``."""
+        parents = self.parents()
+        names: list[str] = []
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(current.name)
+            current = parents.get(current)
+        return ".".join(reversed(names))
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> "ast.FunctionDef | ast.AsyncFunctionDef | None":
+        parents = self.parents()
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = parents.get(current)
+        return None
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """True when an ``allow`` comment on this or the preceding line
+        suppresses ``rule_id`` (multi-line statements annotate their first
+        line)."""
+        for candidate in (line, line - 1):
+            ids = self.allow.get(candidate)
+            if ids and (rule_id in ids or "*" in ids):
+                return True
+        return False
+
+    def annotation_for_def(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef", table: dict[int, str]
+    ) -> str | None:
+        """A line-keyed annotation attached to a ``def`` (same or previous line)."""
+        for candidate in (node.lineno, node.lineno - 1):
+            if candidate in table:
+                return table[candidate]
+        return None
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_terminal_name(call: ast.Call) -> str | None:
+    """The final identifier of a call target (``laplace_noise``, ``spend``)."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Rule registry
+# --------------------------------------------------------------------------- #
+class Rule:
+    """Base class: subclass, set ``id``/``family``/``summary``, implement
+    :meth:`check`, and decorate with :func:`register`."""
+
+    id: str = ""
+    family: str = ""
+    summary: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=module.scope_name(node),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and add the rule to the registry."""
+    rule = rule_cls()
+    if not rule.id or not rule.family:
+        raise ValueError(f"rule {rule_cls.__name__} must define id and family")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (importing the rule modules)."""
+    import repro.analysis.rules  # noqa: F401  — registration side effect
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rules_for(select: str | None) -> list[Rule]:
+    """Rules matching a ``--select`` expression: comma-separated families or
+    full rule ids; ``None`` selects everything."""
+    rules = all_rules()
+    if not select:
+        return rules
+    wanted = {part.strip() for part in select.split(",") if part.strip()}
+    chosen = [rule for rule in rules if rule.family in wanted or rule.id in wanted]
+    if not chosen:
+        known = sorted({rule.family for rule in rules} | {rule.id for rule in rules})
+        raise ValueError(f"--select matched no rules (known: {', '.join(known)})")
+    return chosen
+
+
+# --------------------------------------------------------------------------- #
+# Drivers
+# --------------------------------------------------------------------------- #
+@dataclass
+class LintResult:
+    """Findings plus bookkeeping from one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    inline_suppressed: int = 0
+    baseline_suppressed: int = 0
+    stale_baseline_keys: list[str] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for finding in self.findings:
+            totals[finding.rule] = totals.get(finding.rule, 0) + 1
+        return dict(sorted(totals.items()))
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def _check_module(module: SourceModule, rules: list[Rule], result: LintResult) -> None:
+    for rule in rules:
+        for finding in rule.check(module):
+            if module.allows(finding.rule, finding.line):
+                result.inline_suppressed += 1
+            else:
+                result.findings.append(finding)
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    select: str | None = None,
+    root: Path | str | None = None,
+) -> LintResult:
+    """Lint files/directories; paths in findings are relative to ``root``."""
+    rules = rules_for(select)
+    root_path = Path(root) if root is not None else Path.cwd()
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        try:
+            rel = file_path.resolve().relative_to(root_path.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        try:
+            module = SourceModule.read(file_path, rel_path=rel)
+        except SyntaxError as exc:
+            result.parse_errors.append(f"{rel}: {exc}")
+            continue
+        result.files_scanned += 1
+        _check_module(module, rules, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def check_source(
+    source: str, path: str = "<memory>", select: str | None = None
+) -> list[Finding]:
+    """Lint one in-memory snippet (the rule-level test suite's entry point)."""
+    rules = rules_for(select)
+    result = LintResult()
+    module = SourceModule(source, path)
+    result.files_scanned = 1
+    _check_module(module, rules, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result.findings

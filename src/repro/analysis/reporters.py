@@ -1,0 +1,59 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+from repro.analysis.core import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose_clean: bool = True) -> str:
+    """Human-readable report: one line per finding, grouped by file."""
+    lines: list[str] = []
+    current_file = None
+    for finding in result.findings:
+        if finding.path != current_file:
+            if current_file is not None:
+                lines.append("")
+            current_file = finding.path
+        lines.append(
+            f"{finding.location}  {finding.rule}  {finding.message}"
+            + (f"  [{finding.symbol}]" if finding.symbol else "")
+        )
+    for error in result.parse_errors:
+        lines.append(f"parse error: {error}")
+    if lines:
+        lines.append("")
+    counts = result.counts
+    if counts:
+        summary = ", ".join(f"{rule}: {count}" for rule, count in counts.items())
+        lines.append(
+            f"{sum(counts.values())} finding(s) in {result.files_scanned} "
+            f"file(s) ({summary})"
+        )
+    elif verbose_clean:
+        lines.append(
+            f"clean: {result.files_scanned} file(s), "
+            f"{result.inline_suppressed} inline suppression(s), "
+            f"{result.baseline_suppressed} baselined"
+        )
+    for stale in result.stale_baseline_keys:
+        lines.append(f"warning: stale baseline entry (no longer fires): {stale}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> dict:
+    """Machine-readable report (the CI artifact format)."""
+    return {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_scanned": result.files_scanned,
+        "findings": [finding.to_dict() for finding in result.findings],
+        "counts": result.counts,
+        "inline_suppressed": result.inline_suppressed,
+        "baseline_suppressed": result.baseline_suppressed,
+        "stale_baseline_keys": result.stale_baseline_keys,
+        "parse_errors": result.parse_errors,
+    }

@@ -1,0 +1,10 @@
+"""Rule families of the static invariant checker.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.core` registry.  To add a rule: subclass
+:class:`~repro.analysis.core.Rule` in the matching family module (or a new
+one imported here), decorate it with :func:`~repro.analysis.core.register`,
+and add a violating/clean fixture pair to ``tests/analysis/``.
+"""
+
+from repro.analysis.rules import determinism, locks, privacy, rng  # noqa: F401

@@ -1,0 +1,180 @@
+"""Determinism rules (family ``det``).
+
+Released synthetics, golden digests and resume checkpoints must be pure
+functions of (data, config, seed): wall-clock reads, iteration order of
+unordered sets, and unsorted JSON serialization in digest code all smuggle
+ambient state into supposedly reproducible output.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    dotted_name,
+    register,
+)
+
+#: Dotted call targets that read the wall clock.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Wrappers whose argument order feeds output directly.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate"}
+
+#: Modules whose JSON output is hashed into content digests.
+_DIGEST_MODULES = {"core/run_store.py", "testing/golden.py"}
+
+_DIGEST_SCOPE_MARKERS = ("digest", "canonical", "fingerprint", "artifact_key")
+
+
+@register
+class WallClockRule(Rule):
+    """Forbid wall-clock reads; timestamps are ambient nondeterminism."""
+
+    id = "det-wall-clock"
+    family = "det"
+    summary = (
+        "wall-clock read (time.time / datetime.now) feeds ambient state into "
+        "code that must be a pure function of (data, config, seed)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted in _WALL_CLOCK_CALLS or (
+                dotted in ("time.strftime", "time.localtime") and len(node.args) < 2
+                and not (dotted == "time.localtime" and node.args)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{dotted}() reads the wall clock; derive the value from "
+                    "inputs, or suppress if this is operational metadata "
+                    "(audit timestamps) that never feeds released output",
+                )
+
+
+def _is_set_construction(node: ast.AST) -> bool:
+    if isinstance(node, ast.Set) or isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """Forbid iterating unordered sets where the order can reach output."""
+
+    id = "det-set-iteration"
+    family = "det"
+    summary = (
+        "iteration over an unordered set; hash-seed randomization makes the "
+        "order run-dependent — sort (or use a list/dict) instead"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_construction(
+                node.iter
+            ):
+                yield self.finding(
+                    module,
+                    node.iter,
+                    "for-loop iterates a set in unordered (hash-randomized) "
+                    "order; wrap it in sorted()",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)
+            ):
+                for generator in node.generators:
+                    if _is_set_construction(generator.iter):
+                        yield self.finding(
+                            module,
+                            generator.iter,
+                            "comprehension iterates a set in unordered "
+                            "(hash-randomized) order; wrap it in sorted()",
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                    and node.args
+                    and _is_set_construction(node.args[0])
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}(set(...)) materializes an unordered "
+                        "set; use sorted() to fix the order",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and node.args
+                    and _is_set_construction(node.args[0])
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "str.join over a set concatenates in unordered "
+                        "(hash-randomized) order; use sorted()",
+                    )
+
+
+@register
+class UnsortedJsonRule(Rule):
+    """Digest/golden code must serialize JSON with ``sort_keys=True``."""
+
+    id = "det-unsorted-json"
+    family = "det"
+    summary = (
+        "json.dumps without sort_keys=True in digest code makes the hash "
+        "depend on dict insertion order"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        digest_module = module.package_rel in _DIGEST_MODULES
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "json.dumps":
+                continue
+            scope = module.scope_name(node).lower()
+            in_digest_scope = any(marker in scope for marker in _DIGEST_SCOPE_MARKERS)
+            if not digest_module and not in_digest_scope:
+                continue
+            sorted_keys = any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            )
+            if not sorted_keys:
+                yield self.finding(
+                    module,
+                    node,
+                    "json.dumps in digest/golden code must pass "
+                    "sort_keys=True so the serialized form (and any hash of "
+                    "it) is independent of dict insertion order",
+                )

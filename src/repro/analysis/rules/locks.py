@@ -1,0 +1,324 @@
+"""Lock discipline rules (family ``lock``).
+
+The serving layer's budget arithmetic is only sound because every read and
+write of shared session/registry state happens under one lock.  Attributes
+declared shared via ``# repro: guarded-by[<lock>]`` may only be touched
+lexically inside ``with self.<lock>:`` (or from a method annotated
+``# repro: requires-lock[<lock>]``, whose callers must in turn hold the
+lock), and a class owning a lock must strip it in ``__getstate__`` rather
+than let pickling walk into an unpicklable — and semantically unshareable —
+synchronization primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    call_terminal_name,
+    dotted_name,
+    register,
+)
+
+#: Methods where unguarded access is legitimate: construction and pickling
+#: happen before/outside any sharing.
+_EXEMPT_METHODS = {
+    "__init__",
+    "__post_init__",
+    "__new__",
+    "__getstate__",
+    "__setstate__",
+    "__reduce__",
+    "__del__",
+}
+
+_LOCK_CONSTRUCTORS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassFacts:
+    """Annotations and lock inventory of one class."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.node = node
+        self.guarded: dict[str, str] = {}  # attr -> lock name
+        self.requires: dict[str, str] = {}  # method -> lock name
+        self.lock_attrs: set[str] = set()
+        self.methods: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+
+
+def _collect_class_facts(module: SourceModule, node: ast.ClassDef) -> _ClassFacts:
+    facts = _ClassFacts(node)
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            facts.methods.append(child)
+            lock = module.annotation_for_def(child, module.requires_lock)
+            if lock:
+                facts.requires[child.name] = lock
+        elif isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name):
+            lock = module.guarded_by.get(child.lineno)
+            if lock:
+                facts.guarded[child.target.id] = lock
+        elif isinstance(child, ast.Assign):
+            lock = module.guarded_by.get(child.lineno)
+            if lock:
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        facts.guarded[target.id] = lock
+    # self.<attr> = ... assignments anywhere in the class pick up same-line
+    # guarded-by annotations and reveal which attributes hold locks.
+    for stmt in ast.walk(node):
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            lock = module.guarded_by.get(stmt.lineno)
+            if lock:
+                facts.guarded[attr] = lock
+            if (
+                isinstance(stmt.value, ast.Call)
+                and call_terminal_name(stmt.value) in _LOCK_CONSTRUCTORS
+            ):
+                dotted = dotted_name(stmt.value.func) or ""
+                if dotted.startswith("threading.") or isinstance(
+                    stmt.value.func, ast.Name
+                ):
+                    facts.lock_attrs.add(attr)
+    return facts
+
+
+def _locks_entered(with_node: ast.With | ast.AsyncWith) -> set[str]:
+    held: set[str] = set()
+    for item in with_node.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None:
+            held.add(attr)
+    return held
+
+
+@register
+class GuardedAttrRule(Rule):
+    """Guarded attributes may only be touched under their declared lock."""
+
+    id = "lock-guarded-attr"
+    family = "lock"
+    summary = (
+        "an attribute declared `# repro: guarded-by[lock]` is read or written "
+        "outside a `with self.<lock>:` block"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                facts = _collect_class_facts(module, node)
+                if facts.guarded:
+                    yield from self._check_class(module, facts)
+
+    def _check_class(self, module: SourceModule, facts: _ClassFacts) -> Iterator[Finding]:
+        for method in facts.methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            held: set[str] = set()
+            lock = facts.requires.get(method.name)
+            if lock:
+                held = {lock}
+            yield from self._walk(module, facts, method.body, held, method.name)
+
+    def _walk(
+        self,
+        module: SourceModule,
+        facts: _ClassFacts,
+        body: list[ast.stmt],
+        held: set[str],
+        method_name: str,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held | _locks_entered(stmt)
+                for item in stmt.items:  # guarded state in the context exprs
+                    yield from self._check_expr(module, facts, item.context_expr, held, method_name)
+                yield from self._walk(module, facts, stmt.body, inner, method_name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A closure may run on another thread; require its own lock.
+                yield from self._walk(module, facts, stmt.body, set(), method_name)
+            else:
+                for child_body in self._sub_bodies(stmt):
+                    yield from self._walk(module, facts, child_body, held, method_name)
+                yield from self._check_stmt_exprs(module, facts, stmt, held, method_name)
+
+    @staticmethod
+    def _sub_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, attr, None)
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                bodies.append(value)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _check_stmt_exprs(
+        self, module, facts, stmt: ast.stmt, held: set[str], method_name: str
+    ) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, (ast.stmt, ast.excepthandler)):
+                continue  # handled by the recursive statement walk
+            yield from self._check_expr(module, facts, node, held, method_name)
+
+    def _check_expr(
+        self, module, facts, expr: ast.AST, held: set[str], method_name: str
+    ) -> Iterator[Finding]:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            attr = _self_attr(node)
+            if attr is None or attr not in facts.guarded:
+                continue
+            lock = facts.guarded[attr]
+            if lock not in held:
+                yield self.finding(
+                    module,
+                    node,
+                    f"self.{attr} is guarded-by[{lock}] but "
+                    f"{facts.node.name}.{method_name} touches it without "
+                    f"holding self.{lock}",
+                )
+
+
+@register
+class RequiresLockCallRule(Rule):
+    """Methods annotated requires-lock must be called with the lock held."""
+
+    id = "lock-requires-held"
+    family = "lock"
+    summary = (
+        "a method annotated `# repro: requires-lock[lock]` is called outside "
+        "a `with self.<lock>:` block"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                facts = _collect_class_facts(module, node)
+                if facts.requires:
+                    yield from self._check_class(module, facts)
+
+    def _check_class(self, module, facts: _ClassFacts) -> Iterator[Finding]:
+        for method in facts.methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            held: set[str] = set()
+            lock = facts.requires.get(method.name)
+            if lock:
+                held = {lock}
+            yield from self._walk(module, facts, method.body, held, method.name)
+
+    def _walk(self, module, facts, body, held, method_name) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = held | _locks_entered(stmt)
+                yield from self._walk(module, facts, stmt.body, inner, method_name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(module, facts, stmt.body, set(), method_name)
+            else:
+                for child_body in GuardedAttrRule._sub_bodies(stmt):
+                    yield from self._walk(module, facts, child_body, held, method_name)
+                yield from self._check_calls(module, facts, stmt, held, method_name)
+
+    def _check_calls(self, module, facts, stmt, held, method_name) -> Iterator[Finding]:
+        # Only the statement's direct expression children: nested statements
+        # are reached by the recursive _walk with their own held set.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.stmt, ast.excepthandler)):
+                continue
+            for node in ast.walk(child):
+                if not isinstance(node, ast.Call):
+                    continue
+                attr = _self_attr(node.func)
+                if attr is None or attr not in facts.requires:
+                    continue
+                lock = facts.requires[attr]
+                if lock not in held:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"self.{attr}() requires-lock[{lock}] but "
+                        f"{facts.node.name}.{method_name} calls it without "
+                        f"holding self.{lock}",
+                    )
+
+
+@register
+class LockPickleRule(Rule):
+    """``__getstate__``/``__reduce__`` must never pickle a lock."""
+
+    id = "lock-pickle"
+    family = "lock"
+    summary = (
+        "a class owning a threading lock defines __getstate__/__reduce__ "
+        "without stripping the lock from the pickled state"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            facts = _collect_class_facts(module, node)
+            locks = facts.lock_attrs | set(facts.guarded.values()) | set(
+                facts.requires.values()
+            )
+            if not locks:
+                continue
+            for method in facts.methods:
+                if method.name == "__getstate__":
+                    removed = self._removed_keys(method)
+                    for lock in sorted(locks - removed):
+                        yield self.finding(
+                            module,
+                            method,
+                            f"{node.name}.__getstate__ does not remove the "
+                            f"lock attribute {lock!r}; pickling a lock "
+                            "carries live synchronization state across "
+                            "process boundaries",
+                        )
+                elif method.name in ("__reduce__", "__reduce_ex__"):
+                    yield self.finding(
+                        module,
+                        method,
+                        f"{node.name}.{method.name} on a lock-owning class "
+                        "bypasses __getstate__ lock stripping; implement "
+                        "__getstate__/__setstate__ instead",
+                    )
+
+    @staticmethod
+    def _removed_keys(method: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        removed: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Delete):  # del state["_lock"]
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        removed.add(target.slice.value)
+            elif isinstance(node, ast.Call) and call_terminal_name(node) == "pop":
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    if isinstance(node.args[0].value, str):
+                        removed.add(node.args[0].value)
+        return removed

@@ -1,0 +1,190 @@
+"""Privacy-spend dataflow rules (family ``privacy``).
+
+The Theorem-1 accounting story requires every noise draw to be visible to a
+:class:`~repro.privacy.accountant.PrivacyAccountant`: a noise primitive may
+only run in a frame from which a ``spend``/``reserve`` record is reachable,
+and composed guarantees must never be read before the spend that backs them
+has been recorded.  The pass is intraprocedural with a module-local call
+graph: a function that draws noise is clean when it records spend itself or
+when every path to it from this module's public surface goes through a frame
+that does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceModule,
+    call_terminal_name,
+    register,
+)
+
+#: Calls that draw calibrated noise (the DP primitives of the codebase).
+_NOISE_FUNCS = {"laplace_noise", "laplace_mechanism", "sample_dirichlet_rows"}
+
+#: Direct generator draws that are noise in this codebase's DP modules.
+_NOISE_METHODS = {"laplace"}
+
+#: Accountant methods that record an expenditure.
+_SPEND_METHODS = {"spend", "reserve"}
+
+#: Accountant methods that read a composed guarantee.
+_GUARANTEE_METHODS = {"total_guarantee", "phase_guarantee", "scope_guarantee"}
+
+#: Package-relative path prefixes the taint pass runs over.
+_SCOPED_PREFIXES = ("privacy/", "generative/", "core/")
+
+
+def _in_scope(module: SourceModule) -> bool:
+    rel = module.package_rel
+    return any(rel.startswith(prefix) for prefix in _SCOPED_PREFIXES)
+
+
+def _top_level_functions(module: SourceModule) -> list[ast.AST]:
+    """Module functions and methods, with nested defs folded into their owner."""
+    owners: list[ast.AST] = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            owners.append(node)
+        elif isinstance(node, ast.ClassDef):
+            owners.extend(
+                child
+                for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+    return owners
+
+
+class _Frame:
+    """Per-function facts for the taint pass."""
+
+    def __init__(self, node):
+        self.node = node
+        self.noise_calls: list[tuple[ast.Call, str]] = []
+        self.records_spend = False
+        self.callees: set[str] = set()
+
+
+def _analyze_frame(node: ast.AST) -> _Frame:
+    frame = _Frame(node)
+    params = {arg.arg for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs}
+    if "accountant" in params:
+        frame.records_spend = True
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and "accountant" in child.attr.lower():
+            # Holding (or forwarding) an accountant attribute counts as being
+            # inside the accounting boundary — e.g. builders that hand the
+            # accountant to a learner which records on its behalf.
+            frame.records_spend = True
+        if isinstance(child, ast.Name) and child.id == "accountant":
+            frame.records_spend = True
+        if not isinstance(child, ast.Call):
+            continue
+        terminal = call_terminal_name(child)
+        if terminal is None:
+            continue
+        if terminal in _SPEND_METHODS and isinstance(child.func, ast.Attribute):
+            frame.records_spend = True
+        if terminal in _NOISE_FUNCS:
+            frame.noise_calls.append((child, f"{terminal}()"))
+        elif terminal in _NOISE_METHODS and isinstance(child.func, ast.Attribute):
+            receiver = child.func.value
+            if isinstance(receiver, ast.Name):
+                frame.noise_calls.append((child, f"{receiver.id}.{terminal}()"))
+        frame.callees.add(terminal)
+    return frame
+
+
+@register
+class UnrecordedNoiseRule(Rule):
+    """Noise draws must be reachable from a frame that records spend."""
+
+    id = "privacy-unrecorded-noise"
+    family = "privacy"
+    summary = (
+        "a DP noise primitive runs with no PrivacyAccountant spend/reserve "
+        "recorded in the frame or any local caller"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        frames = {node.name: _analyze_frame(node) for node in _top_level_functions(module)}
+        # callers[f] = local functions whose bodies call f.
+        callers: dict[str, set[str]] = {name: set() for name in frames}
+        for name, frame in frames.items():
+            for callee in frame.callees:
+                if callee in callers:
+                    callers[callee].add(name)
+        for name, frame in frames.items():
+            if not frame.noise_calls:
+                continue
+            if name in _NOISE_FUNCS:
+                continue  # the definition of the primitive itself
+            if self._accounted(name, frames, callers):
+                continue
+            call, label = frame.noise_calls[0]
+            yield self.finding(
+                module,
+                call,
+                f"{label} in {name!r} is not reachable from any frame that "
+                "records a PrivacyAccountant spend/reserve; record the "
+                "expenditure or thread an accountant through",
+            )
+
+    @staticmethod
+    def _accounted(name: str, frames: dict, callers: dict) -> bool:
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if frames[current].records_spend:
+                return True
+            stack.extend(callers.get(current, ()))
+        return False
+
+
+@register
+class ReadBeforeSpendRule(Rule):
+    """No code path may read a composed guarantee before its spend commits."""
+
+    id = "privacy-read-before-spend"
+    family = "privacy"
+    summary = (
+        "a guarantee is read earlier in the function than a later spend; the "
+        "read sees a ledger that is still missing budget entries"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not _in_scope(module):
+            return
+        for node in _top_level_functions(module):
+            spends: list[ast.Call] = []
+            reads: list[ast.Call] = []
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                terminal = call_terminal_name(child)
+                if terminal in _SPEND_METHODS and isinstance(child.func, ast.Attribute):
+                    spends.append(child)
+                elif terminal in _GUARANTEE_METHODS:
+                    reads.append(child)
+            if not spends or not reads:
+                continue
+            last_spend = max(call.lineno for call in spends)
+            for read in reads:
+                if read.lineno < last_spend:
+                    yield self.finding(
+                        module,
+                        read,
+                        f"{call_terminal_name(read)}() is read before the "
+                        f"spend recorded at line {last_spend} commits; move "
+                        "the read after every spend on this path",
+                    )

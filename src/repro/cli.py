@@ -257,6 +257,14 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro.cli``."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    # `lint` owns its whole argument vector (argparse.REMAINDER mishandles
+    # option-like leading tokens), so hand it off before parsing anything.
+    if arguments and arguments[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+    argv = arguments
     parser = argparse.ArgumentParser(
         prog="repro", description="Plausibly-deniable synthetic data generator"
     )
@@ -372,6 +380,13 @@ def main(argv: list[str] | None = None) -> int:
         help="log each HTTP request to stderr",
     )
     serve.set_defaults(handler=_command_serve)
+
+    subparsers.add_parser(
+        "lint",
+        help="statically check RNG hygiene, privacy-spend accounting, lock "
+        "discipline and determinism invariants (see `repro lint --help`)",
+        add_help=False,
+    )
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -54,7 +54,7 @@ class _SeedMatchIndex:
         self.omegas: tuple[int, ...] = tuple(sorted(model.omegas))
         self.sorted_keys: dict[int, np.ndarray] = {}
         self.supported = True
-        for omega in set(self.omegas):
+        for omega in sorted(set(self.omegas)):
             keys = model.fixed_prefix_keys(seed_data, omega)
             if keys is None:
                 self.supported = False

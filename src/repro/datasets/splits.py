@@ -75,7 +75,9 @@ def split_dataset(
         raise ValueError("split fractions must be non-negative")
     if total_fraction > 1.0 + 1e-9:
         raise ValueError("split fractions must sum to at most 1")
-    generator = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError("split_dataset requires an explicit rng")
+    generator = rng
     permutation = generator.permutation(len(dataset))
     n = len(dataset)
     n_seeds = int(round(seed_fraction * n))
@@ -101,7 +103,9 @@ def train_test_split(
     """Split a dataset into train and test subsets (test_fraction in (0, 1))."""
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be strictly between 0 and 1")
-    generator = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError("train_test_split requires an explicit rng")
+    generator = rng
     permutation = generator.permutation(len(dataset))
     n_test = int(round(test_fraction * len(dataset)))
     test_idx = permutation[:n_test]

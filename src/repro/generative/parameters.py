@@ -219,6 +219,8 @@ class ConditionalParameters:
         the earlier per-row ``rng.dirichlet`` loop for the same seed.
         """
         posterior = self.counts + np.asarray(self.prior)[None, :]
+        # Posterior resampling, not a DP release: the spend happens when the
+        # noisy counts are formed.  # repro: allow[privacy-unrecorded-noise]
         table = sample_dirichlet_rows(rng, posterior)
         return ConditionalParameters(
             attribute_index=self.attribute_index,

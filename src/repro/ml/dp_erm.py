@@ -135,7 +135,9 @@ def output_perturbation(
     ε-differentially private.
     """
     x, y = _validate_erm_inputs(features, labels)
-    generator = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError("output_perturbation requires an explicit rng")
+    generator = rng
     classifier = config.make_classifier()
     weights = classifier.train_weights(x, y)
     scale = 2.0 / (x.shape[0] * config.regularization * config.epsilon)
@@ -158,7 +160,9 @@ def objective_perturbation(
     is added instead and ε' = ε/2.
     """
     x, y = _validate_erm_inputs(features, labels)
-    generator = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError("objective_perturbation requires an explicit rng")
+    generator = rng
     n, dimension = x.shape
     c = config.curvature_constant
     epsilon_prime = config.epsilon - 2.0 * math.log(1.0 + c / (n * config.regularization))

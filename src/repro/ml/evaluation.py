@@ -90,7 +90,9 @@ def distinguishing_game(
             f"need at least {needed} records per dataset, "
             f"got {len(real)} real and {len(synthetic)} synthetic"
         )
-    generator = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        raise ValueError("distinguishing_game requires an explicit rng")
+    generator = rng
 
     real_indices = generator.permutation(len(real))[:needed]
     synthetic_indices = generator.permutation(len(synthetic))[:needed]

@@ -52,7 +52,7 @@ class DecisionTreeClassifier(Classifier):
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
         max_features: int | str | None = None,
-        random_state: int | None = None,
+        random_state: int = 0,
     ):
         """Create a decision tree.
 
@@ -66,8 +66,8 @@ class DecisionTreeClassifier(Classifier):
             Minimum number of samples each child must receive.
         max_features:
             Number of features examined per split: an int, ``"sqrt"``, or
-            ``None`` for all features.  Randomized subsets require
-            ``random_state`` (or are seeded from 0).
+            ``None`` for all features.  Randomized subsets draw from a
+            stream seeded by ``random_state``.
         random_state:
             Seed for the per-node feature subsampling.
         """
@@ -222,7 +222,7 @@ class DecisionTreeClassifier(Classifier):
             raise ValueError("sample weights must be non-negative")
         self._num_classes = int(y.max()) + 1
         self._num_features = x.shape[1]
-        rng = np.random.default_rng(self.random_state if self.random_state is not None else 0)
+        rng = np.random.default_rng(self.random_state)
         self._root = self._build(x, y, weights, depth=0, rng=rng)
         return self
 

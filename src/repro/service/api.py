@@ -207,12 +207,12 @@ class ServiceApp:
         self._store_max_bytes = store_max_bytes
         self._max_releases = max_releases
         self._lock = threading.Lock()
-        self._sessions: dict[str, TenantSession] = {}
-        self._releases: "OrderedDict[str, ReleaseRecord]" = OrderedDict()
-        self._engines: dict[str, SynthesisEngine] = {}
-        self._session_counter = 0
-        self._release_counter = 0
-        self._closed = False
+        self._sessions: dict[str, TenantSession] = {}  # repro: guarded-by[_lock]
+        self._releases: "OrderedDict[str, ReleaseRecord]" = OrderedDict()  # repro: guarded-by[_lock]
+        self._engines: dict[str, SynthesisEngine] = {}  # repro: guarded-by[_lock]
+        self._session_counter = 0  # repro: guarded-by[_lock]
+        self._release_counter = 0  # repro: guarded-by[_lock]
+        self._closed = False  # repro: guarded-by[_lock]
         self._scheduler = RequestScheduler(
             self._execute, max_batch=scheduler_max_batch
         )

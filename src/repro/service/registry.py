@@ -113,12 +113,12 @@ class ModelRegistry:
         self._run_store = run_store
         self._max_cached = max_cached
         self._lock = threading.RLock()
-        self._specs: dict[str, _PublishSpec] = {}  # model_id -> spec
-        self._names: dict[str, str] = {}  # name -> model_id
-        self._cache: OrderedDict[str, PublishedModel] = OrderedDict()
-        self._published_at: dict[str, float] = {}
-        self._descriptions: dict[str, dict] = {}  # captured at publish time
-        self._fits_performed = 0
+        self._specs: dict[str, _PublishSpec] = {}  # repro: guarded-by[_lock]
+        self._names: dict[str, str] = {}  # repro: guarded-by[_lock]
+        self._cache: OrderedDict[str, PublishedModel] = OrderedDict()  # repro: guarded-by[_lock]
+        self._published_at: dict[str, float] = {}  # repro: guarded-by[_lock]
+        self._descriptions: dict[str, dict] = {}  # repro: guarded-by[_lock]
+        self._fits_performed = 0  # repro: guarded-by[_lock]
 
     @property
     def run_store(self) -> RunStore | None:
@@ -166,7 +166,7 @@ class ModelRegistry:
             self._names[name] = model_id
             return self._get_locked(model_id)
 
-    def _fit(self, spec: _PublishSpec, model_id: str) -> PublishedModel:
+    def _fit(self, spec: _PublishSpec, model_id: str) -> PublishedModel:  # repro: requires-lock[_lock]
         pipeline = spec.pipeline(self._run_store)
         store = self._run_store
         cached_on_disk = store is not None and store.has_artifact(model_id)
@@ -182,7 +182,7 @@ class ModelRegistry:
             published_at=self._published_at[model_id],
         )
 
-    def _get_locked(self, model_id: str) -> PublishedModel:
+    def _get_locked(self, model_id: str) -> PublishedModel:  # repro: requires-lock[_lock]
         cached = self._cache.get(model_id)
         if cached is not None:
             self._cache.move_to_end(model_id)

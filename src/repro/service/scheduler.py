@@ -87,10 +87,10 @@ class RequestScheduler:
         self._executor = executor
         self._max_batch = max_batch
         self._queue: queue.Queue = queue.Queue()
-        self._stats = SchedulerStats()
+        self._stats = SchedulerStats()  # repro: guarded-by[_lock]
         self._lock = threading.Lock()
-        self._closed = False
-        self._thread: threading.Thread | None = None
+        self._closed = False  # repro: guarded-by[_lock]
+        self._thread: threading.Thread | None = None  # repro: guarded-by[_lock]
         if autostart:
             self.start()
 

@@ -145,11 +145,11 @@ class TenantSession:
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self._audit_sink = audit_sink
         self._lock = threading.Lock()
-        self._spent = _Spent()
-        self._reserved = _Spent()
-        self._active: dict[str, Reservation] = {}
-        self._events: list[dict] = []
-        self._sequence = 0
+        self._spent = _Spent()  # repro: guarded-by[_lock]
+        self._reserved = _Spent()  # repro: guarded-by[_lock]
+        self._active: dict[str, Reservation] = {}  # repro: guarded-by[_lock]
+        self._events: list[dict] = []  # repro: guarded-by[_lock]
+        self._sequence = 0  # repro: guarded-by[_lock]
 
     def next_sequence(self) -> int:
         """The next per-session request sequence number (thread-safe).
@@ -164,7 +164,7 @@ class TenantSession:
     # ------------------------------------------------------------------ #
     # Budget arithmetic (call under self._lock)
     # ------------------------------------------------------------------ #
-    def _remaining_locked(self) -> dict:
+    def _remaining_locked(self) -> dict:  # repro: requires-lock[_lock]
         budget = self.budget
 
         def _dim(limit: float | None, used: float) -> float | None:
@@ -177,7 +177,7 @@ class TenantSession:
             "rows": int(remaining_rows) if remaining_rows is not None else None,
         }
 
-    def _record(self, event: str, **fields) -> dict:
+    def _record(self, event: str, **fields) -> dict:  # repro: requires-lock[_lock]
         entry = {
             "event": event,
             "session_id": self.session_id,
@@ -245,7 +245,7 @@ class TenantSession:
             )
         return cost
 
-    def _release_hold(self, reservation: Reservation) -> None:
+    def _release_hold(self, reservation: Reservation) -> None:  # repro: requires-lock[_lock]
         self._reserved.rows -= reservation.rows
         self._reserved.epsilon -= reservation.epsilon
         self._reserved.delta -= reservation.delta

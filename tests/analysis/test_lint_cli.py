@@ -1,0 +1,139 @@
+"""Exit codes, report formats and baseline round-trips of ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.core import lint_paths
+from repro.cli import main as repro_main
+
+pytestmark = [pytest.mark.analysis, pytest.mark.conformance_smoke]
+
+VIOLATING = (
+    "import time\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+CLEAN = (
+    "def identity(value):\n"
+    "    return value\n"
+)
+
+
+@pytest.fixture
+def violating_file(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(VIOLATING)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(CLEAN)
+    return path
+
+
+class TestExitCodes:
+    def test_violation_exits_nonzero(self, violating_file, capsys):
+        assert lint_main([str(violating_file), "--no-baseline"]) == 1
+        assert "det-wall-clock" in capsys.readouterr().out
+
+    def test_clean_exits_zero(self, clean_file, capsys):
+        assert lint_main([str(clean_file), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_bad_select_is_usage_error(self, clean_file):
+        assert lint_main([str(clean_file), "--select", "nonsense"]) == 2
+
+    def test_select_can_mask_findings(self, violating_file):
+        assert lint_main([str(violating_file), "--no-baseline", "--select", "rng"]) == 0
+
+    def test_syntax_error_fails_the_run(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert lint_main([str(bad), "--no-baseline"]) == 1
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_delegates(self, violating_file):
+        assert repro_main(["lint", str(violating_file), "--no-baseline"]) == 1
+
+    def test_lint_subcommand_clean(self, clean_file):
+        assert repro_main(["lint", str(clean_file), "--no-baseline"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("rng-module-call", "privacy-unrecorded-noise",
+                        "lock-guarded-attr", "det-wall-clock"):
+            assert rule_id in out
+
+
+class TestJsonReport:
+    def test_json_stdout(self, violating_file, capsys):
+        assert lint_main([str(violating_file), "--no-baseline", "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["counts"] == {"det-wall-clock": 1}
+        (finding,) = report["findings"]
+        assert finding["rule"] == "det-wall-clock"
+        assert finding["symbol"] == "stamp"
+
+    def test_output_file_written_even_for_text_format(self, violating_file, tmp_path):
+        report_path = tmp_path / "report.json"
+        lint_main(
+            [str(violating_file), "--no-baseline", "--output", str(report_path)]
+        )
+        report = json.loads(report_path.read_text())
+        assert report["findings"][0]["rule"] == "det-wall-clock"
+
+
+class TestBaseline:
+    def test_write_then_apply_suppresses(self, violating_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(violating_file), "--write-baseline", "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert lint_main([str(violating_file), "--baseline", str(baseline)]) == 0
+
+    def test_stale_entries_reported(self, tmp_path, capsys):
+        # Baseline an old violation, then "fix" the file: the entry is stale.
+        target = tmp_path / "mod.py"
+        target.write_text(VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(target), "--write-baseline", "--baseline", str(baseline)])
+        target.write_text(CLEAN)
+        capsys.readouterr()
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_baseline_does_not_cover_new_findings(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(target), "--write-baseline", "--baseline", str(baseline)])
+        target.write_text(
+            VIOLATING + "def stamp_again():\n    return time.time()\n"
+        )
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 1
+
+    def test_baseline_keys_survive_line_drift(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(VIOLATING)
+        result = lint_paths([target])
+        baseline = Baseline.from_findings(result.findings)
+        # Push the violation down 5 lines; the (path, symbol, rule) key holds.
+        target.write_text("# a\n# b\n# c\n# d\n# e\n" + VIOLATING)
+        drifted = lint_paths([target])
+        baseline.apply(drifted)
+        assert drifted.ok
+        assert drifted.baseline_suppressed == 1
