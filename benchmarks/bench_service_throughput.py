@@ -62,7 +62,7 @@ def _scale() -> tuple[int, int, int]:
     )
 
 
-def _build_app(num_records: int) -> tuple[ServiceApp, str]:
+def _build_app(num_records: int, journal: str | None = None) -> tuple[ServiceApp, str]:
     """A service with one published toy-correlated model at benchmark scale."""
     from repro.datasets.dataset import Dataset
 
@@ -70,7 +70,7 @@ def _build_app(num_records: int) -> tuple[ServiceApp, str]:
     dataset = Dataset(
         toy_schema(), correlated_toy_matrix(num_records, np.random.default_rng(11))
     )
-    app = ServiceApp(ModelRegistry(), num_workers=1)
+    app = ServiceApp(ModelRegistry(), num_workers=1, journal=journal)
     app.publish_model("bench", dataset, scenario.config(), seed=2)
     return app, "bench"
 
@@ -116,20 +116,26 @@ def _serve_round(
 
 
 def run_benchmark(
-    num_records: int, requests_per_client: int, rows: int
+    num_records: int,
+    requests_per_client: int,
+    rows: int,
+    *,
+    client_counts: tuple[int, ...] = CLIENT_COUNTS,
+    journal: str | None = None,
 ) -> tuple[ExperimentResult, dict[int, float]]:
-    app, _name = _build_app(num_records)
+    app, _name = _build_app(num_records, journal=journal)
+    mode = "journal + supervision" if journal else "baseline"
     result = ExperimentResult(
         name=(
             f"Service throughput (toy-correlated, n={num_records}, "
-            f"{requests_per_client} requests x {rows} rows per client)"
+            f"{requests_per_client} requests x {rows} rows per client, {mode})"
         ),
         headers=["clients", "requests", "released rows", "seconds", "rows / second"],
     )
     throughput: dict[int, float] = {}
     reference: dict[str, np.ndarray] | None = None
     try:
-        for clients in CLIENT_COUNTS:
+        for clients in client_counts:
             elapsed, total_rows, released = _serve_round(
                 app, clients, requests_per_client, rows
             )
@@ -142,7 +148,7 @@ def run_benchmark(
                     ):
                         raise AssertionError(
                             f"request seed {seed} released different rows at "
-                            f"{clients} clients than at {CLIENT_COUNTS[0]}"
+                            f"{clients} clients than at {client_counts[0]}"
                         )
             throughput[clients] = total_rows / elapsed if elapsed > 0 else 0.0
             result.add_row(
@@ -163,21 +169,63 @@ def run_benchmark(
     return result, throughput
 
 
-def _record_json(num_records, requests_per_client, rows, throughput, wall_time) -> None:
+#: The supervised round runs the endpoints of the client grid; its floor is
+#: deliberately soft (journal writes are one buffered line per budget event)
+#: so only a real regression — not CI noise — fails the gate.
+SUPERVISED_CLIENTS = (1, 4)
+SUPERVISED_FLOOR = 0.5
+
+
+def _record_json(
+    num_records, requests_per_client, rows, throughput, wall_time,
+    name="bench_service_throughput", client_counts=CLIENT_COUNTS, extra=None,
+) -> None:
     from conftest import write_benchmark_json
 
     write_benchmark_json(
-        "bench_service_throughput",
+        name,
         params={
             "records": num_records,
             "requests_per_client": requests_per_client,
             "rows_per_request": rows,
-            "client_counts": list(CLIENT_COUNTS),
+            "client_counts": list(client_counts),
         },
         wall_time=wall_time,
         throughput=max(throughput.values()) if throughput else None,
-        extra={"rows_per_second": {str(c): t for c, t in throughput.items()}},
+        extra={
+            "rows_per_second": {str(c): t for c, t in throughput.items()},
+            **(extra or {}),
+        },
     )
+
+
+def _run_supervised_round(
+    num_records: int, requests_per_client: int, rows: int
+) -> tuple[ExperimentResult, dict[int, float]]:
+    """The fault-tolerance configuration: durable budget journal enabled."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmp:
+        return run_benchmark(
+            num_records,
+            requests_per_client,
+            rows,
+            client_counts=SUPERVISED_CLIENTS,
+            journal=str(Path(tmp) / "journal.jsonl"),
+        )
+
+
+def _check_no_regression(
+    baseline: dict[int, float], supervised: dict[int, float]
+) -> None:
+    for clients in SUPERVISED_CLIENTS:
+        floor = SUPERVISED_FLOOR * baseline[clients]
+        if supervised[clients] < floor:
+            raise AssertionError(
+                f"journal+supervision throughput at {clients} client(s) is "
+                f"{supervised[clients]:.1f} rows/s, below {SUPERVISED_FLOOR:.0%} "
+                f"of the {baseline[clients]:.1f} rows/s baseline"
+            )
 
 
 def test_service_throughput(record_result):
@@ -188,6 +236,22 @@ def test_service_throughput(record_result):
     record_result("service_throughput.txt", result)
     _record_json(num_records, requests_per_client, rows, throughput, wall_time)
     assert all(value > 0 for value in throughput.values())
+
+    start = time.perf_counter()
+    supervised_result, supervised = _run_supervised_round(
+        num_records, requests_per_client, rows
+    )
+    supervised_wall = time.perf_counter() - start
+    record_result("service_throughput_supervised.txt", supervised_result)
+    _record_json(
+        num_records, requests_per_client, rows, supervised, supervised_wall,
+        name="bench_service_throughput_supervised",
+        client_counts=SUPERVISED_CLIENTS,
+        extra={"baseline_rows_per_second": {
+            str(c): throughput[c] for c in SUPERVISED_CLIENTS
+        }},
+    )
+    _check_no_regression(throughput, supervised)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -209,7 +273,30 @@ def main(argv: list[str] | None = None) -> int:
     if not all(value > 0 for value in throughput.values()):
         print("FAIL: zero throughput at some client count", file=sys.stderr)
         return 1
-    print("OK: service throughput recorded")
+
+    start = time.perf_counter()
+    supervised_result, supervised = _run_supervised_round(
+        num_records, requests_per_client, rows
+    )
+    supervised_wall = time.perf_counter() - start
+    print(supervised_result.to_text())
+    (results_dir / "service_throughput_supervised.txt").write_text(
+        supervised_result.to_text() + "\n"
+    )
+    _record_json(
+        num_records, requests_per_client, rows, supervised, supervised_wall,
+        name="bench_service_throughput_supervised",
+        client_counts=SUPERVISED_CLIENTS,
+        extra={"baseline_rows_per_second": {
+            str(c): throughput[c] for c in SUPERVISED_CLIENTS
+        }},
+    )
+    try:
+        _check_no_regression(throughput, supervised)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print("OK: service throughput recorded (baseline and journal+supervision)")
     return 0
 
 

@@ -7,4 +7,10 @@ one imported here), decorate it with :func:`~repro.analysis.core.register`,
 and add a violating/clean fixture pair to ``tests/analysis/``.
 """
 
-from repro.analysis.rules import determinism, locks, privacy, rng  # noqa: F401
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    locks,
+    privacy,
+    rng,
+    robustness,
+)

@@ -1,0 +1,96 @@
+"""Robustness rules (family ``robust``).
+
+The fault-tolerance layer only works if failures surface: a worker death,
+a lost chunk, or a journal write error that is silently swallowed turns a
+recoverable fault into a wrong answer.  Inside the production packages
+(``core/``, ``service/``) a bare/broad exception handler whose body is just
+``pass`` hides exactly those signals, so it must either name the specific
+exception it means to ignore or carry an explicit
+``# repro: allow[robust-swallowed-exception]`` acknowledging the swallow
+(legitimate only on best-effort shutdown paths).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceModule, register
+
+#: Exception names considered "broad": catching these (or catching nothing)
+#: swallows unexpected faults rather than one anticipated condition.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare `except:`
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        name = node.attr if isinstance(node, ast.Attribute) else getattr(node, "id", None)
+        if name in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing: ``pass``/``...`` (an initial
+    docstring-style string constant is ignored)."""
+    body = handler.body
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    if not body:
+        return True
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """Broad except-and-pass handlers in production packages hide faults."""
+
+    id = "robust-swallowed-exception"
+    family = "robust"
+    summary = (
+        "a bare or broad (Exception/BaseException) handler in core/ or "
+        "service/ swallows the exception with a pass-only body"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        if not module.package_rel.startswith(("core/", "service/")):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and _swallows(node):
+                caught = (
+                    "a bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"{caught} with a pass-only body silently swallows "
+                    "faults; catch the specific exception, handle it, or "
+                    "annotate the swallow with "
+                    "`# repro: allow[robust-swallowed-exception]`",
+                )

@@ -78,6 +78,9 @@ _DEFAULT_CONFIG = {
     # serial single-stream path (see --workers).
     "workers": None,
     "chunk_size": 512,
+    # Crash re-executions allowed per engine chunk before a job fails
+    # (supervised worker pools only; retries are bit-identical).
+    "max_chunk_retries": 2,
     "rng_seed": 0,
 }
 
@@ -124,6 +127,7 @@ def build_config(options: dict, num_attributes: int) -> GenerationConfig:
         batch_size=int(batch_size) if batch_size is not None else None,
         num_workers=int(workers) if workers is not None else None,
         chunk_size=int(merged["chunk_size"]),
+        max_chunk_retries=int(merged["max_chunk_retries"]),
     )
 
 
@@ -233,7 +237,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         num_workers=args.workers if args.workers is not None else 1,
         default_budget=default_budget,
         audit_log=args.audit_log,
+        audit_fsync=args.audit_fsync,
+        journal=args.journal,
         store_max_bytes=args.store_max_bytes,
+        max_queue_depth=args.max_queue_depth,
+        deadline_ms=args.deadline_ms,
     )
     name = args.model_name or default_name
     print(f"fitting and publishing model {name!r} ({len(dataset)} records)...")
@@ -354,6 +362,26 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="append every budget event (reserve/commit/refusal) to this "
         "JSON-lines file",
+    )
+    serve.add_argument(
+        "--audit-fsync", action="store_true",
+        help="fsync every audit-log and journal line (crash-safe mode)",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        help="append-only JSON-lines budget journal, replayed on startup so "
+        "session budgets and idempotency records survive restarts",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="bound on undispatched queued requests; past it /generate is "
+        "refused with 503 + Retry-After (omit = unbounded)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request dispatch deadline in milliseconds; a request still "
+        "queued past it fails with 504 and its reservation is refunded",
     )
     serve.add_argument(
         "--budget-epsilon", type=float, default=None,

@@ -16,7 +16,12 @@
 """
 
 from repro.core.config import GenerationConfig
-from repro.core.engine import ChunkProgress, SynthesisEngine
+from repro.core.engine import (
+    ChunkProgress,
+    ChunkRetryExhaustedError,
+    EngineBrokenError,
+    SynthesisEngine,
+)
 from repro.core.mechanism import SynthesisMechanism
 from repro.core.parallel import generate_in_parallel
 from repro.core.pipeline import SynthesisPipeline
@@ -25,6 +30,8 @@ from repro.core.run_store import RunStore
 
 __all__ = [
     "ChunkProgress",
+    "ChunkRetryExhaustedError",
+    "EngineBrokenError",
     "GenerationConfig",
     "RunStore",
     "SynthesisEngine",

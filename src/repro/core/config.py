@@ -47,6 +47,12 @@ class GenerationConfig:
         Attempts per dynamically dispatched engine chunk.  Part of a run's
         RNG layout: reproducing or resuming an engine run requires the same
         chunk size.
+    max_chunk_retries:
+        How many times the engine supervisor may re-execute a chunk lost to
+        a crashed worker before failing the job (0 = any crash fails the
+        job).  Purely operational: retried chunks are bit-identical to the
+        lost originals, so this knob never affects released rows and is
+        excluded from fit artifact keys.
     """
 
     privacy: PlausibleDeniabilityParams = field(
@@ -60,6 +66,7 @@ class GenerationConfig:
     batch_size: int | None = 256
     num_workers: int | None = None
     chunk_size: int = 512
+    max_chunk_retries: int = 2
 
     def __post_init__(self) -> None:
         fractions = (self.seed_fraction, self.structure_fraction, self.parameter_fraction)
@@ -75,6 +82,8 @@ class GenerationConfig:
             raise ValueError("num_workers must be positive when provided")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be non-negative")
 
     @classmethod
     def paper_defaults(cls, num_attributes: int = 11, total_epsilon: float = 1.0) -> "GenerationConfig":

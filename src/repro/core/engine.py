@@ -37,6 +37,21 @@ layer:
   :class:`~repro.core.run_store.RunStore`, so a crashed or repeated run
   resumes from its completed chunks instead of regenerating them.
 
+* **Worker supervision with deterministic chunk retry.**  Each worker
+  records the chunk it is executing in a crash-proof shared in-flight table
+  before touching it.  When the parent's collection loop notices a dead
+  process (exitcode watch), it respawns a replacement against the *existing*
+  shared-memory segments, re-dispatches the current job to it, and queues
+  the lost chunk for re-execution — which is bit-identical to the lost run
+  because a chunk's content is a pure function of its index.  Retries are
+  bounded by ``max_chunk_retries``; past the bound the job fails with
+  :class:`ChunkRetryExhaustedError` while the pool (already repaired) stays
+  usable.  An unrepairable pool — a worker lost during startup, or a respawn
+  that itself fails — marks the engine broken and every subsequent call
+  raises :class:`EngineBrokenError` instead of hanging on corrupted queues.
+  :meth:`SynthesisEngine.pool_health` exposes the restart and per-chunk
+  retry counters next to :meth:`SynthesisEngine.workload_fingerprint`.
+
 The serial reference loop (``num_workers=1``, which runs fully in-process
 with no subprocesses or shared memory) is the equivalence oracle for the
 parallel path.
@@ -63,7 +78,36 @@ from repro.datasets.schema import Schema
 from repro.generative.base import GenerativeModel
 from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
 
-__all__ = ["ChunkProgress", "SynthesisEngine", "chunk_rng"]
+__all__ = [
+    "ChunkProgress",
+    "ChunkRetryExhaustedError",
+    "EngineBrokenError",
+    "SynthesisEngine",
+    "chunk_rng",
+]
+
+
+class EngineBrokenError(RuntimeError):
+    """The worker pool is unrecoverable; the engine refuses further work.
+
+    Raised when a worker dies during pool startup or a supervised respawn
+    itself fails.  The broken flag is sticky: every subsequent run call fails
+    fast with this error instead of hanging on inconsistent queues.  Build a
+    fresh engine to continue.
+    """
+
+
+class ChunkRetryExhaustedError(RuntimeError):
+    """A chunk's crash-retry budget (``max_chunk_retries``) ran out.
+
+    The failing *job* is abandoned cleanly, but the pool has already been
+    repaired (dead workers respawned), so the engine itself remains usable
+    for subsequent runs.
+    """
+
+    def __init__(self, message: str, chunk_indices: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.chunk_indices = chunk_indices
 
 
 def chunk_rng(base_seed: int, chunk_index: int) -> np.random.Generator:
@@ -212,15 +256,35 @@ def _build_worker_mechanism(spec: _WorkerSpec, segments: list[SharedMemory]) -> 
     return mechanism
 
 
-def _worker_main(spec, job_queue, results_queue, next_chunk, released_total, stop_flag):
-    """Worker entry point: build the mechanism once, then serve jobs forever."""
+def _worker_main(
+    slot,
+    spec,
+    job_queue,
+    results_queue,
+    retry_queue,
+    next_chunk,
+    released_total,
+    stop_flag,
+    inflight,
+    fault,
+):
+    """Worker entry point: build the mechanism once, then serve jobs forever.
+
+    ``inflight[slot]`` is this worker's crash-proof claim record: it holds the
+    chunk index being executed (-1 when idle) and is written *before* the
+    chunk runs, so the supervisor can re-dispatch exactly the lost chunk of a
+    SIGKILLed worker without relying on queue messages that may never have
+    been flushed.  ``retry_queue`` carries those re-dispatched indices; they
+    are claimed ahead of the shared counter.  ``fault`` is an optional
+    :mod:`repro.testing.faults` injection point fired before each chunk.
+    """
     segments: list[SharedMemory] = []
     try:
         mechanism = _build_worker_mechanism(spec, segments)
     except BaseException:
-        results_queue.put((None, "error", traceback.format_exc()))
+        results_queue.put((None, "error", (slot, traceback.format_exc())))
         return
-    results_queue.put((None, "ready", None))
+    results_queue.put((None, "ready", slot))
 
     while True:
         job = job_queue.get()
@@ -230,18 +294,34 @@ def _worker_main(spec, job_queue, results_queue, next_chunk, released_total, sto
             while True:
                 if stop_flag.value:
                     break
-                if (
-                    job.target_released is not None
-                    and released_total.value >= job.target_released
-                ):
-                    break
-                with next_chunk.get_lock():
-                    index = next_chunk.value
-                    if index >= job.num_chunks:
+                # Retry claims come first and ignore the released target: a
+                # retried chunk is a hole in the contiguous prefix, and the
+                # shared counter may already sit past the target on the
+                # strength of post-hole chunks that cannot be delivered
+                # until the hole is filled.
+                index = None
+                try:
+                    index = retry_queue.get_nowait()
+                except Empty:
+                    pass
+                if index is None:
+                    if (
+                        job.target_released is not None
+                        and released_total.value >= job.target_released
+                    ):
                         break
-                    next_chunk.value = index + 1
-                if index in job.completed:
+                    with next_chunk.get_lock():
+                        index = next_chunk.value
+                        if index >= job.num_chunks:
+                            break
+                        next_chunk.value = index + 1
+                    if index in job.completed:
+                        continue
+                elif index >= job.num_chunks or index in job.completed:
                     continue
+                inflight[slot] = index
+                if fault is not None:
+                    fault.fire(index)
                 report = mechanism.run_attempts(
                     job.chunk_attempts(index),
                     chunk_rng(job.base_seed, index),
@@ -252,9 +332,12 @@ def _worker_main(spec, job_queue, results_queue, next_chunk, released_total, sto
                 results_queue.put(
                     (job.job_id, "chunk", (index, report.to_arrays(), report.num_released))
                 )
-            results_queue.put((job.job_id, "done", None))
+                inflight[slot] = -1
+            inflight[slot] = -1
+            results_queue.put((job.job_id, "done", slot))
         except BaseException:
-            results_queue.put((job.job_id, "error", traceback.format_exc()))
+            inflight[slot] = -1
+            results_queue.put((job.job_id, "error", (slot, traceback.format_exc())))
 
 
 # --------------------------------------------------------------------------- #
@@ -289,6 +372,14 @@ class SynthesisEngine:
     run_store:
         Optional :class:`~repro.core.run_store.RunStore`; run methods given a
         ``run_id`` checkpoint completed chunks there and resume from them.
+    max_chunk_retries:
+        How many times a chunk lost to a *crashed* worker may be re-executed
+        before the job fails with :class:`ChunkRetryExhaustedError`.  ``0``
+        disables retry (any crash mid-chunk fails the job) while still
+        respawning the dead worker so the engine stays usable.
+    fault_injector:
+        Optional :mod:`repro.testing.faults` fault point fired by each worker
+        before executing a chunk (chaos tests only; must be picklable).
 
     Use as a context manager (or call :meth:`close`) so worker processes and
     shared-memory segments are released deterministically.
@@ -306,6 +397,8 @@ class SynthesisEngine:
         chunk_size: int = 512,
         batch_size: int | None = 256,
         run_store: RunStore | None = None,
+        max_chunk_retries: int = 2,
+        fault_injector=None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
@@ -313,6 +406,8 @@ class SynthesisEngine:
             raise ValueError("chunk_size must be positive")
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be positive when provided")
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be non-negative")
         self._model = model
         self._seeds = seed_dataset
         self._schema = seed_dataset.schema
@@ -321,6 +416,8 @@ class SynthesisEngine:
         self._chunk_size = chunk_size
         self._batch_size = batch_size
         self._run_store = run_store
+        self._max_chunk_retries = max_chunk_retries
+        self._fault_injector = fault_injector
         self._job_counter = 0
         self._pending_done = 0
         self._workload_digest: str | None = None
@@ -328,13 +425,21 @@ class SynthesisEngine:
         # Pool state (populated by start() when num_workers > 1).
         self._started = False
         self._closed = False
+        self._broken = False
+        self._worker_spec: _WorkerSpec | None = None
         self._processes: list = []
         self._job_queues: list = []
         self._results_queue = None
+        self._retry_queue = None
         self._next_chunk = None
         self._released_total = None
         self._stop_flag = None
+        self._inflight = None
         self._segments: list[SharedMemory] = []
+        # Supervision bookkeeping.
+        self._worker_restarts = 0
+        self._chunk_retries: dict[int, int] = {}  # chunk -> crash re-executions (current job)
+        self._slot_owes_done: set[int] = set()  # slots dispatched the current job
 
     @property
     def num_workers(self) -> int:
@@ -376,41 +481,60 @@ class SynthesisEngine:
         """
         if self._closed:
             raise RuntimeError("the engine has been closed")
+        if self._broken:
+            raise EngineBrokenError("the engine pool is broken; build a fresh engine")
         if self._num_workers == 1 or self._started:
             return self
-        spec = self._build_worker_spec()
+        self._worker_spec = self._build_worker_spec()
         context = get_context("spawn")
         self._results_queue = context.Queue()
+        self._retry_queue = context.Queue()
         self._next_chunk = context.Value("l", 0)
         self._released_total = context.Value("l", 0)
         self._stop_flag = context.Value("b", 0)
-        for _ in range(self._num_workers):
-            job_queue = context.Queue()
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    spec,
-                    job_queue,
-                    self._results_queue,
-                    self._next_chunk,
-                    self._released_total,
-                    self._stop_flag,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._job_queues.append(job_queue)
-            self._processes.append(process)
+        self._inflight = context.Array("l", [-1] * self._num_workers, lock=False)
+        for slot in range(self._num_workers):
+            self._job_queues.append(context.Queue())
+            self._processes.append(None)
+            self._spawn_worker(slot)
         self._started = True
         ready = 0
         while ready < self._num_workers:
             _job_id, kind, payload = self._next_message()
             if kind == "error":
                 self.close()
-                raise RuntimeError(f"engine worker failed to start:\n{payload}")
+                raise RuntimeError(f"engine worker failed to start:\n{payload[1]}")
             if kind == "ready":
                 ready += 1
         return self
+
+    def _spawn_worker(self, slot: int) -> None:
+        """(Re)start the worker of ``slot`` against the existing segments."""
+        context = get_context("spawn")
+        try:
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    slot,
+                    self._worker_spec,
+                    self._job_queues[slot],
+                    self._results_queue,
+                    self._retry_queue,
+                    self._next_chunk,
+                    self._released_total,
+                    self._stop_flag,
+                    self._inflight,
+                    self._fault_injector,
+                ),
+                daemon=True,
+            )
+            process.start()
+        except BaseException as exc:
+            self._broken = True
+            raise EngineBrokenError(
+                f"failed to (re)spawn engine worker {slot}: {exc}"
+            ) from exc
+        self._processes[slot] = process
 
     def close(self) -> None:
         """Stop the workers and release the shared-memory segments."""
@@ -423,6 +547,8 @@ class SynthesisEngine:
             except Exception:
                 pass
         for process in self._processes:
+            if process is None:
+                continue
             process.join(timeout=10)
             if process.is_alive():
                 process.terminate()
@@ -547,6 +673,8 @@ class SynthesisEngine:
     ) -> SynthesisReport:
         if self._closed:
             raise RuntimeError("the engine has been closed")
+        if self._broken:
+            raise EngineBrokenError("the engine pool is broken; build a fresh engine")
         self._job_counter += 1
         job = _Job(
             job_id=self._job_counter,
@@ -627,14 +755,30 @@ class SynthesisEngine:
             # go quiescent before resetting state for this job.
             self._stop_flag.value = 1
             while self._pending_done:
-                _job_id, kind, _payload = self._next_message()
+                try:
+                    _job_id, kind, _payload = self._results_queue.get(
+                        timeout=self._POLL_SECONDS
+                    )
+                except Empty:
+                    # A worker that died while owing a "done" will never send
+                    # it; respawn it (idle: the stale job is abandoned) and
+                    # stop waiting on its behalf.
+                    self._supervise(None, {}, None)
+                    continue
                 if kind in ("done", "error"):
                     self._pending_done -= 1
+        while True:  # clear retry indices a stopped job never consumed
+            try:
+                self._retry_queue.get_nowait()
+            except Empty:
+                break
         self._next_chunk.value = 0
         self._released_total.value = sum(
             reports[index].num_released for index in job.completed
         )
         self._stop_flag.value = 0
+        self._chunk_retries = {}
+        self._slot_owes_done = set(range(len(self._processes)))
         for job_queue in self._job_queues:
             job_queue.put(job)
         self._pending_done = len(self._processes)
@@ -642,9 +786,18 @@ class SynthesisEngine:
         pending = len(self._processes)
         prefix_released, prefix_index = self._prefix_state(job, reports)
         failure: str | None = None
+        exhausted: list[int] = []
         try:
             while pending:
-                job_id, kind, payload = self._next_message()
+                try:
+                    job_id, kind, payload = self._results_queue.get(
+                        timeout=self._POLL_SECONDS
+                    )
+                except Empty:
+                    self._supervise(job, reports, exhausted)
+                    if exhausted and not self._stop_flag.value:
+                        self._stop_flag.value = 1
+                    continue
                 if job_id != job.job_id:
                     # Stale message from a job whose collection loop was
                     # interrupted (e.g. a progress callback raised): drop it
@@ -653,13 +806,23 @@ class SynthesisEngine:
                 if kind == "done":
                     pending -= 1
                     self._pending_done -= 1
+                    self._slot_owes_done.discard(payload)
                 elif kind == "error":
                     pending -= 1
                     self._pending_done -= 1
-                    failure = payload
+                    self._slot_owes_done.discard(payload[0])
+                    failure = payload[1]
                     self._stop_flag.value = 1
                 elif kind == "chunk":
-                    index, arrays, _released = payload
+                    index, arrays, released = payload
+                    if index in reports:
+                        # A crash-retried chunk raced its original message
+                        # (both delivered).  The content is bit-identical, so
+                        # drop the duplicate and undo its double count on the
+                        # shared released counter.
+                        with self._released_total.get_lock():
+                            self._released_total.value -= released
+                        continue
                     report = SynthesisReport.from_arrays(self._schema, arrays)
                     reports[index] = report
                     self._save_checkpoint(run_id, index, arrays)
@@ -677,6 +840,57 @@ class SynthesisEngine:
             raise
         if failure is not None:
             raise RuntimeError(f"engine worker failed:\n{failure}")
+        if exhausted:
+            indices = tuple(sorted(set(exhausted)))
+            raise ChunkRetryExhaustedError(
+                f"chunk(s) {list(indices)} crashed more than max_chunk_retries="
+                f"{self._max_chunk_retries} times; the job was abandoned but the "
+                "pool has been repaired and the engine remains usable",
+                chunk_indices=indices,
+            )
+
+    def _supervise(self, job: _Job | None, reports: dict, exhausted: list | None) -> None:
+        """Detect dead workers, respawn them, and re-dispatch lost chunks.
+
+        With a ``job`` in flight the replacement worker is handed the same
+        job and the crashed worker's in-flight chunk (from the shared
+        ``inflight`` table) is queued for deterministic re-execution, counted
+        against ``max_chunk_retries``.  The shared released counter is
+        resynced to the reports actually received so a crash between a
+        worker's counter increment and its (lost) chunk message can never
+        stop an until-N run short of its target.
+        """
+        dead_slots = [
+            slot for slot, process in enumerate(self._processes) if not process.is_alive()
+        ]
+        for slot in dead_slots:
+            lost_chunk = int(self._inflight[slot])
+            self._inflight[slot] = -1
+            owed = slot in self._slot_owes_done
+            self._worker_restarts += 1
+            self._spawn_worker(slot)  # raises EngineBrokenError on failure
+            if job is None:
+                if owed:
+                    self._slot_owes_done.discard(slot)
+                    self._pending_done -= 1
+                continue
+            # Queue the lost chunk *before* re-dispatching the job so no
+            # worker can observe the job without the retry being claimable.
+            if lost_chunk >= 0 and lost_chunk not in reports:
+                retries = self._chunk_retries.get(lost_chunk, 0)
+                if retries >= self._max_chunk_retries:
+                    exhausted.append(lost_chunk)
+                else:
+                    self._chunk_retries[lost_chunk] = retries + 1
+                    self._retry_queue.put(lost_chunk)
+            if owed:
+                self._job_queues[slot].put(job)  # replacement owes the done instead
+            with self._released_total.get_lock():
+                self._released_total.value = sum(
+                    report.num_released
+                    for index, report in reports.items()
+                    if index < job.num_chunks
+                )
 
     @staticmethod
     def _prefix_state(
@@ -694,18 +908,24 @@ class SynthesisEngine:
         return released, index
 
     def _next_message(self):
-        """One (job_id, kind, payload) message, watching for dead workers."""
+        """One (job_id, kind, payload) startup message, watching for deaths.
+
+        Only the :meth:`start` ready-wait uses this: a worker that dies
+        before the pool is even up has nothing to retry deterministically, so
+        the pool is marked broken and torn down rather than supervised.
+        """
         while True:
             try:
                 return self._results_queue.get(timeout=self._POLL_SECONDS)
             except Empty:
-                # Workers only exit when close() sends the shutdown sentinel,
-                # so a dead process here always means a crash (e.g. OOM kill).
-                dead = [p for p in self._processes if not p.is_alive()]
+                dead = [p for p in self._processes if p is not None and not p.is_alive()]
                 if dead:
-                    raise RuntimeError(
-                        f"{len(dead)} engine worker(s) died without reporting "
-                        f"a result (exit codes: {[p.exitcode for p in dead]})"
+                    codes = [p.exitcode for p in dead]
+                    self._broken = True
+                    self.close()
+                    raise EngineBrokenError(
+                        f"{len(dead)} engine worker(s) died during pool startup "
+                        f"(exit codes: {codes}); the pool is broken"
                     ) from None
 
     def _finalize(self, job: _Job, reports: dict[int, SynthesisReport]) -> SynthesisReport:
@@ -725,6 +945,28 @@ class SynthesisEngine:
         return SynthesisReport.merged(
             self._schema, ordered, stop_after_released=job.target_released
         )
+
+    # ------------------------------------------------------------------ #
+    # Pool health
+    # ------------------------------------------------------------------ #
+    def pool_health(self) -> dict:
+        """Supervision counters next to the workload identity.
+
+        ``worker_restarts`` counts every supervised respawn over the engine's
+        lifetime; ``chunk_retries`` maps chunk index to crash re-executions
+        for the most recent pool job; ``workers_alive`` is the live process
+        count (0 on the serial path, which has no pool to supervise).
+        """
+        return {
+            "num_workers": self._num_workers,
+            "workers_alive": sum(
+                1 for p in self._processes if p is not None and p.is_alive()
+            ),
+            "worker_restarts": self._worker_restarts,
+            "chunk_retries": dict(self._chunk_retries),
+            "max_chunk_retries": self._max_chunk_retries,
+            "broken": self._broken,
+        }
 
     # ------------------------------------------------------------------ #
     # Checkpointing

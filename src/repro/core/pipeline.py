@@ -287,6 +287,7 @@ class SynthesisPipeline:
                 chunk_size=self._config.chunk_size,
                 batch_size=batch_size,
                 run_store=self._run_store,
+                max_chunk_retries=self._config.max_chunk_retries,
             ) as engine:
                 report = engine.generate(
                     num_records,

@@ -16,8 +16,16 @@ from repro.service.api import (
     build_server,
     derive_request_seed,
 )
+from repro.service.journal import BudgetJournal, JournalCorruptionError, read_journal
 from repro.service.registry import ModelRegistry, PublishedModel
-from repro.service.scheduler import GenerateRequest, RequestScheduler, SchedulerStats
+from repro.service.scheduler import (
+    DeadlineExceededError,
+    GenerateRequest,
+    QueueFullError,
+    RequestScheduler,
+    SchedulerStats,
+    SchedulerStoppedError,
+)
 from repro.service.session import (
     BudgetExceededError,
     Reservation,
@@ -27,17 +35,23 @@ from repro.service.session import (
 
 __all__ = [
     "BudgetExceededError",
+    "BudgetJournal",
+    "DeadlineExceededError",
     "GenerateRequest",
+    "JournalCorruptionError",
     "ModelRegistry",
     "PublishedModel",
+    "QueueFullError",
     "ReleaseRecord",
     "RequestScheduler",
     "Reservation",
     "SchedulerStats",
+    "SchedulerStoppedError",
     "ServiceApp",
     "ServiceError",
     "SessionBudget",
     "TenantSession",
     "build_server",
     "derive_request_seed",
+    "read_journal",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -45,9 +46,21 @@ import numpy as np
 
 from repro.core.engine import SynthesisEngine
 from repro.core.results import SynthesisReport
+from repro.service.journal import BudgetJournal, read_journal
 from repro.service.registry import ModelRegistry, PublishedModel
-from repro.service.scheduler import GenerateRequest, RequestScheduler
-from repro.service.session import BudgetExceededError, SessionBudget, TenantSession
+from repro.service.scheduler import (
+    DeadlineExceededError,
+    GenerateRequest,
+    QueueFullError,
+    RequestScheduler,
+    SchedulerStoppedError,
+)
+from repro.service.session import (
+    BudgetExceededError,
+    Reservation,
+    SessionBudget,
+    TenantSession,
+)
 
 __all__ = [
     "ReleaseRecord",
@@ -62,16 +75,34 @@ _DEFAULT_PAGE_LIMIT = 100
 
 
 class ServiceError(Exception):
-    """An API-level failure with an HTTP status and machine-readable code."""
+    """An API-level failure with an HTTP status and machine-readable code.
 
-    def __init__(self, status: int, code: str, message: str, **payload):
+    ``retry_after`` (seconds) is surfaced as an HTTP ``Retry-After`` header —
+    set on 503 admission refusals so well-behaved clients back off instead of
+    hammering a full queue.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+        **payload,
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
         self.payload = payload
 
     def to_json(self) -> dict:
         return {"error": str(self), "code": self.code, **self.payload}
+
+    def headers(self) -> dict:
+        if self.retry_after is None:
+            return {}
+        return {"Retry-After": str(max(1, int(round(self.retry_after))))}
 
 
 def derive_request_seed(model_id: str, session_id: str, sequence: int) -> int:
@@ -96,6 +127,20 @@ def _as_int(value, name: str, default: int | None = None) -> int | None:
         return int(value)
     except (TypeError, ValueError):
         raise ServiceError(400, "bad_parameter", f"{name!r} must be an integer") from None
+
+
+def _trailing_int(identifier: str) -> int:
+    """The trailing decimal run of an id like ``s00012`` or ``s00001-r00002``.
+
+    Journal replay uses this to restore session/release/sequence counters
+    past the journaled history; ids without a trailing number count as 0.
+    """
+    digits = ""
+    for char in reversed(identifier or ""):
+        if not char.isdigit():
+            break
+        digits = char + digits
+    return int(digits) if digits else 0
 
 
 def _jsonable(value):
@@ -176,6 +221,9 @@ class ReleaseRecord:
 class ServiceApp:
     """The multi-tenant synthesis-serving application core."""
 
+    #: Advisory client back-off, sent as ``Retry-After`` on 503 refusals.
+    RETRY_AFTER_SECONDS = 1.0
+
     def __init__(
         self,
         registry: ModelRegistry | None = None,
@@ -183,8 +231,13 @@ class ServiceApp:
         num_workers: int = 1,
         default_budget: SessionBudget | None = None,
         audit_log: str | Path | None = None,
+        audit_fsync: bool = False,
+        journal: str | Path | None = None,
         store_max_bytes: int | None = None,
         scheduler_max_batch: int | None = None,
+        max_queue_depth: int | None = None,
+        deadline_ms: float | None = None,
+        dispatch_hook=None,
         max_releases: int = 256,
     ):
         """``num_workers`` sizes each model's persistent engine pool (1 = the
@@ -196,6 +249,16 @@ class ServiceApp:
         releases and expires the rest (404 after expiry), so held reports
         can never grow without bound.  Session budget state is tiny and kept
         for the server's lifetime regardless.
+
+        Fault-tolerance knobs: ``journal`` names an append-only JSON-lines
+        budget journal replayed on startup (restoring session budgets,
+        refunding reservations the previous process never settled, and
+        restoring idempotency records); ``audit_fsync`` forces audit *and*
+        journal lines to stable storage per event; ``max_queue_depth`` bounds
+        scheduler admission (503 + ``Retry-After`` past it); ``deadline_ms``
+        drops requests still queued after that many milliseconds (504, with
+        the budget reservation refunded); ``dispatch_hook`` is a chaos-test
+        fault point forwarded to the scheduler.
         """
         if max_releases < 1:
             raise ValueError("max_releases must be at least 1")
@@ -203,19 +266,39 @@ class ServiceApp:
         self._num_workers = num_workers
         self._default_budget = default_budget or SessionBudget()
         self._audit_path = Path(audit_log) if audit_log is not None else None
+        self._audit_fsync = audit_fsync
         self._audit_lock = threading.Lock()
+        self._audit_handle = None  # repro: guarded-by[_audit_lock]
+        self._journal = (
+            BudgetJournal(journal, fsync=audit_fsync) if journal is not None else None
+        )
+        self._replaying = False
         self._store_max_bytes = store_max_bytes
         self._max_releases = max_releases
+        self._deadline_ms = deadline_ms
         self._lock = threading.Lock()
         self._sessions: dict[str, TenantSession] = {}  # repro: guarded-by[_lock]
         self._releases: "OrderedDict[str, ReleaseRecord]" = OrderedDict()  # repro: guarded-by[_lock]
         self._engines: dict[str, SynthesisEngine] = {}  # repro: guarded-by[_lock]
         self._session_counter = 0  # repro: guarded-by[_lock]
         self._release_counter = 0  # repro: guarded-by[_lock]
+        self._idempotency: dict[tuple[str, str], dict] = {}  # repro: guarded-by[_lock]
         self._closed = False  # repro: guarded-by[_lock]
         self._scheduler = RequestScheduler(
-            self._execute, max_batch=scheduler_max_batch
+            self._execute,
+            max_batch=scheduler_max_batch,
+            max_queue_depth=max_queue_depth,
+            dispatch_hook=dispatch_hook,
         )
+        # Journal replay: counters and idempotency records are restored
+        # immediately; each session's budget history replays through the real
+        # reserve/commit protocol once its (content-hashed) model is back in
+        # the registry — at construction for a pre-populated registry, or
+        # after the matching publish_model() call otherwise.
+        self._unreplayed: dict[str, list[dict]] = {}  # repro: guarded-by[_lock]
+        if self._journal is not None:
+            self._load_journal()
+            self._replay_ready_sessions()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -227,7 +310,7 @@ class ServiceApp:
         self.close()
 
     def close(self) -> None:
-        """Stop the scheduler and release every persistent engine."""
+        """Stop the scheduler, release every engine, close audit + journal."""
         with self._lock:
             if self._closed:
                 return
@@ -237,6 +320,12 @@ class ServiceApp:
         self._scheduler.close()
         for engine in engines:
             engine.close()
+        with self._audit_lock:
+            if self._audit_handle is not None:
+                self._audit_handle.close()
+                self._audit_handle = None
+        if self._journal is not None:
+            self._journal.close()
 
     @property
     def registry(self) -> ModelRegistry:
@@ -247,12 +336,38 @@ class ServiceApp:
         return self._scheduler
 
     def _audit(self, event: dict) -> None:
-        if self._audit_path is None:
+        """Append one audit line through a single persistent handle.
+
+        The handle is opened lazily once and held (line-buffered) under
+        ``_audit_lock`` — reopening per event costs an open/close syscall
+        pair per budget operation and loses append atomicity guarantees on
+        some filesystems.  ``audit_fsync=True`` additionally forces each
+        line to stable storage for crash-safe operation.
+        """
+        if self._audit_path is None or self._replaying:
             return
         line = json.dumps(_jsonable(event), sort_keys=True)
         with self._audit_lock:
-            with self._audit_path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+            if self._audit_handle is None:
+                self._audit_handle = self._audit_path.open(
+                    "a", encoding="utf-8", buffering=1
+                )
+            self._audit_handle.write(line + "\n")
+            self._audit_handle.flush()
+            if self._audit_fsync:
+                os.fsync(self._audit_handle.fileno())
+
+    def _sink(self, event: dict) -> None:
+        """Fan one budget event out to the audit log and the journal.
+
+        Sessions emit their reserve/commit/cancel/refusal events through
+        this sink; replayed events are suppressed (they are already in the
+        journal — re-appending them would double spend on the next replay).
+        """
+        event = _jsonable(event)
+        self._audit(event)
+        if self._journal is not None and not self._replaying:
+            self._journal.append(event)
 
     # ------------------------------------------------------------------ #
     # Models
@@ -266,6 +381,10 @@ class ServiceApp:
                 self._audit(
                     {"event": "store_gc", "evicted": evicted, "timestamp": time.time()}
                 )
+        # Journaled sessions bound to this (content-hashed) model can now be
+        # restored — a restart republishes the same data/config to the same
+        # model id, unblocking their budget replay.
+        self._replay_ready_sessions()
         return model.describe()
 
     def list_models(self) -> list[dict]:
@@ -314,13 +433,13 @@ class ServiceApp:
                 budget=budget,
                 per_row_cost=published.per_row_cost(),
                 model_k=published.params.k,
-                audit_sink=self._audit,
+                audit_sink=self._sink,
             )
         except ValueError as exc:
             raise ServiceError(409, "k_floor_violation", str(exc)) from exc
         with self._lock:
             self._sessions[session_id] = session
-        self._audit(
+        self._sink(
             {
                 "event": "session_created",
                 "session_id": session_id,
@@ -364,6 +483,7 @@ class ServiceApp:
                     num_workers=self._num_workers,
                     chunk_size=config.chunk_size,
                     batch_size=config.batch_size,
+                    max_chunk_retries=config.max_chunk_retries,
                 )
                 self._engines[model.model_id] = engine
             return engine
@@ -383,6 +503,7 @@ class ServiceApp:
         rows: int,
         seed: int | None = None,
         max_attempts: int | None = None,
+        idempotency_key: str | None = None,
     ) -> ReleaseRecord:
         """Budget-checked synthesis: reserve, dispatch, commit, never partial.
 
@@ -391,11 +512,22 @@ class ServiceApp:
         (:class:`~repro.service.session.BudgetExceededError` →  HTTP 409).
         After generation only the rows that actually passed the privacy test
         are charged; a failed dispatch cancels the hold entirely.
+
+        A repeated ``idempotency_key`` (scoped per session) replays the
+        recorded release — same release id, same rows, zero additional
+        budget spend — so a client that lost the connection mid-response can
+        retry safely.  Admission refusal maps to 503 (+ ``Retry-After``) and
+        a missed dispatch deadline to 504; both refund the reservation.
         """
         if rows < 1:
             raise ServiceError(400, "bad_rows", "rows must be a positive integer")
         session = self._session(session_id)
         model = self.model(session.model_id)
+        if idempotency_key is not None:
+            with self._lock:
+                meta = self._idempotency.get((session_id, idempotency_key))
+            if meta is not None:
+                return self._replay_release(meta)
         sequence = session.next_sequence()
         request_id = f"{session_id}-r{sequence:05d}"
         base_seed = (
@@ -412,15 +544,32 @@ class ServiceApp:
                 str(exc),
                 remaining=_jsonable(exc.remaining),
             ) from exc
+        deadline = (
+            time.monotonic() + self._deadline_ms / 1000.0
+            if self._deadline_ms is not None
+            else None
+        )
         request = GenerateRequest(
             request_id=request_id,
             model_id=model.model_id,
             num_rows=rows,
             base_seed=base_seed,
             max_attempts=max_attempts,
+            deadline=deadline,
         )
         try:
             report = self._scheduler.submit(request).result()
+        except QueueFullError as exc:
+            session.cancel(reservation, reason="queue_full")
+            raise ServiceError(
+                503, "queue_full", str(exc), retry_after=self.RETRY_AFTER_SECONDS
+            ) from exc
+        except DeadlineExceededError as exc:
+            session.cancel(reservation, reason="deadline")
+            raise ServiceError(504, "deadline_exceeded", str(exc)) from exc
+        except SchedulerStoppedError as exc:
+            session.cancel(reservation, reason="shutdown")
+            raise ServiceError(503, "shutting_down", str(exc)) from exc
         except BaseException:
             session.cancel(reservation)
             raise
@@ -439,6 +588,61 @@ class ServiceApp:
                 created_at=time.time(),
             )
             self._releases[release_id] = record
+            while len(self._releases) > self._max_releases:
+                self._releases.popitem(last=False)
+            meta = {
+                "event": "release",
+                "release_id": release_id,
+                "request_id": request_id,
+                "session_id": session_id,
+                "model_id": model.model_id,
+                "base_seed": base_seed,
+                "requested_rows": rows,
+                "released_rows": report.num_released,
+                "max_attempts": max_attempts,
+                "idempotency_key": idempotency_key,
+                "timestamp": record.created_at,
+            }
+            if idempotency_key is not None:
+                self._idempotency[(session_id, idempotency_key)] = meta
+        self._sink(meta)
+        return record
+
+    def _replay_release(self, meta: dict) -> ReleaseRecord:
+        """Serve a repeated idempotent request from its recorded release.
+
+        If the record is still in the bounded release history it is returned
+        directly.  After an expiry or a restart the rows are regenerated from
+        the recorded ``base_seed`` — bit-identical by the engine's chunk-RNG
+        determinism — with **no** budget interaction: the original commit
+        already paid for exactly these rows.
+        """
+        release_id = meta["release_id"]
+        with self._lock:
+            record = self._releases.get(release_id)
+        if record is not None:
+            return record
+        request = GenerateRequest(
+            request_id=meta["request_id"],
+            model_id=meta["model_id"],
+            num_rows=int(meta["requested_rows"]),
+            base_seed=int(meta["base_seed"]),
+            max_attempts=meta.get("max_attempts"),
+        )
+        report = self._scheduler.submit(request).result()
+        record = ReleaseRecord(
+            release_id=release_id,
+            request_id=meta["request_id"],
+            session_id=meta["session_id"],
+            model_id=meta["model_id"],
+            base_seed=int(meta["base_seed"]),
+            requested_rows=int(meta["requested_rows"]),
+            report=report,
+            created_at=float(meta["timestamp"]),
+        )
+        with self._lock:
+            self._releases[release_id] = record
+            self._releases.move_to_end(release_id)
             while len(self._releases) > self._max_releases:
                 self._releases.popitem(last=False)
         return record
@@ -461,6 +665,105 @@ class ServiceApp:
             sessions = len(self._sessions)
         return {"status": "ok", "models": models, "sessions": sessions}
 
+    # ------------------------------------------------------------------ #
+    # Journal replay
+    # ------------------------------------------------------------------ #
+    def _load_journal(self) -> None:
+        """Parse the journal: restore counters and idempotency immediately,
+        stage per-session budget histories for :meth:`_replay_ready_sessions`.
+        """
+        events = read_journal(self._journal.path)
+        unreplayed: dict[str, list[dict]] = {}
+        session_max = 0
+        release_max = 0
+        for event in events:
+            kind = event.get("event")
+            session_id = event.get("session_id")
+            if kind == "session_created" and session_id:
+                unreplayed[session_id] = [event]
+                session_max = max(session_max, _trailing_int(session_id))
+            elif kind in ("reserve", "commit", "cancel") and session_id in unreplayed:
+                unreplayed[session_id].append(event)
+            elif kind == "release":
+                release_max = max(release_max, _trailing_int(event.get("release_id", "")))
+                key = event.get("idempotency_key")
+                if key is not None and session_id:
+                    self._idempotency[(session_id, key)] = event
+        with self._lock:
+            self._unreplayed = unreplayed
+            self._session_counter = max(self._session_counter, session_max)
+            self._release_counter = max(self._release_counter, release_max)
+
+    def _replay_ready_sessions(self) -> None:
+        """Restore every staged session whose model is back in the registry.
+
+        The session's reserve/commit/cancel history is re-driven through the
+        real :class:`TenantSession` protocol (so spend lands on its
+        accountant exactly as before the crash); reservations left active at
+        the end — held by requests the dead process never settled — are then
+        refunded, which *is* journaled and audited as a fresh ``cancel``
+        event with reason ``refund_on_replay``.
+        """
+        if self._journal is None:
+            return
+        with self._lock:
+            staged = dict(self._unreplayed)
+        for session_id, events in staged.items():
+            created = events[0]
+            try:
+                published = self._registry.get(created["model_id"])
+            except KeyError:
+                continue  # model not republished yet; retried after publish
+            session = self._replay_session(published, created, events[1:])
+            with self._lock:
+                self._sessions[session_id] = session
+                self._unreplayed.pop(session_id, None)
+            for reservation in session.outstanding_reservations():
+                session.cancel(reservation, reason="refund_on_replay")
+
+    def _replay_session(
+        self,
+        published: PublishedModel,
+        created: dict,
+        events: list[dict],
+    ) -> TenantSession:
+        budget_fields = created.get("budget") or {}
+        session = TenantSession(
+            session_id=created["session_id"],
+            tenant=created.get("tenant", "default"),
+            model_id=published.model_id,
+            budget=SessionBudget(**budget_fields),
+            per_row_cost=published.per_row_cost(),
+            model_k=published.params.k,
+            audit_sink=self._sink,
+        )
+        self._replaying = True
+        try:
+            reservations: dict[str, Reservation] = {}
+            max_sequence = 0
+            for event in events:
+                request_id = event.get("request_id", "")
+                max_sequence = max(max_sequence, _trailing_int(request_id))
+                kind = event["event"]
+                if kind == "reserve":
+                    reservations[request_id] = session.reserve(
+                        request_id, int(event["rows"])
+                    )
+                elif kind == "commit":
+                    reservation = reservations.pop(request_id, None)
+                    if reservation is not None:
+                        session.commit(reservation, int(event["released_rows"]))
+                elif kind == "cancel":
+                    reservation = reservations.pop(request_id, None)
+                    if reservation is not None:
+                        session.cancel(
+                            reservation, reason=event.get("reason", "replayed")
+                        )
+            session.advance_sequence(max_sequence)
+        finally:
+            self._replaying = False
+        return session
+
 
 # --------------------------------------------------------------------------- #
 # HTTP front end
@@ -482,11 +785,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = json.dumps(_jsonable(payload)).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -509,7 +814,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         try:
             self._route(method, parsed.path.rstrip("/") or "/", query)
         except ServiceError as exc:
-            self._send_json(exc.status, exc.to_json())
+            self._send_json(exc.status, exc.to_json(), headers=exc.headers())
         except BrokenPipeError:
             pass  # client went away mid-response
         except Exception as exc:  # pragma: no cover - defensive 500
@@ -571,11 +876,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         session_id = body.get("session")
         if not session_id:
             raise ServiceError(400, "bad_generate", "a 'session' id is required")
+        idempotency_key = self.headers.get("Idempotency-Key") or body.get(
+            "idempotency_key"
+        )
         record = self.app.generate(
             session_id,
             _as_int(body.get("rows"), "rows", 0),
             seed=_as_int(body.get("seed"), "seed"),
             max_attempts=_as_int(body.get("max_attempts"), "max_attempts"),
+            idempotency_key=str(idempotency_key) if idempotency_key else None,
         )
         if body.get("stream"):
             # NDJSON stream: one header line, then one line per released row.

@@ -25,15 +25,47 @@ throughput benchmarks can attribute wins to batching rather than luck.
 
 from __future__ import annotations
 
+import logging
 import queue
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.results import SynthesisReport
 
-__all__ = ["GenerateRequest", "RequestScheduler", "SchedulerStats"]
+__all__ = [
+    "DeadlineExceededError",
+    "GenerateRequest",
+    "QueueFullError",
+    "RequestScheduler",
+    "SchedulerStats",
+    "SchedulerStoppedError",
+]
+
+_logger = logging.getLogger("repro.service.scheduler")
+
+
+class SchedulerStoppedError(RuntimeError):
+    """The scheduler was closed before (or while) this request could run."""
+
+
+class QueueFullError(RuntimeError):
+    """Admission refused: the dispatch queue is at ``max_queue_depth``.
+
+    The service layer maps this to HTTP 503 with a ``Retry-After`` header —
+    nothing was reserved or dispatched, so the client may simply retry.
+    """
+
+
+class DeadlineExceededError(RuntimeError):
+    """A queued request's dispatch deadline passed before it could run.
+
+    Raised on the request's future *instead of* executing it, so the caller
+    can refund the budget reservation (HTTP 504) — a late request never
+    burns engine time or spend.
+    """
 
 
 @dataclass(frozen=True)
@@ -42,7 +74,9 @@ class GenerateRequest:
 
     ``base_seed`` fully determines the request's RNG streams (chunk ``i`` of
     the run uses ``SeedSequence(base_seed, spawn_key=(i,))``), making the
-    result interleaving-independent.
+    result interleaving-independent.  ``deadline`` is an absolute
+    ``time.monotonic()`` instant: a request still queued past it is dropped
+    with :class:`DeadlineExceededError` rather than dispatched.
     """
 
     request_id: str
@@ -50,6 +84,7 @@ class GenerateRequest:
     num_rows: int
     base_seed: int
     max_attempts: int | None = None
+    deadline: float | None = None
 
 
 @dataclass
@@ -63,6 +98,8 @@ class SchedulerStats:
     max_batch: int = 0
     coalesced: int = 0  # requests that shared a batch with at least one other
     batch_sizes: list[int] = field(default_factory=list)
+    rejected: int = 0  # admission refusals (queue at max_queue_depth)
+    expired: int = 0  # requests dropped at dispatch for a passed deadline
 
 
 class RequestScheduler:
@@ -73,23 +110,35 @@ class RequestScheduler:
         executor: Callable[[GenerateRequest], SynthesisReport],
         *,
         max_batch: int | None = None,
+        max_queue_depth: int | None = None,
+        dispatch_hook: Callable[[GenerateRequest], None] | None = None,
         autostart: bool = True,
     ):
         """``executor`` runs one request on its model's persistent engine.
 
         ``max_batch`` caps how many queued requests one drain may coalesce
-        (``None`` = drain everything pending).  ``autostart=False`` leaves
+        (``None`` = drain everything pending).  ``max_queue_depth`` bounds
+        admission: a submit that would queue more than this many undispatched
+        requests is refused with :class:`QueueFullError` (``None`` = no
+        bound).  ``dispatch_hook`` is an optional fault-injection point
+        called as each request is picked up, *before* its deadline check
+        (chaos tests delay dispatch through it).  ``autostart=False`` leaves
         the dispatcher stopped until :meth:`start` — tests use this to queue
         a burst deterministically and observe it coalesce into one batch.
         """
         if max_batch is not None and max_batch < 1:
             raise ValueError("max_batch must be positive when provided")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive when provided")
         self._executor = executor
         self._max_batch = max_batch
+        self._max_queue_depth = max_queue_depth
+        self._dispatch_hook = dispatch_hook
         self._queue: queue.Queue = queue.Queue()
         self._stats = SchedulerStats()  # repro: guarded-by[_lock]
         self._lock = threading.Lock()
         self._closed = False  # repro: guarded-by[_lock]
+        self._depth = 0  # repro: guarded-by[_lock]
         self._thread: threading.Thread | None = None  # repro: guarded-by[_lock]
         if autostart:
             self.start()
@@ -101,7 +150,7 @@ class RequestScheduler:
         """Start the dispatcher thread (idempotent)."""
         with self._lock:
             if self._closed:
-                raise RuntimeError("the scheduler has been closed")
+                raise SchedulerStoppedError("the scheduler has been closed")
             if self._thread is None:
                 self._thread = threading.Thread(
                     target=self._dispatch_loop, name="repro-scheduler", daemon=True
@@ -110,7 +159,8 @@ class RequestScheduler:
         return self
 
     def close(self) -> None:
-        """Stop the dispatcher; pending requests fail with CancelledError."""
+        """Stop the dispatcher; still-queued requests fail with
+        :class:`SchedulerStoppedError`."""
         with self._lock:
             if self._closed:
                 return
@@ -119,6 +169,15 @@ class RequestScheduler:
             self._queue.put(None)
         if thread is not None:
             thread.join(timeout=30)
+            if thread.is_alive():
+                with self._lock:
+                    depth = self._depth
+                _logger.warning(
+                    "scheduler dispatcher thread did not stop within 30s "
+                    "(still dispatching, %d request(s) queued); failing the "
+                    "queued requests and abandoning the thread",
+                    depth,
+                )
         # Fail anything still queued rather than leaving callers hanging.
         while True:
             try:
@@ -127,7 +186,15 @@ class RequestScheduler:
                 break
             if item is not None:
                 _request, future = item
-                future.cancel()
+                with self._lock:
+                    self._depth -= 1
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(
+                        SchedulerStoppedError(
+                            "the scheduler was closed before request "
+                            f"{_request.request_id!r} could be dispatched"
+                        )
+                    )
 
     def __enter__(self) -> "RequestScheduler":
         return self
@@ -147,8 +214,18 @@ class RequestScheduler:
         # be stranded with a forever-pending future.
         with self._lock:
             if self._closed:
-                raise RuntimeError("the scheduler has been closed")
+                raise SchedulerStoppedError("the scheduler has been closed")
+            if (
+                self._max_queue_depth is not None
+                and self._depth >= self._max_queue_depth
+            ):
+                self._stats.rejected += 1
+                raise QueueFullError(
+                    f"admission refused: {self._depth} request(s) already "
+                    f"queued (max_queue_depth={self._max_queue_depth})"
+                )
             self._stats.submitted += 1
+            self._depth += 1
             self._queue.put((request, future))
         return future
 
@@ -163,7 +240,14 @@ class RequestScheduler:
                 max_batch=self._stats.max_batch,
                 coalesced=self._stats.coalesced,
                 batch_sizes=list(self._stats.batch_sizes),
+                rejected=self._stats.rejected,
+                expired=self._stats.expired,
             )
+
+    def queue_depth(self) -> int:
+        """Requests currently admitted but not yet picked up for dispatch."""
+        with self._lock:
+            return self._depth
 
     # ------------------------------------------------------------------ #
     # Dispatch loop
@@ -195,16 +279,29 @@ class RequestScheduler:
                 self._stats.batches += 1
                 self._stats.max_batch = max(self._stats.max_batch, len(batch))
                 self._stats.batch_sizes.append(len(batch))
+                self._depth -= len(batch)
                 if len(batch) > 1:
                     self._stats.coalesced += len(batch)
             for request, future in batch:
                 if not future.set_running_or_notify_cancel():
                     continue
                 try:
+                    if self._dispatch_hook is not None:
+                        self._dispatch_hook(request)
+                    if (
+                        request.deadline is not None
+                        and time.monotonic() > request.deadline
+                    ):
+                        raise DeadlineExceededError(
+                            f"request {request.request_id!r} spent its dispatch "
+                            "deadline in the queue and was dropped undispatched"
+                        )
                     report = self._executor(request)
                 except BaseException as exc:  # surface to the waiting caller
                     with self._lock:
                         self._stats.failed += 1
+                        if isinstance(exc, DeadlineExceededError):
+                            self._stats.expired += 1
                     future.set_exception(exc)
                 else:
                     with self._lock:

@@ -161,6 +161,25 @@ class TenantSession:
             self._sequence += 1
             return self._sequence
 
+    def advance_sequence(self, floor: int) -> None:
+        """Raise the sequence counter to at least ``floor`` (never lowers it).
+
+        Journal replay uses this so a restarted service hands out request ids
+        (and therefore derived request seeds) that continue *after* the
+        journaled history instead of colliding with it.
+        """
+        with self._lock:
+            self._sequence = max(self._sequence, int(floor))
+
+    def outstanding_reservations(self) -> list[Reservation]:
+        """The reservations currently held but not yet committed/cancelled.
+
+        Journal replay refunds exactly these: a reservation still active at
+        the end of replay is one the crashed process never settled.
+        """
+        with self._lock:
+            return list(self._active.values())
+
     # ------------------------------------------------------------------ #
     # Budget arithmetic (call under self._lock)
     # ------------------------------------------------------------------ #

@@ -11,8 +11,17 @@ in this codebase must preserve.  This package makes asserting them reusable:
   families (wide/narrow, skewed/uniform, high-cardinality, correlated,
   tiny-n) usable as fixtures by tests and benchmarks alike;
 * :mod:`repro.testing.golden` — a golden-run regression store of canonical
-  per-scenario digests, with a ``python -m repro.testing record/check`` CLI.
+  per-scenario digests, with a ``python -m repro.testing record/check`` CLI;
+* :mod:`repro.testing.faults` — a chaos harness of injectable fault points
+  (worker SIGKILL at a chosen chunk, dispatch delay, journal-tail
+  truncation) for proving the recovery paths deterministic.
 """
+
+from repro.testing.faults import (
+    DispatchDelayFault,
+    KillWorkerAtChunk,
+    truncate_file_tail,
+)
 
 from repro.testing.golden import (
     DEFAULT_GOLDEN_PATH,
@@ -47,6 +56,9 @@ from repro.testing.scenarios import (
 )
 
 __all__ = [
+    "DispatchDelayFault",
+    "KillWorkerAtChunk",
+    "truncate_file_tail",
     "InvariantViolation",
     "assert_reports_identical",
     "check_accountant_conservation",

@@ -23,9 +23,9 @@ def rules_fired(source: str, path: str = "src/repro/core/mod.py") -> list[str]:
 # Registry
 # --------------------------------------------------------------------------- #
 class TestRegistry:
-    def test_all_four_families_registered(self):
+    def test_all_families_registered(self):
         families = {rule.family for rule in all_rules()}
-        assert families == {"rng", "privacy", "lock", "det"}
+        assert families == {"rng", "privacy", "lock", "det", "robust"}
 
     def test_rule_ids_unique_and_prefixed(self):
         rules = all_rules()
@@ -431,6 +431,85 @@ class TestDetUnsortedJson:
             "    return json.dumps(payload)\n"
         )
         assert "det-unsorted-json" not in rules_fired(source)
+
+
+# --------------------------------------------------------------------------- #
+# robust family
+# --------------------------------------------------------------------------- #
+class TestRobustSwallowedException:
+    def test_bare_except_pass_flagged(self):
+        source = (
+            "def teardown(worker):\n"
+            "    try:\n"
+            "        worker.stop()\n"
+            "    except:\n"
+            "        pass\n"
+        )
+        assert "robust-swallowed-exception" in rules_fired(source)
+
+    def test_broad_except_pass_flagged_in_service(self):
+        source = (
+            "def settle(session):\n"
+            "    try:\n"
+            "        session.commit()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert "robust-swallowed-exception" in rules_fired(
+            source, path="src/repro/service/mod.py"
+        )
+
+    def test_broad_tuple_with_ellipsis_body_flagged(self):
+        source = (
+            "def drain(queue):\n"
+            "    try:\n"
+            "        queue.get()\n"
+            "    except (ValueError, BaseException):\n"
+            "        ...\n"
+        )
+        assert "robust-swallowed-exception" in rules_fired(source)
+
+    def test_named_exception_pass_clean(self):
+        source = (
+            "from queue import Empty\n"
+            "def drain(queue):\n"
+            "    try:\n"
+            "        queue.get_nowait()\n"
+            "    except Empty:\n"
+            "        pass\n"
+        )
+        assert "robust-swallowed-exception" not in rules_fired(source)
+
+    def test_handled_broad_except_clean(self):
+        source = (
+            "def guard(task, log):\n"
+            "    try:\n"
+            "        task()\n"
+            "    except Exception as exc:\n"
+            "        log.warning('task failed: %s', exc)\n"
+        )
+        assert "robust-swallowed-exception" not in rules_fired(source)
+
+    def test_out_of_scope_package_clean(self):
+        source = (
+            "def teardown(worker):\n"
+            "    try:\n"
+            "        worker.stop()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert rules_fired(source, path="src/repro/experiments/mod.py") == []
+
+    def test_inline_allow_suppresses(self):
+        source = (
+            "def teardown(worker):\n"
+            "    try:\n"
+            "        worker.stop()\n"
+            "    # repro: allow[robust-swallowed-exception]\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert rules_fired(source) == []
 
 
 # --------------------------------------------------------------------------- #
