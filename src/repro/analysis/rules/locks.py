@@ -57,6 +57,7 @@ class _ClassFacts:
         self.guarded: dict[str, str] = {}  # attr -> lock name
         self.requires: dict[str, str] = {}  # method -> lock name
         self.lock_attrs: set[str] = set()
+        self.aliases: dict[str, str] = {}  # condition attr -> wrapped lock attr
         self.methods: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
 
 
@@ -99,15 +100,30 @@ def _collect_class_facts(module: SourceModule, node: ast.ClassDef) -> _ClassFact
                     stmt.value.func, ast.Name
                 ):
                     facts.lock_attrs.add(attr)
+                    # A Condition built on an owned lock shares it: entering
+                    # `with self.<cond>:` acquires the wrapped lock too.
+                    if call_terminal_name(stmt.value) == "Condition":
+                        wrapped = (
+                            _self_attr(stmt.value.args[0])
+                            if stmt.value.args
+                            else None
+                        )
+                        if wrapped is not None:
+                            facts.aliases[attr] = wrapped
     return facts
 
 
-def _locks_entered(with_node: ast.With | ast.AsyncWith) -> set[str]:
+def _locks_entered(
+    with_node: ast.With | ast.AsyncWith, facts: _ClassFacts
+) -> set[str]:
     held: set[str] = set()
     for item in with_node.items:
         attr = _self_attr(item.context_expr)
         if attr is not None:
             held.add(attr)
+            wrapped = facts.aliases.get(attr)
+            if wrapped is not None:
+                held.add(wrapped)
     return held
 
 
@@ -149,7 +165,7 @@ class GuardedAttrRule(Rule):
     ) -> Iterator[Finding]:
         for stmt in body:
             if isinstance(stmt, (ast.With, ast.AsyncWith)):
-                inner = held | _locks_entered(stmt)
+                inner = held | _locks_entered(stmt, facts)
                 for item in stmt.items:  # guarded state in the context exprs
                     yield from self._check_expr(module, facts, item.context_expr, held, method_name)
                 yield from self._walk(module, facts, stmt.body, inner, method_name)
@@ -231,7 +247,7 @@ class RequiresLockCallRule(Rule):
     def _walk(self, module, facts, body, held, method_name) -> Iterator[Finding]:
         for stmt in body:
             if isinstance(stmt, (ast.With, ast.AsyncWith)):
-                inner = held | _locks_entered(stmt)
+                inner = held | _locks_entered(stmt, facts)
                 yield from self._walk(module, facts, stmt.body, inner, method_name)
             elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._walk(module, facts, stmt.body, set(), method_name)

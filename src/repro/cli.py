@@ -242,6 +242,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         store_max_bytes=args.store_max_bytes,
         max_queue_depth=args.max_queue_depth,
         deadline_ms=args.deadline_ms,
+        engines_per_model=args.engines_per_model,
+        worker_budget=args.worker_budget,
+        drain_timeout=args.drain_timeout,
     )
     name = args.model_name or default_name
     print(f"fitting and publishing model {name!r} ({len(dataset)} records)...")
@@ -343,7 +346,23 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="engine worker processes per published model (default: in-process)",
+        help="engine worker processes per pooled engine (default: in-process)",
+    )
+    serve.add_argument(
+        "--engines-per-model", type=int, default=1,
+        help="bound on pooled synthesis engines (and scheduler dispatchers) "
+        "per model; >1 lets a hot model's overflow folds run in parallel",
+    )
+    serve.add_argument(
+        "--worker-budget", type=int, default=None,
+        help="global bound on reserved engine worker processes across all "
+        "models; idle engines are LRU-reaped to stay under it (omit = "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds shutdown waits for in-flight folded batches to finish "
+        "before failing still-queued requests",
     )
     serve.add_argument(
         "--run-store",

@@ -32,6 +32,16 @@ layer:
   the mechanism's until-N loop, they are i.i.d. proposals whose omission
   introduces no bias.
 
+* **Request folding.**  :meth:`SynthesisEngine.generate_folded` fuses many
+  until-N requests into ONE pool job: each request becomes a *lane* with its
+  own base seed, attempt budget, release target and lane-local chunk grid,
+  and the lanes' chunk plans are round-robin interleaved into a single
+  dispatch.  Because a chunk's content is a pure function of (lane seed,
+  local index), every lane's merged report is bit-identical to running that
+  request alone — folding changes only *when* chunks run, never what they
+  contain.  The serving layer uses this to turn K queued requests for one
+  model into one fused scan instead of K convoyed runs.
+
 * **Streaming reports and checkpoints.**  Chunk reports arrive incrementally
   (``progress`` callback) and can be checkpointed to a
   :class:`~repro.core.run_store.RunStore`, so a crashed or repeated run
@@ -82,9 +92,16 @@ __all__ = [
     "ChunkProgress",
     "ChunkRetryExhaustedError",
     "EngineBrokenError",
+    "FoldSpec",
+    "MAX_FOLD_LANES",
     "SynthesisEngine",
     "chunk_rng",
 ]
+
+#: Upper bound on requests fused into one :meth:`SynthesisEngine.generate_folded`
+#: job.  The per-lane released counters live in one fixed-size shared array
+#: allocated at pool startup, so the bound must be known before any job runs.
+MAX_FOLD_LANES = 64
 
 
 class EngineBrokenError(RuntimeError):
@@ -101,13 +118,35 @@ class ChunkRetryExhaustedError(RuntimeError):
     """A chunk's crash-retry budget (``max_chunk_retries``) ran out.
 
     The failing *job* is abandoned cleanly, but the pool has already been
-    repaired (dead workers respawned), so the engine itself remains usable
-    for subsequent runs.
+    repaired — dead workers respawned, or fully rebuilt when the crash
+    wedged the shared queues — so the engine itself remains usable for
+    subsequent runs.
     """
 
     def __init__(self, message: str, chunk_indices: tuple[int, ...] = ()):
         super().__init__(message)
         self.chunk_indices = chunk_indices
+
+
+class _PoolStuckError(RuntimeError):
+    """The pool is live but silent: no messages, no deaths, nothing in flight.
+
+    A SIGKILL can land while the dying worker's queue feeder thread holds the
+    shared results queue's write lock; every surviving worker's messages then
+    wedge behind a lock no process will ever release.  The workers are alive,
+    so supervision sees nothing to respawn — the only recovery is rebuilding
+    the pool on fresh queues and resuming the job from the chunks already
+    received (chunk content is a pure function of the chunk index, so the
+    resumed run is bit-identical).
+
+    ``exhausted`` carries any chunks whose crash-retry budget ran out before
+    the wedge: that verdict must survive the rebuild — resuming would rerun
+    the job with a fresh retry budget and silently forgive the crashes.
+    """
+
+    def __init__(self, message: str, exhausted: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.exhausted = exhausted
 
 
 def chunk_rng(base_seed: int, chunk_index: int) -> np.random.Generator:
@@ -204,23 +243,127 @@ class _WorkerSpec:
 
 
 @dataclass(frozen=True)
+class FoldSpec:
+    """One request of a folded :meth:`SynthesisEngine.generate_folded` call.
+
+    Mirrors the corresponding :meth:`SynthesisEngine.generate` arguments.
+    The folded run's report for this spec is bit-identical to the standalone
+    ``generate(num_released, base_seed=..., max_attempts=...)`` call, because
+    each spec becomes its own *lane* with its own chunk-local RNG streams.
+    """
+
+    num_released: int
+    base_seed: int = 0
+    max_attempts: int | None = None
+
+
+@dataclass(frozen=True)
+class _Lane:
+    """One request's share of a (possibly fused) job.
+
+    A lane owns a standalone attempt budget, base seed and release target;
+    its chunk-local indices ``0..num_chunks-1`` are seeded exactly as an
+    unfolded run of the same request, so a lane's output never depends on
+    which other lanes shared the job.
+    """
+
+    limit: int
+    base_seed: int
+    target_released: int | None
+
+    def num_chunks(self, chunk_size: int) -> int:
+        return -(-self.limit // chunk_size) if self.limit > 0 else 0
+
+    def chunk_attempts(self, local_index: int, chunk_size: int) -> int:
+        return min(chunk_size, self.limit - local_index * chunk_size)
+
+
+def _fold_plan(lane_chunks: Sequence[int]) -> tuple[tuple[int, int], ...]:
+    """Round-robin interleaving of the lanes' chunk plans.
+
+    Round ``r`` visits every lane that still has an ``r``-th chunk, in lane
+    order, so the shared dispatch counter stays close to *every* lane's
+    release frontier: until-N lanes stop within about one chunk of their
+    target instead of speculating deep into one request while another
+    starves.  Within a lane the plan preserves local order — the worker-side
+    skip logic relies on claims arriving in lane-local order.
+    """
+    plan: list[tuple[int, int]] = []
+    for round_index in range(max(lane_chunks, default=0)):
+        for lane_index, count in enumerate(lane_chunks):
+            if round_index < count:
+                plan.append((lane_index, round_index))
+    return tuple(plan)
+
+
+def _lane_globals(job: "_Job") -> list[list[int]]:
+    """Per lane, the global chunk indices of its local chunks, in local order."""
+    if job.plan is None:
+        return [list(range(job.num_chunks))]
+    table: list[list[int]] = [[] for _ in job.lanes]
+    for index, (lane_index, _local_index) in enumerate(job.plan):
+        table[lane_index].append(index)
+    return table
+
+
+@dataclass(frozen=True)
 class _Job:
-    """One dispatched run: a chunked attempt budget, optionally until-N."""
+    """One dispatched run: one or more request lanes over a shared chunk plan.
+
+    ``plan`` maps global chunk index to ``(lane, lane-local chunk)``; ``None``
+    is the identity plan of a single-lane job (the common, unfolded case),
+    kept implicit so the per-chunk hot path pays no table lookup.
+    ``completed`` holds *global* indices adopted from a checkpoint.
+    """
 
     job_id: int
-    limit: int
     chunk_size: int
-    base_seed: int
     batch_size: int | None
-    target_released: int | None
+    lanes: tuple[_Lane, ...]
+    plan: tuple[tuple[int, int], ...] | None
     completed: frozenset[int]
 
     @property
     def num_chunks(self) -> int:
-        return -(-self.limit // self.chunk_size) if self.limit > 0 else 0
+        if self.plan is not None:
+            return len(self.plan)
+        return self.lanes[0].num_chunks(self.chunk_size)
+
+    def entry(self, index: int) -> tuple[int, int]:
+        """``(lane index, lane-local chunk index)`` of global chunk ``index``."""
+        return self.plan[index] if self.plan is not None else (0, index)
 
     def chunk_attempts(self, index: int) -> int:
-        return min(self.chunk_size, self.limit - index * self.chunk_size)
+        lane_index, local_index = self.entry(index)
+        return self.lanes[lane_index].chunk_attempts(local_index, self.chunk_size)
+
+    # Single-lane accessors: checkpoint signatures and resume metadata address
+    # the unfolded case through these (folded jobs never checkpoint).
+    @property
+    def limit(self) -> int:
+        return self.lanes[0].limit
+
+    @property
+    def base_seed(self) -> int:
+        return self.lanes[0].base_seed
+
+    @property
+    def target_released(self) -> int | None:
+        return self.lanes[0].target_released
+
+
+def _lanes_satisfied(job: _Job, lane_released) -> bool:
+    """True when every lane's shared released counter has met its target.
+
+    Lanes without a target (fixed attempt budgets) are never satisfied early;
+    their chunks must all be claimed from the counter, as before folding.
+    """
+    for lane_index, lane in enumerate(job.lanes):
+        if lane.target_released is None:
+            return False
+        if lane_released[lane_index] < lane.target_released:
+            return False
+    return True
 
 
 def _build_worker_mechanism(spec: _WorkerSpec, segments: list[SharedMemory]) -> SynthesisMechanism:
@@ -263,7 +406,7 @@ def _worker_main(
     results_queue,
     retry_queue,
     next_chunk,
-    released_total,
+    lane_released,
     stop_flag,
     inflight,
     fault,
@@ -275,7 +418,9 @@ def _worker_main(
     chunk runs, so the supervisor can re-dispatch exactly the lost chunk of a
     SIGKILLed worker without relying on queue messages that may never have
     been flushed.  ``retry_queue`` carries those re-dispatched indices; they
-    are claimed ahead of the shared counter.  ``fault`` is an optional
+    are claimed ahead of the shared counter.  ``lane_released`` holds one
+    shared released counter per lane of the current job (index 0 for the
+    common single-lane case).  ``fault`` is an optional
     :mod:`repro.testing.faults` injection point fired before each chunk.
     """
     segments: list[SharedMemory] = []
@@ -294,7 +439,7 @@ def _worker_main(
             while True:
                 if stop_flag.value:
                     break
-                # Retry claims come first and ignore the released target: a
+                # Retry claims come first and ignore release targets: a
                 # retried chunk is a hole in the contiguous prefix, and the
                 # shared counter may already sit past the target on the
                 # strength of post-hole chunks that cannot be delivered
@@ -305,10 +450,7 @@ def _worker_main(
                 except Empty:
                     pass
                 if index is None:
-                    if (
-                        job.target_released is not None
-                        and released_total.value >= job.target_released
-                    ):
+                    if _lanes_satisfied(job, lane_released):
                         break
                     with next_chunk.get_lock():
                         index = next_chunk.value
@@ -317,18 +459,31 @@ def _worker_main(
                         next_chunk.value = index + 1
                     if index in job.completed:
                         continue
-                elif index >= job.num_chunks or index in job.completed:
-                    continue
+                    lane_index, local_index = job.entry(index)
+                    lane = job.lanes[lane_index]
+                    if (
+                        lane.target_released is not None
+                        and lane_released[lane_index] >= lane.target_released
+                    ):
+                        # The lane met its target on the strength of chunks
+                        # with lower local indices (claims arrive in lane-
+                        # local order): consume the claim without executing.
+                        continue
+                else:
+                    if index >= job.num_chunks or index in job.completed:
+                        continue
+                    lane_index, local_index = job.entry(index)
+                    lane = job.lanes[lane_index]
                 inflight[slot] = index
                 if fault is not None:
                     fault.fire(index)
                 report = mechanism.run_attempts(
                     job.chunk_attempts(index),
-                    chunk_rng(job.base_seed, index),
+                    chunk_rng(lane.base_seed, local_index),
                     batch_size=job.batch_size,
                 )
-                with released_total.get_lock():
-                    released_total.value += report.num_released
+                with lane_released.get_lock():
+                    lane_released[lane_index] += report.num_released
                 results_queue.put(
                     (job.job_id, "chunk", (index, report.to_arrays(), report.num_released))
                 )
@@ -386,6 +541,11 @@ class SynthesisEngine:
     """
 
     _POLL_SECONDS = 1.0
+    #: Consecutive empty polls — with every worker alive but idle — before
+    #: the shared queues are declared wedged (see :class:`_PoolStuckError`).
+    _STUCK_POLLS = 15
+    #: Pool rebuilds allowed per job before the engine gives up as broken.
+    _MAX_POOL_REBUILDS = 2
 
     def __init__(
         self,
@@ -432,13 +592,15 @@ class SynthesisEngine:
         self._results_queue = None
         self._retry_queue = None
         self._next_chunk = None
-        self._released_total = None
+        self._lane_released = None
         self._stop_flag = None
         self._inflight = None
         self._segments: list[SharedMemory] = []
         # Supervision bookkeeping.
         self._worker_restarts = 0
+        self._pool_rebuilds = 0
         self._chunk_retries: dict[int, int] = {}  # chunk -> crash re-executions (current job)
+        self._retry_pending: set[int] = set()  # requeued chunks awaiting redelivery
         self._slot_owes_done: set[int] = set()  # slots dispatched the current job
 
     @property
@@ -490,7 +652,7 @@ class SynthesisEngine:
         self._results_queue = context.Queue()
         self._retry_queue = context.Queue()
         self._next_chunk = context.Value("l", 0)
-        self._released_total = context.Value("l", 0)
+        self._lane_released = context.Array("l", [0] * MAX_FOLD_LANES)
         self._stop_flag = context.Value("b", 0)
         self._inflight = context.Array("l", [-1] * self._num_workers, lock=False)
         for slot in range(self._num_workers):
@@ -521,7 +683,7 @@ class SynthesisEngine:
                     self._results_queue,
                     self._retry_queue,
                     self._next_chunk,
-                    self._released_total,
+                    self._lane_released,
                     self._stop_flag,
                     self._inflight,
                     self._fault_injector,
@@ -660,6 +822,62 @@ class SynthesisEngine:
             run_id=run_id,
         )
 
+    def generate_folded(
+        self,
+        specs: Sequence[FoldSpec],
+        *,
+        progress: Callable[[ChunkProgress], None] | None = None,
+    ) -> list[SynthesisReport]:
+        """Run several :meth:`generate` requests as one fused job.
+
+        Each spec becomes its own *lane*: an independent attempt budget,
+        release target and family of chunk RNG streams, exactly as a
+        standalone ``generate`` call would lay them out.  The lanes' chunk
+        plans are concatenated (round-robin interleaved) into one global
+        dispatch over the shared worker pool, so the pool works on all
+        requests concurrently instead of convoying one request at a time;
+        afterwards the merged results are split back per lane by chunk
+        ownership.  The ``i``-th returned report is bit-identical — rows,
+        attempts, accounting — to ``generate(specs[i].num_released,
+        base_seed=specs[i].base_seed, max_attempts=specs[i].max_attempts)``
+        run on its own, for every worker count.
+
+        Folded jobs do not checkpoint (no ``run_id``): they are the serving
+        layer's fast path, where per-request idempotency already provides
+        replay.  At most :data:`MAX_FOLD_LANES` specs fold into one job.
+        """
+        if len(specs) > MAX_FOLD_LANES:
+            raise ValueError(
+                f"at most {MAX_FOLD_LANES} requests can be folded into one job "
+                f"(got {len(specs)})"
+            )
+        lanes: list[_Lane] = []
+        for spec in specs:
+            if spec.num_released < 0:
+                raise ValueError("num_released must be non-negative")
+            limit = (
+                spec.max_attempts
+                if spec.max_attempts is not None
+                else 100 * max(1, spec.num_released)
+            )
+            if limit < 0:
+                raise ValueError("max_attempts must be non-negative")
+            lanes.append(
+                _Lane(
+                    limit=limit,
+                    base_seed=spec.base_seed,
+                    target_released=spec.num_released,
+                )
+            )
+        if not lanes:
+            return []
+        plan = None
+        if len(lanes) > 1:
+            plan = _fold_plan(
+                [lane.num_chunks(self._chunk_size) for lane in lanes]
+            )
+        return self._execute_lanes(tuple(lanes), plan, progress, run_id=None)
+
     # ------------------------------------------------------------------ #
     # Execution internals
     # ------------------------------------------------------------------ #
@@ -671,6 +889,18 @@ class SynthesisEngine:
         progress: Callable[[ChunkProgress], None] | None,
         run_id: str | None,
     ) -> SynthesisReport:
+        lanes = (
+            _Lane(limit=limit, base_seed=base_seed, target_released=target_released),
+        )
+        return self._execute_lanes(lanes, None, progress, run_id)[0]
+
+    def _execute_lanes(
+        self,
+        lanes: tuple[_Lane, ...],
+        plan: tuple[tuple[int, int], ...] | None,
+        progress: Callable[[ChunkProgress], None] | None,
+        run_id: str | None,
+    ) -> list[SynthesisReport]:
         if self._closed:
             raise RuntimeError("the engine has been closed")
         if self._broken:
@@ -678,11 +908,10 @@ class SynthesisEngine:
         self._job_counter += 1
         job = _Job(
             job_id=self._job_counter,
-            limit=limit,
             chunk_size=self._chunk_size,
-            base_seed=base_seed,
             batch_size=self._batch_size,
-            target_released=target_released,
+            lanes=lanes,
+            plan=plan,
             completed=frozenset(),
         )
         # Only the contiguous prefix of checkpointed chunks is adopted: a
@@ -706,9 +935,60 @@ class SynthesisEngine:
         if self._num_workers == 1:
             self._run_in_process(job, reports, tracker, run_id)
         else:
-            self.start()
-            self._run_on_pool(job, reports, tracker, run_id)
+            rebuilds = 0
+            self._chunk_retries = {}  # fresh crash-retry budget per job
+            while True:
+                self.start()
+                try:
+                    self._run_on_pool(job, reports, tracker, run_id)
+                    break
+                except _PoolStuckError as exc:
+                    rebuilds += 1
+                    if rebuilds > self._MAX_POOL_REBUILDS:
+                        self._broken = True
+                        self.close()
+                        raise EngineBrokenError(
+                            f"the worker pool wedged {rebuilds} times on one "
+                            f"job ({exc}); the engine is broken"
+                        ) from exc
+                    self._rebuild_pool()
+                    if exc.exhausted:
+                        # The retry-budget verdict predates the wedge and must
+                        # not be forgiven by the rebuild: the job is abandoned
+                        # exactly as if the pool had drained cleanly.
+                        raise ChunkRetryExhaustedError(
+                            f"chunk(s) {list(exc.exhausted)} crashed more than "
+                            f"max_chunk_retries={self._max_chunk_retries} "
+                            "times; the job was abandoned but the pool has "
+                            "been rebuilt and the engine remains usable",
+                            chunk_indices=exc.exhausted,
+                        ) from exc
+                    # Resume from the chunks already received, under the same
+                    # rule as checkpoint adoption: keep each lane's contiguous
+                    # delivered prefix, regenerate the rest.  A post-gap
+                    # report must not preset the released counters (it could
+                    # stop an until-N lane before its gap is filled), and
+                    # re-executing is bit-identical anyway.
+                    kept: set[int] = set()
+                    for lane_order in _lane_globals(job):
+                        for index in lane_order:
+                            if index not in reports:
+                                break
+                            kept.add(index)
+                    for index in [i for i in reports if i not in kept]:
+                        del reports[index]
+                    job = dataclasses.replace(job, completed=frozenset(kept))
         return self._finalize(job, reports)
+
+    @staticmethod
+    def _lane_released_sums(job: _Job, reports: dict[int, SynthesisReport]) -> list[int]:
+        """Per-lane released totals over the chunk reports received so far."""
+        sums = [0] * len(job.lanes)
+        for index, report in reports.items():
+            if index < job.num_chunks:
+                lane_index, _local_index = job.entry(index)
+                sums[lane_index] += report.num_released
+        return sums
 
     def _mechanism(self) -> SynthesisMechanism:
         if self._local_mechanism is None:
@@ -725,21 +1005,27 @@ class SynthesisEngine:
         run_id: str | None,
     ) -> None:
         mechanism = self._mechanism()
-        released = 0
-        for index in range(job.num_chunks):
-            if job.target_released is not None and released >= job.target_released:
-                break
-            report = reports.get(index)
-            if report is None:
-                report = mechanism.run_attempts(
-                    job.chunk_attempts(index),
-                    chunk_rng(job.base_seed, index),
-                    batch_size=job.batch_size,
-                )
-                reports[index] = report
-                self._save_checkpoint(run_id, index, report.to_arrays())
-                tracker.emit(index, report)
-            released += report.num_released
+        lane_globals = _lane_globals(job)
+        # Lanes run one after the other — literally the K serial unfolded
+        # requests — which is exactly what the pool path must be bit-identical
+        # to (chunk content is a pure function of (lane seed, local index), so
+        # execution order never matters).
+        for lane_index, lane in enumerate(job.lanes):
+            released = 0
+            for local_index, index in enumerate(lane_globals[lane_index]):
+                if lane.target_released is not None and released >= lane.target_released:
+                    break
+                report = reports.get(index)
+                if report is None:
+                    report = mechanism.run_attempts(
+                        lane.chunk_attempts(local_index, job.chunk_size),
+                        chunk_rng(lane.base_seed, local_index),
+                        batch_size=job.batch_size,
+                    )
+                    reports[index] = report
+                    self._save_checkpoint(run_id, index, report.to_arrays())
+                    tracker.emit(index, report)
+                released += report.num_released
 
     def _run_on_pool(
         self,
@@ -754,6 +1040,7 @@ class SynthesisEngine:
             # claiming chunks from the shared counters, so wait for them to
             # go quiescent before resetting state for this job.
             self._stop_flag.value = 1
+            silent_polls = 0
             while self._pending_done:
                 try:
                     _job_id, kind, _payload = self._results_queue.get(
@@ -763,8 +1050,21 @@ class SynthesisEngine:
                     # A worker that died while owing a "done" will never send
                     # it; respawn it (idle: the stale job is abandoned) and
                     # stop waiting on its behalf.
+                    restarts = self._worker_restarts
                     self._supervise(None, {}, None)
+                    silent_polls = (
+                        0
+                        if self._worker_restarts != restarts
+                        or any(int(flag) >= 0 for flag in self._inflight)
+                        else silent_polls + 1
+                    )
+                    if silent_polls >= self._STUCK_POLLS:
+                        raise _PoolStuckError(
+                            "the stale-job drain made no progress for "
+                            f"{silent_polls} polls"
+                        )
                     continue
+                silent_polls = 0
                 if kind in ("done", "error"):
                     self._pending_done -= 1
         while True:  # clear retry indices a stopped job never consumed
@@ -773,20 +1073,30 @@ class SynthesisEngine:
             except Empty:
                 break
         self._next_chunk.value = 0
-        self._released_total.value = sum(
-            reports[index].num_released for index in job.completed
+        completed_sums = self._lane_released_sums(
+            job, {index: reports[index] for index in job.completed}
         )
+        with self._lane_released.get_lock():
+            for lane_index in range(MAX_FOLD_LANES):
+                self._lane_released[lane_index] = (
+                    completed_sums[lane_index]
+                    if lane_index < len(completed_sums)
+                    else 0
+                )
         self._stop_flag.value = 0
-        self._chunk_retries = {}
+        # _chunk_retries is NOT reset here: a pool rebuild resumes the same
+        # job, and its crash-retry budget is cumulative across the resume.
+        self._retry_pending = set()
         self._slot_owes_done = set(range(len(self._processes)))
         for job_queue in self._job_queues:
             job_queue.put(job)
         self._pending_done = len(self._processes)
 
         pending = len(self._processes)
-        prefix_released, prefix_index = self._prefix_state(job, reports)
+        prefix = _FoldPrefix(job, reports)
         failure: str | None = None
         exhausted: list[int] = []
+        silent_polls = 0
         try:
             while pending:
                 try:
@@ -794,10 +1104,28 @@ class SynthesisEngine:
                         timeout=self._POLL_SECONDS
                     )
                 except Empty:
+                    restarts = self._worker_restarts
                     self._supervise(job, reports, exhausted)
                     if exhausted and not self._stop_flag.value:
                         self._stop_flag.value = 1
+                    # Workers alive but nothing computing, nothing delivered
+                    # and nobody respawned: the shared queues are wedged (a
+                    # crash poisoned an internal lock) and no amount of
+                    # waiting or respawning will unwedge them.
+                    silent_polls = (
+                        0
+                        if self._worker_restarts != restarts
+                        or any(int(flag) >= 0 for flag in self._inflight)
+                        else silent_polls + 1
+                    )
+                    if silent_polls >= self._STUCK_POLLS:
+                        raise _PoolStuckError(
+                            f"{pending} live worker(s) sent nothing for "
+                            f"{silent_polls} polls with no chunk in flight",
+                            exhausted=tuple(sorted(set(exhausted))),
+                        )
                     continue
+                silent_polls = 0
                 if job_id != job.job_id:
                     # Stale message from a job whose collection loop was
                     # interrupted (e.g. a progress callback raised): drop it
@@ -819,19 +1147,19 @@ class SynthesisEngine:
                         # A crash-retried chunk raced its original message
                         # (both delivered).  The content is bit-identical, so
                         # drop the duplicate and undo its double count on the
-                        # shared released counter.
-                        with self._released_total.get_lock():
-                            self._released_total.value -= released
+                        # lane's shared released counter.
+                        lane_index, _local_index = job.entry(index)
+                        with self._lane_released.get_lock():
+                            self._lane_released[lane_index] -= released
                         continue
                     report = SynthesisReport.from_arrays(self._schema, arrays)
                     reports[index] = report
+                    self._retry_pending.discard(index)
                     self._save_checkpoint(run_id, index, arrays)
                     tracker.emit(index, report)
-                    if job.target_released is not None and not self._stop_flag.value:
-                        prefix_released, prefix_index = self._prefix_state(
-                            job, reports, prefix_released, prefix_index
-                        )
-                        if prefix_released >= job.target_released:
+                    if not self._stop_flag.value:
+                        prefix.advance(job.entry(index)[0])
+                        if prefix.all_satisfied():
                             self._stop_flag.value = 1
         except BaseException:
             # Parent-side failure mid-collection: tell the workers to stop
@@ -853,16 +1181,24 @@ class SynthesisEngine:
         """Detect dead workers, respawn them, and re-dispatch lost chunks.
 
         With a ``job`` in flight the replacement worker is handed the same
-        job and the crashed worker's in-flight chunk (from the shared
-        ``inflight`` table) is queued for deterministic re-execution, counted
-        against ``max_chunk_retries``.  The shared released counter is
-        resynced to the reports actually received so a crash between a
-        worker's counter increment and its (lost) chunk message can never
-        stop an until-N run short of its target.
+        job and every chunk the crash may have swallowed is queued for
+        deterministic re-execution: the crashed worker's in-flight chunk
+        (from the shared ``inflight`` table, charged against
+        ``max_chunk_retries`` as the potential culprit) *and* any earlier
+        claimed-but-undelivered chunk (requeued uncharged) — a SIGKILL
+        can take already-``put`` messages down with the queue's feeder
+        thread, so a chunk the dead worker finished minutes ago may still be
+        lost.  Retries are queued before the job is re-dispatched so no
+        replacement can observe the job without every hole being claimable.
+        The shared released counter is resynced to the reports actually
+        received so a crash between a worker's counter increment and its
+        (lost) chunk message can never stop an until-N run short of its
+        target.
         """
         dead_slots = [
             slot for slot, process in enumerate(self._processes) if not process.is_alive()
         ]
+        respawned: list[tuple[int, bool]] = []
         for slot in dead_slots:
             lost_chunk = int(self._inflight[slot])
             self._inflight[slot] = -1
@@ -874,38 +1210,94 @@ class SynthesisEngine:
                     self._slot_owes_done.discard(slot)
                     self._pending_done -= 1
                 continue
-            # Queue the lost chunk *before* re-dispatching the job so no
-            # worker can observe the job without the retry being claimable.
+            respawned.append((slot, owed))
             if lost_chunk >= 0 and lost_chunk not in reports:
-                retries = self._chunk_retries.get(lost_chunk, 0)
-                if retries >= self._max_chunk_retries:
-                    exhausted.append(lost_chunk)
-                else:
-                    self._chunk_retries[lost_chunk] = retries + 1
-                    self._retry_queue.put(lost_chunk)
+                self._requeue_chunk(lost_chunk, exhausted)
+        if job is None or not respawned:
+            return
+        self._requeue_swallowed_chunks(job, reports)
+        for slot, owed in respawned:
             if owed:
                 self._job_queues[slot].put(job)  # replacement owes the done instead
-            with self._released_total.get_lock():
-                self._released_total.value = sum(
-                    report.num_released
-                    for index, report in reports.items()
-                    if index < job.num_chunks
-                )
+        sums = self._lane_released_sums(job, reports)
+        with self._lane_released.get_lock():
+            for lane_index, value in enumerate(sums):
+                self._lane_released[lane_index] = value
 
-    @staticmethod
-    def _prefix_state(
-        job: _Job,
-        reports: dict[int, SynthesisReport],
-        prefix_released: int = 0,
-        prefix_index: int = 0,
-    ) -> tuple[int, int]:
-        """Cumulative releases over the contiguous chunk prefix received so far."""
-        index = prefix_index
-        released = prefix_released
-        while index < job.num_chunks and index in reports:
-            released += reports[index].num_released
-            index += 1
-        return released, index
+    def _requeue_chunk(self, index: int, exhausted: list) -> None:
+        """Queue one chunk for re-execution, charging its crash-retry budget."""
+        retries = self._chunk_retries.get(index, 0)
+        if retries >= self._max_chunk_retries:
+            exhausted.append(index)
+        else:
+            self._chunk_retries[index] = retries + 1
+            self._retry_pending.add(index)
+            self._retry_queue.put(index)
+
+    def _requeue_swallowed_chunks(self, job: _Job, reports: dict) -> None:
+        """Requeue every claimed chunk whose delivery the crash may have lost.
+
+        A hole — claimed off the shared counter, not delivered, not in any
+        live worker's ``inflight`` slot and not already awaiting retry — is
+        either a message the dead worker's feeder thread never flushed or a
+        target-met claim a lane consumed without executing.  Re-executing is
+        safe in both cases: chunk content is a pure function of
+        ``(base_seed, chunk_index)``, a raced duplicate delivery is dropped
+        with its counter double-increment undone, and :meth:`_finalize`
+        truncates each lane at its target.  Unlike the dead worker's
+        in-flight chunk (the potential culprit), holes are innocent victims
+        of someone else's crash, so their re-execution is *not* charged
+        against ``max_chunk_retries`` — the budget still bounds crash loops
+        because every crash charges whatever was in flight.
+        """
+        claimed = min(int(self._next_chunk.value), job.num_chunks)
+        inflight = {int(self._inflight[slot]) for slot in range(len(self._processes))}
+        for index in range(claimed):
+            if index in reports or index in job.completed:
+                continue
+            if index in inflight or index in self._retry_pending:
+                continue
+            self._retry_pending.add(index)
+            self._retry_queue.put(index)
+
+    def _rebuild_pool(self) -> None:
+        """Tear down a wedged pool and leave it ready to start from scratch.
+
+        Respawning individual workers cannot fix state *inside* the shared
+        queues — a lock a SIGKILLed feeder thread died holding stays held
+        forever, and any process touching that queue wedges too.  So the
+        whole process tier is discarded: workers terminated, queues and
+        shared counters dropped, segments unlinked.  The next :meth:`start`
+        builds everything fresh.
+        """
+        self._pool_rebuilds += 1
+        for process in self._processes:
+            if process is None or not process.is_alive():
+                continue
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5)
+        for queue in (*self._job_queues, self._retry_queue):
+            try:
+                # Unflushed feeder data must not block queue finalization.
+                queue.cancel_join_thread()
+            except Exception:  # repro: allow[robust-swallowed-exception]
+                pass  # best-effort teardown of an already-poisoned queue
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # repro: allow[robust-swallowed-exception]
+                pass  # another close() may have unlinked the segment first
+        self._segments.clear()
+        self._processes.clear()
+        self._job_queues.clear()
+        self._results_queue = None
+        self._retry_queue = None
+        self._pending_done = 0
+        self._started = False
 
     def _next_message(self):
         """One (job_id, kind, payload) startup message, watching for deaths.
@@ -928,23 +1320,31 @@ class SynthesisEngine:
                         f"(exit codes: {codes}); the pool is broken"
                     ) from None
 
-    def _finalize(self, job: _Job, reports: dict[int, SynthesisReport]) -> SynthesisReport:
-        """Merge the in-order chunk prefix, truncating at the release target."""
-        ordered: list[SynthesisReport] = []
-        released = 0
-        for index in range(job.num_chunks):
-            if job.target_released is not None and released >= job.target_released:
-                break
-            report = reports.get(index)
-            if report is None:
-                if job.target_released is None:
-                    raise RuntimeError(f"chunk {index} was never completed")
-                break
-            ordered.append(report)
-            released += report.num_released
-        return SynthesisReport.merged(
-            self._schema, ordered, stop_after_released=job.target_released
-        )
+    def _finalize(
+        self, job: _Job, reports: dict[int, SynthesisReport]
+    ) -> list[SynthesisReport]:
+        """Per lane, merge the in-order chunk prefix truncated at its target."""
+        lane_globals = _lane_globals(job)
+        merged: list[SynthesisReport] = []
+        for lane_index, lane in enumerate(job.lanes):
+            ordered: list[SynthesisReport] = []
+            released = 0
+            for index in lane_globals[lane_index]:
+                if lane.target_released is not None and released >= lane.target_released:
+                    break
+                report = reports.get(index)
+                if report is None:
+                    if lane.target_released is None:
+                        raise RuntimeError(f"chunk {index} was never completed")
+                    break
+                ordered.append(report)
+                released += report.num_released
+            merged.append(
+                SynthesisReport.merged(
+                    self._schema, ordered, stop_after_released=lane.target_released
+                )
+            )
+        return merged
 
     # ------------------------------------------------------------------ #
     # Pool health
@@ -953,9 +1353,11 @@ class SynthesisEngine:
         """Supervision counters next to the workload identity.
 
         ``worker_restarts`` counts every supervised respawn over the engine's
-        lifetime; ``chunk_retries`` maps chunk index to crash re-executions
-        for the most recent pool job; ``workers_alive`` is the live process
-        count (0 on the serial path, which has no pool to supervise).
+        lifetime and ``pool_rebuilds`` every full from-scratch pool rebuild
+        after a wedged-queue livelock; ``chunk_retries`` maps chunk index to
+        crash re-executions for the most recent pool job; ``workers_alive``
+        is the live process count (0 on the serial path, which has no pool
+        to supervise).
         """
         return {
             "num_workers": self._num_workers,
@@ -963,6 +1365,7 @@ class SynthesisEngine:
                 1 for p in self._processes if p is not None and p.is_alive()
             ),
             "worker_restarts": self._worker_restarts,
+            "pool_rebuilds": self._pool_rebuilds,
             "chunk_retries": dict(self._chunk_retries),
             "max_chunk_retries": self._max_chunk_retries,
             "broken": self._broken,
@@ -1036,6 +1439,50 @@ class SynthesisEngine:
     def _save_checkpoint(self, run_id: str | None, index: int, arrays: dict) -> None:
         if self._run_store is not None and run_id is not None:
             self._run_store.save_chunk(run_id, index, arrays)
+
+
+class _FoldPrefix:
+    """Per-lane contiguous-prefix release tracking for the collection loop.
+
+    A lane is *satisfied* once the releases over its contiguous lane-local
+    chunk prefix meet its target (or all its chunks have been received, for
+    fixed-budget lanes).  The pool may stop — without losing bit-identity —
+    exactly when every lane is satisfied: each lane's merged report is a
+    function of its prefix alone.
+    """
+
+    def __init__(self, job: _Job, reports: dict[int, SynthesisReport]):
+        self._job = job
+        self._reports = reports
+        self._lane_globals = _lane_globals(job)
+        self._released = [0] * len(job.lanes)
+        self._local = [0] * len(job.lanes)
+        for lane_index in range(len(job.lanes)):
+            self.advance(lane_index)
+
+    def advance(self, lane_index: int) -> None:
+        """Extend one lane's prefix over newly received chunk reports."""
+        lane_order = self._lane_globals[lane_index]
+        local = self._local[lane_index]
+        while local < len(lane_order) and lane_order[local] in self._reports:
+            self._released[lane_index] += self._reports[lane_order[local]].num_released
+            local += 1
+        self._local[lane_index] = local
+
+    def lane_satisfied(self, lane_index: int) -> bool:
+        lane = self._job.lanes[lane_index]
+        if (
+            lane.target_released is not None
+            and self._released[lane_index] >= lane.target_released
+        ):
+            return True
+        return self._local[lane_index] >= len(self._lane_globals[lane_index])
+
+    def all_satisfied(self) -> bool:
+        return all(
+            self.lane_satisfied(lane_index)
+            for lane_index in range(len(self._job.lanes))
+        )
 
 
 class _ProgressTracker:

@@ -3,10 +3,12 @@
 Layers the paper's seed-based synthesis pipeline into a long-running serving
 system: a fit-once :class:`ModelRegistry` of content-hashed published models,
 budget-governed :class:`TenantSession` handles with an auditable spend
-ledger, a coalescing :class:`RequestScheduler` over persistent
-:class:`~repro.core.engine.SynthesisEngine` pools (per-request chunk-indexed
-RNG streams keep any interleaving bit-identical to serial service), and a
-stdlib JSON/HTTP front end (:class:`ServiceApp`, :func:`build_server`).
+ledger, a folding :class:`RequestScheduler` that fuses concurrent same-model
+requests into one multi-lane engine job over a bounded :class:`EnginePool`
+of supervised :class:`~repro.core.engine.SynthesisEngine` instances
+(per-request chunk-indexed RNG streams keep any folding or interleaving
+bit-identical to serial service), and a stdlib JSON/HTTP front end
+(:class:`ServiceApp`, :func:`build_server`).
 """
 
 from repro.service.api import (
@@ -16,6 +18,7 @@ from repro.service.api import (
     build_server,
     derive_request_seed,
 )
+from repro.service.engine_pool import EngineLease, EnginePool, WorkerBudgetError
 from repro.service.journal import BudgetJournal, JournalCorruptionError, read_journal
 from repro.service.registry import ModelRegistry, PublishedModel
 from repro.service.scheduler import (
@@ -37,6 +40,8 @@ __all__ = [
     "BudgetExceededError",
     "BudgetJournal",
     "DeadlineExceededError",
+    "EngineLease",
+    "EnginePool",
     "GenerateRequest",
     "JournalCorruptionError",
     "ModelRegistry",
@@ -51,6 +56,7 @@ __all__ = [
     "ServiceError",
     "SessionBudget",
     "TenantSession",
+    "WorkerBudgetError",
     "build_server",
     "derive_request_seed",
     "read_journal",

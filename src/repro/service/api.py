@@ -9,10 +9,12 @@ wires the other service pieces together:
 * per-tenant :class:`~repro.service.session.TenantSession` budgets with a
   reserve → dispatch → commit protocol (refusals carry the remaining budget;
   a refused or failed request never releases a partial result),
-* a coalescing :class:`~repro.service.scheduler.RequestScheduler` feeding one
-  persistent :class:`~repro.core.engine.SynthesisEngine` per model, with
-  per-request chunk-indexed RNG streams so concurrent requests release
-  bit-identical rows to serving them serially,
+* a folding :class:`~repro.service.scheduler.RequestScheduler` that fuses
+  concurrent same-model requests into one multi-lane engine job
+  (:meth:`~repro.core.engine.SynthesisEngine.generate_folded`) dispatched on a
+  bounded :class:`~repro.service.engine_pool.EnginePool`, with per-request
+  chunk-indexed RNG streams so any folding or interleaving releases
+  bit-identical rows to serving the requests serially,
 * an append-only JSON-lines audit log of every budget event.
 
 The HTTP layer is a thin shim over the app: a stdlib
@@ -44,8 +46,14 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
-from repro.core.engine import SynthesisEngine
+from repro.core.engine import (
+    MAX_FOLD_LANES,
+    EngineBrokenError,
+    FoldSpec,
+    SynthesisEngine,
+)
 from repro.core.results import SynthesisReport
+from repro.service.engine_pool import EnginePool
 from repro.service.journal import BudgetJournal, read_journal
 from repro.service.registry import ModelRegistry, PublishedModel
 from repro.service.scheduler import (
@@ -239,8 +247,11 @@ class ServiceApp:
         deadline_ms: float | None = None,
         dispatch_hook=None,
         max_releases: int = 256,
+        engines_per_model: int = 1,
+        worker_budget: int | None = None,
+        drain_timeout: float = 30.0,
     ):
-        """``num_workers`` sizes each model's persistent engine pool (1 = the
+        """``num_workers`` sizes each persistent engine's worker pool (1 = the
         in-process chunked reference path).  ``store_max_bytes`` caps the
         backing artifact store: after every publish the store is gc'd down to
         the bound with the registry's published models pinned.
@@ -259,6 +270,15 @@ class ServiceApp:
         drops requests still queued after that many milliseconds (504, with
         the budget reservation refunded); ``dispatch_hook`` is a chaos-test
         fault point forwarded to the scheduler.
+
+        Scaling knobs (PR 8): ``engines_per_model`` bounds the
+        :class:`~repro.service.engine_pool.EnginePool` engines (and the
+        scheduler's dispatchers) per model, so a hot model's overflow batches
+        run on separate engines; ``worker_budget`` globally bounds reserved
+        worker processes across all engines (idle engines are reaped
+        least-recently-used-first to stay under it); ``drain_timeout`` bounds
+        how long :meth:`close` lets in-flight folded batches finish before
+        failing still-queued requests.
         """
         if max_releases < 1:
             raise ValueError("max_releases must be at least 1")
@@ -276,19 +296,27 @@ class ServiceApp:
         self._store_max_bytes = store_max_bytes
         self._max_releases = max_releases
         self._deadline_ms = deadline_ms
+        self._drain_timeout = drain_timeout
         self._lock = threading.Lock()
         self._sessions: dict[str, TenantSession] = {}  # repro: guarded-by[_lock]
         self._releases: "OrderedDict[str, ReleaseRecord]" = OrderedDict()  # repro: guarded-by[_lock]
-        self._engines: dict[str, SynthesisEngine] = {}  # repro: guarded-by[_lock]
         self._session_counter = 0  # repro: guarded-by[_lock]
         self._release_counter = 0  # repro: guarded-by[_lock]
         self._idempotency: dict[tuple[str, str], dict] = {}  # repro: guarded-by[_lock]
         self._closed = False  # repro: guarded-by[_lock]
+        self._pool = EnginePool(
+            self._build_engine,
+            engines_per_model=engines_per_model,
+            workers_per_engine=num_workers,
+            worker_budget=worker_budget,
+        )
         self._scheduler = RequestScheduler(
-            self._execute,
+            fold_executor=self._execute_fold,
             max_batch=scheduler_max_batch,
             max_queue_depth=max_queue_depth,
+            engines_per_model=engines_per_model,
             dispatch_hook=dispatch_hook,
+            drain_timeout=drain_timeout,
         )
         # Journal replay: counters and idempotency records are restored
         # immediately; each session's budget history replays through the real
@@ -310,16 +338,18 @@ class ServiceApp:
         self.close()
 
     def close(self) -> None:
-        """Stop the scheduler, release every engine, close audit + journal."""
+        """Drain the scheduler, retire the engine pool, close audit + journal.
+
+        The scheduler is closed first (letting in-flight folded batches
+        finish within ``drain_timeout``), so every lease is back on the
+        shelf when the pool closes its engines.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            engines = list(self._engines.values())
-            self._engines.clear()
-        self._scheduler.close()
-        for engine in engines:
-            engine.close()
+        self._scheduler.close(self._drain_timeout)
+        self._pool.close()
         with self._audit_lock:
             if self._audit_handle is not None:
                 self._audit_handle.close()
@@ -469,33 +499,70 @@ class ServiceApp:
     # ------------------------------------------------------------------ #
     # Generation
     # ------------------------------------------------------------------ #
-    def _engine(self, model: PublishedModel) -> SynthesisEngine:
+    def _build_engine(self, model_id: str) -> SynthesisEngine:
+        """:class:`EnginePool` builder: a fresh engine for a published model."""
+        model = self._registry.get(model_id)
+        config = model.pipeline.config
+        return SynthesisEngine(
+            model.pipeline.model,
+            model.pipeline.splits.seeds,
+            config.privacy,
+            num_workers=self._num_workers,
+            chunk_size=config.chunk_size,
+            batch_size=config.batch_size,
+            max_chunk_retries=config.max_chunk_retries,
+        )
+
+    def _fold_window(
+        self, model_id: str, requests: list[GenerateRequest]
+    ) -> list[SynthesisReport]:
+        """Run one ≤ ``MAX_FOLD_LANES`` window as a single fused engine job.
+
+        A lease whose engine turns out broken mid-fold is discarded (evicted
+        from the pool) and the window retried once on a freshly built engine
+        — every lane is deterministic in (base_seed, chunk index), so the
+        retry releases the same rows the first attempt would have.
+        """
+        specs = [
+            FoldSpec(
+                num_released=request.num_rows,
+                base_seed=request.base_seed,
+                max_attempts=request.max_attempts,
+            )
+            for request in requests
+        ]
+        for attempt in (0, 1):
+            lease = self._pool.checkout(model_id)
+            try:
+                reports = lease.engine.generate_folded(specs)
+            except EngineBrokenError:
+                self._pool.discard(lease)
+                if attempt:
+                    raise
+                continue
+            except BaseException:
+                self._pool.release(lease)
+                raise
+            self._pool.release(lease)
+            return reports
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _execute_fold(
+        self, model_id: str, requests: list[GenerateRequest]
+    ) -> list[SynthesisReport]:
+        """Scheduler fold executor: a batch of same-model requests → reports.
+
+        Batches larger than the engine's lane bound are windowed; each
+        window is one fused job on a pooled engine.
+        """
         with self._lock:
             if self._closed:
                 raise ServiceError(503, "shutting_down", "the service is closing")
-            engine = self._engines.get(model.model_id)
-            if engine is None:
-                config = model.pipeline.config
-                engine = SynthesisEngine(
-                    model.pipeline.model,
-                    model.pipeline.splits.seeds,
-                    config.privacy,
-                    num_workers=self._num_workers,
-                    chunk_size=config.chunk_size,
-                    batch_size=config.batch_size,
-                    max_chunk_retries=config.max_chunk_retries,
-                )
-                self._engines[model.model_id] = engine
-            return engine
-
-    def _execute(self, request: GenerateRequest) -> SynthesisReport:
-        model = self._registry.get(request.model_id)
-        engine = self._engine(model)
-        return engine.generate(
-            request.num_rows,
-            base_seed=request.base_seed,
-            max_attempts=request.max_attempts,
-        )
+        reports: list[SynthesisReport] = []
+        for start in range(0, len(requests), MAX_FOLD_LANES):
+            window = requests[start : start + MAX_FOLD_LANES]
+            reports.extend(self._fold_window(model_id, window))
+        return reports
 
     def generate(
         self,
@@ -660,10 +727,35 @@ class ServiceApp:
         return record
 
     def healthz(self) -> dict:
+        """Liveness plus scaling visibility: engine pool and fold metrics.
+
+        ``engines`` mirrors :meth:`pool_health` (per-model engines alive,
+        busy counts, worker restarts); ``scheduler`` surfaces the fold factor
+        and dispatcher activity so operators see scaling behavior without
+        running the benchmark.
+        """
         with self._lock:
             models = len(self._registry.pinned_keys())
             sessions = len(self._sessions)
-        return {"status": "ok", "models": models, "sessions": sessions}
+        stats = self._scheduler.stats()
+        return {
+            "status": "ok",
+            "models": models,
+            "sessions": sessions,
+            "engines": self._pool.health(),
+            "scheduler": {
+                "fold_factor": stats.fold_factor,
+                "queue_depth": self._scheduler.queue_depth(),
+                "dispatchers_active": stats.dispatchers_active,
+                "utilization": stats.utilization,
+                "completed": stats.completed,
+                "failed": stats.failed,
+            },
+        }
+
+    def pool_health(self) -> dict:
+        """The engine pool's per-model supervision counters (see /healthz)."""
+        return self._pool.health()
 
     # ------------------------------------------------------------------ #
     # Journal replay

@@ -261,6 +261,38 @@ class TestLockGuardedAttr:
         )
         assert "lock-guarded-attr" in rules_fired(source)
 
+    def test_condition_on_owned_lock_holds_it(self):
+        # A Condition built on the class's own lock shares that lock, so
+        # `with self._cond:` guards `guarded-by[_lock]` state (EnginePool).
+        source = (
+            "import threading\n"
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cond = threading.Condition(self._lock)\n"
+            "        self._value = 0  # repro: guarded-by[_lock]\n"
+            "    def bump(self):\n"
+            "        with self._cond:\n"
+            "            self._value += 1\n"
+            "            self._cond.notify_all()\n"
+        )
+        assert "lock-guarded-attr" not in rules_fired(source)
+
+    def test_freestanding_condition_is_not_the_lock(self):
+        # A Condition with its own internal lock does NOT guard _lock state.
+        source = (
+            "import threading\n"
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cond = threading.Condition()\n"
+            "        self._value = 0  # repro: guarded-by[_lock]\n"
+            "    def bump(self):\n"
+            "        with self._cond:\n"
+            "            self._value += 1\n"
+        )
+        assert "lock-guarded-attr" in rules_fired(source)
+
 
 class TestLockRequiresHeld:
     def test_call_without_lock_flagged(self):

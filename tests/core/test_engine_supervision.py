@@ -198,6 +198,181 @@ class TestBrokenEngine:
         assert not health["broken"]
 
 
+class TestSwallowedChunkRequeue:
+    """A SIGKILL can lose *already-sent* chunk messages with the dead
+    worker's queue feeder thread, not just the chunk in its inflight slot.
+    Supervision must requeue every claimed-but-undelivered hole."""
+
+    def test_holes_requeued_inflight_and_delivered_skipped(
+        self, unnoised_model, acs_splits, params
+    ):
+        from queue import Empty
+
+        from repro.core.engine import _Job, _Lane
+
+        with SynthesisEngine(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_workers=2,
+            chunk_size=16,
+            batch_size=8,
+        ) as engine:
+            engine.run_attempts(16, base_seed=0)  # spin the pool up
+            job = _Job(
+                job_id=99,
+                chunk_size=16,
+                batch_size=8,
+                lanes=(_Lane(limit=80, base_seed=3, target_released=None),),
+                plan=None,
+                completed=frozenset(),
+            )
+            # Chunks 0-3 claimed; 0 and 2 delivered, 3 executing on a live
+            # worker, 1 swallowed by a crash; 4 never claimed.
+            engine._next_chunk.value = 4
+            engine._inflight[0] = 3
+            engine._chunk_retries = {}
+            engine._retry_pending = set()
+            engine._requeue_swallowed_chunks(job, {0: object(), 2: object()})
+            engine._inflight[0] = -1
+            requeued = []
+            while True:
+                try:
+                    requeued.append(engine._retry_queue.get(timeout=1.0))
+                except Empty:
+                    break
+            assert requeued == [1]
+            assert engine._retry_pending == {1}
+            # Holes are victims of someone else's crash, never charged.
+            assert engine._chunk_retries == {}
+
+    def test_hole_requeue_ignores_the_crash_retry_budget(
+        self, unnoised_model, acs_splits, params
+    ):
+        # A hole is requeued even when its own budget is spent: the chunk
+        # did not cause this crash, only its delivery was collateral damage.
+        from repro.core.engine import _Job, _Lane
+
+        with SynthesisEngine(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_workers=2,
+            chunk_size=16,
+            batch_size=8,
+            max_chunk_retries=1,
+        ) as engine:
+            engine.run_attempts(16, base_seed=0)
+            job = _Job(
+                job_id=99,
+                chunk_size=16,
+                batch_size=8,
+                lanes=(_Lane(limit=48, base_seed=3, target_released=None),),
+                plan=None,
+                completed=frozenset(),
+            )
+            engine._next_chunk.value = 2
+            engine._chunk_retries = {1: 1}  # already crash-retried once
+            engine._retry_pending = set()
+            engine._requeue_swallowed_chunks(job, {0: object()})
+            assert engine._retry_queue.get(timeout=1.0) == 1
+            assert engine._chunk_retries == {1: 1}  # unchanged, not exhausted
+
+
+class TestPoolRebuild:
+    """Recovery from a wedged pool: a SIGKILL landing inside the shared
+    results queue's feeder lock silences every surviving worker, so the
+    engine rebuilds the whole pool on fresh queues and resumes the job
+    from the chunks already delivered."""
+
+    def test_rebuild_pool_recovers_a_usable_pool(
+        self, unnoised_model, acs_splits, params
+    ):
+        with SynthesisEngine(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_workers=2,
+            chunk_size=16,
+            batch_size=8,
+        ) as engine:
+            first = engine.run_attempts(48, base_seed=7)
+            engine._rebuild_pool()
+            second = engine.run_attempts(48, base_seed=7)
+            health = engine.pool_health()
+        assert health["pool_rebuilds"] == 1
+        assert health["workers_alive"] == 2
+        assert not health["broken"]
+        assert_reports_identical(first, second)
+
+    def test_wedged_job_resumes_bit_identically_after_rebuild(
+        self, unnoised_model, acs_splits, params
+    ):
+        from repro.core.engine import _PoolStuckError, chunk_rng
+
+        with SynthesisEngine(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_workers=2,
+            chunk_size=16,
+            batch_size=8,
+        ) as engine:
+            real = engine._run_on_pool
+            calls = {"n": 0}
+
+            def flaky(job, reports, tracker, run_id):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    # Chunk 0 was delivered before the pool wedged.
+                    lane = job.lanes[0]
+                    reports[0] = engine._mechanism().run_attempts(
+                        job.chunk_attempts(0),
+                        chunk_rng(lane.base_seed, 0),
+                        batch_size=job.batch_size,
+                    )
+                    raise _PoolStuckError("simulated wedge")
+                # The resumed job adopted the delivered prefix as completed.
+                assert 0 in job.completed
+                return real(job, reports, tracker, run_id)
+
+            engine._run_on_pool = flaky
+            report = engine.run_attempts(48, base_seed=11)
+            health = engine.pool_health()
+        assert calls["n"] == 2
+        assert health["pool_rebuilds"] == 1
+        expected = serial_report(
+            unnoised_model, acs_splits, params, num_attempts=48, base_seed=11
+        )
+        assert_reports_identical(expected, report)
+
+    def test_repeatedly_wedged_job_breaks_the_engine(
+        self, unnoised_model, acs_splits, params
+    ):
+        from repro.core.engine import _PoolStuckError
+
+        with SynthesisEngine(
+            unnoised_model,
+            acs_splits.seeds,
+            params,
+            num_workers=2,
+            chunk_size=16,
+            batch_size=8,
+        ) as engine:
+
+            def always_wedged(job, reports, tracker, run_id):
+                raise _PoolStuckError("simulated wedge")
+
+            engine._run_on_pool = always_wedged
+            with pytest.raises(EngineBrokenError):
+                engine.run_attempts(48, base_seed=11)
+            assert engine.pool_health()["broken"]
+            assert (
+                engine.pool_health()["pool_rebuilds"]
+                == engine._MAX_POOL_REBUILDS
+            )
+
+
 class TestKillFaultHarness:
     def test_fault_only_fires_on_its_chunk(self, tmp_path):
         fault = KillWorkerAtChunk(chunk_index=3, marker_dir=str(tmp_path), times=1)
