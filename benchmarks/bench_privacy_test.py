@@ -1,0 +1,316 @@
+"""Privacy-test latency: exact full scan vs bounded-latency approximate mode.
+
+The exact plausible-deniability test scans every seed record per candidate,
+so at millions of seeds the scan *is* the per-release latency floor.  The
+approximate (BlinkDB-mode) test decides most candidates from a stratified
+sample with deterministic bounds, escalating only near-threshold ones to the
+exact scan — final decisions are bit-identical by construction, which this
+benchmark re-asserts on every candidate.
+
+The seed population is a synthetic oracle with *no* prefix-key match
+structure, so the exact path is the honest dense O(N) scan (hash-planted
+bucket membership, probabilities γ^-1 / γ^-3).  Candidates are dominated by
+comfortably-releasable ones (bucket populations ~10-30% of N against k = 50)
+with a small near-threshold tail (< 1%) that must escalate; that mirrors the
+paper's regime, where most candidates clear k by orders of magnitude.
+
+Each candidate is timed individually through both paths; the headline
+numbers are the p50/p99 per-candidate latencies and the speedup gates:
+
+* full scale (≥ 1M seeds): approximate p99 must be ≥ 5× better than exact;
+* smoke scale: ≥ 2× — enforced, never silently skipped.
+
+The escalation rate is recorded alongside, so a tuning regression that
+silently routes everything to the exact scan shows up in the JSON record
+even before it breaks a gate.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_privacy_test.py
+[--smoke]``) or via pytest.  Scale knobs:
+
+* ``REPRO_BENCH_PRIVACY_RECORDS`` (default 1_000_000, smoke 100_000);
+* ``REPRO_BENCH_PRIVACY_CANDIDATES`` (default 1000, smoke 200);
+* ``REPRO_BENCH_PRIVACY_SMOKE`` — any non-empty value selects smoke scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.privacy.approximate import (
+    ApproximateTestConfig,
+    approximate_plausible_counts,
+)
+from repro.privacy.plausible_deniability import partition_numbers
+
+GAMMA = 4.0
+K = 50
+#: Members of a candidate's bucket get γ^-1, everyone else γ^-3.
+MEMBER_BUCKET = 1
+FULL_RECORDS = 1_000_000
+FULL_CANDIDATES = 1_000
+SMOKE_RECORDS = 100_000
+SMOKE_CANDIDATES = 200
+FULL_SPEEDUP_FLOOR = 5.0
+SMOKE_SPEEDUP_FLOOR = 2.0
+#: The candidate mix: this fraction is near-threshold (must escalate); the
+#: rest have bucket populations uniform in [10%, 30%] of the records.
+NEAR_THRESHOLD_FRACTION = 0.005
+
+APPROX_CONFIG = ApproximateTestConfig(
+    initial_sample=1024, growth_factor=4, max_rounds=3, min_records=1
+)
+
+
+def _int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _smoke_env() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_PRIVACY_SMOKE"))
+
+
+def _scale() -> tuple[int, int]:
+    smoke = _smoke_env()
+    return (
+        _int_env("REPRO_BENCH_PRIVACY_RECORDS", SMOKE_RECORDS if smoke else FULL_RECORDS),
+        _int_env(
+            "REPRO_BENCH_PRIVACY_CANDIDATES",
+            SMOKE_CANDIDATES if smoke else FULL_CANDIDATES,
+        ),
+    )
+
+
+class OracleSeeds:
+    """Hash-planted bucket membership over ``num_records`` synthetic seeds.
+
+    ``membership(c, rows)`` is a pure function of (candidate, row), so any
+    subset of rows can be evaluated without materializing a (candidates x
+    records) matrix — exactly the access pattern the sampling driver needs —
+    while the exact path still has to touch all N rows.  Record 0 doubles as
+    every candidate's own seed and is always a member.
+    """
+
+    _MULT = np.uint64(2654435761)
+
+    def __init__(self, num_records: int, fractions: np.ndarray):
+        self.num_records = num_records
+        self.fractions = np.asarray(fractions, dtype=np.float64)
+        self._cutoffs = (self.fractions * 2.0**32).astype(np.uint64)
+
+    def membership(self, candidate: int, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.uint64)
+        hashed = ((rows + np.uint64(candidate * 1_000_003)) * self._MULT) & np.uint64(
+            0xFFFFFFFF
+        )
+        return (hashed < self._cutoffs[candidate]) | (rows == 0)
+
+    def probabilities(self, candidate: int, rows: np.ndarray) -> np.ndarray:
+        member = self.membership(candidate, rows)
+        return np.where(member, GAMMA**-1.0, GAMMA**-3.0)
+
+
+def _build_oracle(num_records: int, num_candidates: int, seed: int) -> OracleSeeds:
+    rng = np.random.default_rng(seed)
+    fractions = rng.uniform(0.10, 0.30, size=num_candidates)
+    near = max(1, int(round(NEAR_THRESHOLD_FRACTION * num_candidates)))
+    # Near-threshold plants: expected bucket population ~K, forcing the
+    # deterministic bounds to stay inconclusive and the candidate to escalate.
+    fractions[rng.choice(num_candidates, size=near, replace=False)] = (
+        K / num_records
+    )
+    return OracleSeeds(num_records, fractions)
+
+
+def _exact_decide(oracle: OracleSeeds, candidate: int) -> tuple[int, bool]:
+    """The exact test: dense scan, partition, count — O(records)."""
+    rows = np.arange(oracle.num_records, dtype=np.int64)
+    probabilities = oracle.probabilities(candidate, rows)
+    partitions = partition_numbers(probabilities, GAMMA)
+    count = int(np.sum(partitions == MEMBER_BUCKET))
+    return count, count >= K
+
+
+def _approximate_decide(
+    oracle: OracleSeeds, candidate: int, rng: np.random.Generator
+) -> tuple[int, bool, bool, int]:
+    """The approximate test for one candidate: count, decision, escalated, checked."""
+
+    def probability_fn(record_indices, candidate_indices):
+        return oracle.probabilities(candidate, record_indices)[None, :]
+
+    def exact_fn(candidate_indices):
+        count, _ = _exact_decide(oracle, candidate)
+        return (
+            np.array([count], dtype=np.int64),
+            np.array([oracle.num_records], dtype=np.int64),
+        )
+
+    report = approximate_plausible_counts(
+        seed_partitions=np.array([MEMBER_BUCKET], dtype=np.int64),
+        seed_record_indices=np.array([0], dtype=np.int64),
+        thresholds=np.array([float(K)]),
+        probability_fn=probability_fn,
+        exact_fn=exact_fn,
+        num_records=oracle.num_records,
+        gamma=GAMMA,
+        config=APPROX_CONFIG,
+        rng=rng,
+    )
+    return (
+        int(report.counts[0]),
+        bool(report.counts[0] >= K),
+        bool(report.escalated[0]),
+        int(report.records_checked[0]),
+    )
+
+
+def run_benchmark(num_records: int, num_candidates: int) -> dict:
+    """Time both paths per candidate; assert decision identity throughout."""
+    oracle = _build_oracle(num_records, num_candidates, seed=13)
+
+    exact_latencies = np.zeros(num_candidates)
+    approx_latencies = np.zeros(num_candidates)
+    escalations = 0
+    records_checked_total = 0
+
+    for candidate in range(num_candidates):
+        start = time.perf_counter()
+        exact_count, exact_passed = _exact_decide(oracle, candidate)
+        exact_latencies[candidate] = time.perf_counter() - start
+
+        rng = np.random.default_rng(np.random.SeedSequence(17, spawn_key=(candidate,)))
+        start = time.perf_counter()
+        approx_count, approx_passed, escalated, checked = _approximate_decide(
+            oracle, candidate, rng
+        )
+        approx_latencies[candidate] = time.perf_counter() - start
+
+        if approx_passed != exact_passed:
+            raise AssertionError(
+                f"candidate {candidate}: approximate decision {approx_passed} "
+                f"!= exact {exact_passed} (counts {approx_count} vs {exact_count})"
+            )
+        escalations += escalated
+        records_checked_total += checked
+
+    def _percentiles(latencies: np.ndarray) -> dict:
+        return {
+            "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+            "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+            "mean_ms": float(latencies.mean() * 1e3),
+        }
+
+    exact_stats = _percentiles(exact_latencies)
+    approx_stats = _percentiles(approx_latencies)
+    return {
+        "records": num_records,
+        "candidates": num_candidates,
+        "k": K,
+        "gamma": GAMMA,
+        "exact": exact_stats,
+        "approximate": approx_stats,
+        "p99_speedup": exact_stats["p99_ms"] / approx_stats["p99_ms"],
+        "p50_speedup": exact_stats["p50_ms"] / approx_stats["p50_ms"],
+        "escalation_rate": escalations / num_candidates,
+        "mean_records_checked": records_checked_total / num_candidates,
+        "scan_fraction": records_checked_total / (num_candidates * num_records),
+    }
+
+
+def check_gates(stats: dict, smoke: bool) -> None:
+    """The speedup and sanity gates; raises AssertionError, never skips."""
+    floor = SMOKE_SPEEDUP_FLOOR if smoke else FULL_SPEEDUP_FLOOR
+    if stats["p99_speedup"] < floor:
+        raise AssertionError(
+            f"approximate p99 {stats['approximate']['p99_ms']:.2f} ms is only "
+            f"{stats['p99_speedup']:.1f}x better than exact "
+            f"{stats['exact']['p99_ms']:.2f} ms; the "
+            f"{'smoke' if smoke else 'full'} gate requires >= {floor:.0f}x"
+        )
+    if stats["escalation_rate"] > 0.05:
+        raise AssertionError(
+            f"escalation rate {stats['escalation_rate']:.1%} exceeds 5%: the "
+            "sampling schedule is no longer deciding the easy candidates"
+        )
+
+
+def _record(stats: dict, wall_time: float) -> None:
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        "bench_privacy_test",
+        params={
+            "records": stats["records"],
+            "candidates": stats["candidates"],
+            "k": stats["k"],
+            "gamma": stats["gamma"],
+            "smoke": _smoke_env(),
+        },
+        wall_time=wall_time,
+        throughput=stats["p99_speedup"],
+        extra={
+            "exact": stats["exact"],
+            "approximate": stats["approximate"],
+            "p99_speedup": stats["p99_speedup"],
+            "p50_speedup": stats["p50_speedup"],
+            "escalation_rate": stats["escalation_rate"],
+            "mean_records_checked": stats["mean_records_checked"],
+            "scan_fraction": stats["scan_fraction"],
+        },
+    )
+
+
+def _format(stats: dict) -> str:
+    return (
+        f"privacy test @ {stats['records']:,} seeds x {stats['candidates']} candidates "
+        f"(k={stats['k']}, gamma={stats['gamma']}):\n"
+        f"  exact        p50 {stats['exact']['p50_ms']:8.3f} ms   "
+        f"p99 {stats['exact']['p99_ms']:8.3f} ms\n"
+        f"  approximate  p50 {stats['approximate']['p50_ms']:8.3f} ms   "
+        f"p99 {stats['approximate']['p99_ms']:8.3f} ms\n"
+        f"  p99 speedup {stats['p99_speedup']:.1f}x, p50 speedup "
+        f"{stats['p50_speedup']:.1f}x, escalation rate "
+        f"{stats['escalation_rate']:.2%}, mean records checked "
+        f"{stats['mean_records_checked']:,.0f} ({stats['scan_fraction']:.2%} of a full scan)"
+    )
+
+
+def test_privacy_test_latency():
+    num_records, num_candidates = _scale()
+    start = time.perf_counter()
+    stats = run_benchmark(num_records, num_candidates)
+    wall_time = time.perf_counter() - start
+    _record(stats, wall_time)
+    check_gates(stats, smoke=_smoke_env() or num_records < FULL_RECORDS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny sizes")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ["REPRO_BENCH_PRIVACY_SMOKE"] = "1"
+
+    num_records, num_candidates = _scale()
+    start = time.perf_counter()
+    stats = run_benchmark(num_records, num_candidates)
+    wall_time = time.perf_counter() - start
+    print(_format(stats))
+    _record(stats, wall_time)
+    try:
+        check_gates(stats, smoke=_smoke_env() or num_records < FULL_RECORDS)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print("OK: privacy-test latency recorded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

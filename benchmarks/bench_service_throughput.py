@@ -47,11 +47,7 @@ from repro.service import ModelRegistry, ServiceApp
 from repro.testing.scenarios import correlated_toy_matrix, get_scenario, toy_schema
 
 CLIENT_COUNTS = (1, 2, 4, 8)
-#: 1000 records keeps the toy-correlated privacy test releasing (pass rate
-#: ~0.5); at 2000 the learned structure turns near-deterministic and the
-#: gamma test rejects every candidate, so the benchmark would measure a
-#: service that releases nothing.
-FULL_RECORDS = 1_000
+FULL_RECORDS = 2_000
 FULL_REQUESTS = 8
 FULL_ROWS = 16
 SMOKE_RECORDS = 600
@@ -106,10 +102,16 @@ def _build_app(
     workers: int = 1,
     engines_per_model: int = 1,
 ) -> tuple[ServiceApp, str]:
-    """A service with one published toy-correlated model at benchmark scale."""
+    """A service with one published toy-correlated model at benchmark scale.
+
+    ``at_scale`` retunes k for the requested size: the plausible-seed bucket
+    populations stop growing with n once the learned chain resolves the
+    generating process, so the native k = 80 would reject every candidate
+    beyond ~1500 records.
+    """
     from repro.datasets.dataset import Dataset
 
-    scenario = get_scenario("toy-correlated")
+    scenario = get_scenario("toy-correlated").at_scale(num_records)
     dataset = Dataset(
         toy_schema(), correlated_toy_matrix(num_records, np.random.default_rng(11))
     )

@@ -49,7 +49,7 @@ def plausible_seed_counts(
         seed_indices = rng.integers(len(seeds), size=size)
         candidates = model.generate_batch(seeds.data[seed_indices], rng)
         matrix = model.batch_probability_matrix(seeds.data, candidates)
-        counts[produced : produced + size], _, _ = batch_plausible_seed_counts(
+        counts[produced : produced + size], _, _, _ = batch_plausible_seed_counts(
             matrix[np.arange(size), seed_indices], matrix, gamma
         )
         produced += size

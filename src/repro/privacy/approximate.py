@@ -1,0 +1,384 @@
+"""Bounded-latency approximate plausible-deniability testing (BlinkDB mode).
+
+The exact privacy test scans every seed record; at millions of seeds that
+scan is the latency floor of every release.  Following BlinkDB's
+bounded-errors/bounded-response-times design, this module decides most
+candidates from a stratified *sample* of the seed records while guaranteeing
+the final release decision is bit-identical to the exact test:
+
+* :func:`stratified_sample_indices` draws a without-replacement record
+  sample, stratified over contiguous index blocks, from a caller-supplied
+  rng (never a hidden ``default_rng``).
+* After each sampling round the driver holds *deterministic* bounds on the
+  true plausible-seed count: every sampled bucket member is a certain match
+  (plus the candidate's own seed, a certain match whether sampled or not),
+  and every unsampled record is at most one more.  A candidate is decided
+  early only when the bound interval clears the (possibly Laplace-noised)
+  threshold entirely — lower >= threshold releases, upper < threshold
+  rejects.  Such decisions cannot disagree with the exact scan.
+* :func:`count_confidence_interval` estimates where the true count plausibly
+  lies.  The interval only *steers the schedule* — a near-threshold candidate
+  (interval straddling the threshold) escalates to the exact scan instead of
+  burning further sampling rounds it cannot win; it never decides a release.
+
+Candidates that remain undecided after the sampling budget escalate to the
+caller's exact scan, so the exact path stays the conformance reference and
+the approximate mode is purely a latency optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.privacy.plausible_deniability import partition_numbers
+
+__all__ = [
+    "ApproximateTestConfig",
+    "ApproximateScanReport",
+    "stratified_sample_indices",
+    "deterministic_count_bounds",
+    "count_confidence_interval",
+    "approximate_plausible_counts",
+]
+
+
+@dataclass(frozen=True)
+class ApproximateTestConfig:
+    """Tuning knobs of the approximate privacy test.
+
+    Parameters
+    ----------
+    initial_sample:
+        Records sampled in the first round.
+    growth_factor:
+        Multiplicative growth of the cumulative sample per round.
+    max_rounds:
+        Sampling rounds before every undecided candidate escalates.
+    sample_fraction_limit:
+        Cap on the cumulative sample as a fraction of the seed records; past
+        it, sampling cannot beat the exact scan and escalation is cheaper.
+    confidence:
+        Confidence level of the scheduling interval (escalate-vs-grow); it
+        never decides a release.
+    strata:
+        Contiguous index blocks the sampler draws proportionally from.
+    min_records:
+        Below this many seed records the exact scan is already cheap and the
+        approximate machinery is bypassed entirely.
+    """
+
+    initial_sample: int = 512
+    growth_factor: int = 4
+    max_rounds: int = 3
+    sample_fraction_limit: float = 0.25
+    confidence: float = 0.999
+    strata: int = 16
+    min_records: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.initial_sample < 1:
+            raise ValueError("initial_sample must be positive")
+        if self.growth_factor < 2:
+            raise ValueError("growth_factor must be at least 2")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        if not 0.0 < self.sample_fraction_limit <= 1.0:
+            raise ValueError("sample_fraction_limit must lie in (0, 1]")
+        if not 0.5 < self.confidence < 1.0:
+            raise ValueError("confidence must lie in (0.5, 1)")
+        if self.strata < 1:
+            raise ValueError("strata must be positive")
+        if self.min_records < 1:
+            raise ValueError("min_records must be positive")
+
+
+@dataclass(frozen=True)
+class ApproximateScanReport:
+    """Outcome of one approximate batch decision.
+
+    ``counts`` holds the *certain* (lower-bound) plausible-seed count for
+    early-decided candidates and the exact count for escalated ones, so
+    ``counts >= threshold`` reproduces the exact test's decision for every
+    candidate.  ``records_checked`` is the per-candidate records examined
+    (cumulative sample size at decision time, or the exact scan size).
+    """
+
+    counts: np.ndarray
+    records_checked: np.ndarray
+    escalated: np.ndarray
+    sampled_records: int
+    rounds_run: int
+    candidate_rounds: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def stratified_sample_indices(
+    num_records: int,
+    sample_size: int,
+    rng: np.random.Generator,
+    strata: int = 16,
+) -> np.ndarray:
+    """A sorted without-replacement sample of ``[0, num_records)``.
+
+    The index space is split into ``strata`` contiguous blocks and each block
+    contributes proportionally, so a seed dataset with any index-correlated
+    structure (sorted inputs, per-shard blocks) is covered evenly instead of
+    by luck.  ``rng`` is mandatory: a hidden default generator would hand
+    every candidate the same "random" subset.
+    """
+    if rng is None:
+        raise ValueError("stratified sampling requires a caller-supplied rng")
+    if num_records < 1:
+        raise ValueError("num_records must be positive")
+    if sample_size < 1:
+        raise ValueError("sample_size must be positive")
+    if sample_size >= num_records:
+        return np.arange(num_records, dtype=np.int64)
+    strata = max(1, min(strata, sample_size, num_records))
+    edges = np.linspace(0, num_records, strata + 1).astype(np.int64)
+    fraction = sample_size / num_records
+    quotas = np.diff(np.round(edges * fraction).astype(np.int64))
+    picks: list[np.ndarray] = []
+    for index in range(strata):
+        begin, end = int(edges[index]), int(edges[index + 1])
+        quota = int(min(quotas[index], end - begin))
+        if quota <= 0:
+            continue
+        picks.append(begin + rng.choice(end - begin, size=quota, replace=False))
+    if not picks:
+        picks.append(rng.choice(num_records, size=min(sample_size, num_records), replace=False))
+    return np.sort(np.concatenate(picks)).astype(np.int64)
+
+
+def deterministic_count_bounds(
+    sample_counts: np.ndarray,
+    seed_sampled: np.ndarray,
+    num_records: int,
+    sample_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hard bounds on the true bucket count from a without-replacement sample.
+
+    ``lower`` counts only certain members: sampled records observed in the
+    seed's bucket, plus the candidate's own seed when it was not sampled
+    (the seed is in its own bucket by construction).  ``upper`` adds every
+    still-unscanned record.  The true count always lies in
+    ``[lower, upper]``, which is what makes early decisions exact.
+    """
+    counts = np.asarray(sample_counts, dtype=np.int64)
+    unsampled_seed = (~np.asarray(seed_sampled, dtype=bool)).astype(np.int64)
+    lower = counts + unsampled_seed
+    unknown = num_records - sample_size - unsampled_seed
+    upper = lower + np.maximum(unknown, 0)
+    return lower, upper
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Max absolute error ~1.15e-9 — far below what the scheduling interval
+    needs; avoids a scipy dependency.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly between 0 and 1")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def count_confidence_interval(
+    sample_counts: np.ndarray,
+    sample_size: int,
+    num_records: int,
+    confidence: float = 0.999,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normal-approximation interval on the full-population bucket count.
+
+    Finite-population-corrected (the sample is without replacement) with a
+    ``1/sample_size`` variance floor so a zero-match sample still yields a
+    non-degenerate interval.  Used only to steer escalate-vs-grow; release
+    decisions come from :func:`deterministic_count_bounds`.
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be positive")
+    counts = np.asarray(sample_counts, dtype=np.float64)
+    if sample_size >= num_records:
+        return counts.copy(), counts.copy()
+    p_hat = counts / sample_size
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    fpc = (num_records - sample_size) / max(num_records - 1, 1)
+    variance = np.maximum(p_hat * (1.0 - p_hat), 1.0 / sample_size) / sample_size * fpc
+    half = z * np.sqrt(variance) * num_records
+    center = p_hat * num_records
+    return np.maximum(center - half, 0.0), np.minimum(center + half, float(num_records))
+
+
+def approximate_plausible_counts(
+    *,
+    seed_partitions: np.ndarray,
+    seed_record_indices: np.ndarray,
+    thresholds: np.ndarray,
+    probability_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    exact_fn: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    num_records: int,
+    gamma: float,
+    config: ApproximateTestConfig,
+    rng: np.random.Generator,
+) -> ApproximateScanReport:
+    """Decide a candidate batch from samples, escalating near-threshold ones.
+
+    Parameters
+    ----------
+    seed_partitions:
+        Exact γ-bucket of each candidate's own seed, shape (candidates,).
+    seed_record_indices:
+        Row index of each candidate's seed within the seed dataset.
+    thresholds:
+        Per-candidate pass thresholds (``k``, or the already-drawn
+        Laplace-noised thresholds of Privacy Test 2).
+    probability_fn:
+        ``(record_indices, candidate_indices) -> matrix`` of
+        Pr{y_c = M(d_r)} with shape ``(len(candidate_indices),
+        len(record_indices))`` — the only model access the sampler needs.
+    exact_fn:
+        ``candidate_indices -> (exact_counts, records_checked)`` full exact
+        scan for the escalated subset.
+    num_records:
+        Total seed records.
+    rng:
+        Sampler stream.  Callers must hand a stream *independent* of the one
+        that drew seeds/candidates/thresholds (e.g. a spawned child), so the
+        exact and approximate paths consume the main stream identically.
+
+    The returned counts satisfy ``(counts >= thresholds) == exact decision``
+    for every candidate — see :class:`ApproximateScanReport`.
+    """
+    if rng is None:
+        raise ValueError("approximate_plausible_counts requires a caller-supplied rng")
+    partitions = np.asarray(seed_partitions, dtype=np.int64)
+    seed_rows = np.asarray(seed_record_indices, dtype=np.int64)
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    num_candidates = partitions.size
+
+    counts = np.zeros(num_candidates, dtype=np.int64)
+    checked = np.zeros(num_candidates, dtype=np.int64)
+    escalate = np.zeros(num_candidates, dtype=bool)
+    decided = np.zeros(num_candidates, dtype=bool)
+    decided_round = np.zeros(num_candidates, dtype=np.int64)
+    sample_counts = np.zeros(num_candidates, dtype=np.int64)
+    seed_sampled = np.zeros(num_candidates, dtype=bool)
+
+    max_sample = min(
+        num_records, max(1, int(config.sample_fraction_limit * num_records))
+    )
+    # The unsampled-record pool starts as the identity range; materializing it
+    # is O(num_records), so it stays lazy until a second round actually draws
+    # from it — batches decided entirely in round one, the common case at
+    # scale, never pay the full-population allocation.
+    available: np.ndarray | None = None
+    first_round_sample: np.ndarray | None = None
+    active = np.arange(num_candidates, dtype=np.int64)
+    sampled_total = 0
+    rounds_run = 0
+
+    for round_index in range(config.max_rounds):
+        if active.size == 0:
+            break
+        target = min(
+            config.initial_sample * config.growth_factor**round_index, max_sample
+        )
+        delta = target - sampled_total
+        if delta <= 0:
+            break
+        rounds_run += 1
+        pool_size = num_records - sampled_total
+        positions = stratified_sample_indices(
+            pool_size, delta, rng, strata=config.strata
+        )
+        if first_round_sample is None:
+            new_records = positions
+            first_round_sample = positions
+        else:
+            if available is None:
+                remaining = np.ones(num_records, dtype=bool)
+                remaining[first_round_sample] = False
+                available = np.flatnonzero(remaining)
+            new_records = available[positions]
+            available = np.delete(available, positions)
+        sampled_total += new_records.size
+
+        matrix = np.asarray(
+            probability_fn(new_records, active), dtype=np.float64
+        )
+        bucket = partition_numbers(matrix, gamma)
+        sample_counts[active] += np.sum(
+            bucket == partitions[active, None], axis=1
+        ).astype(np.int64)
+        seed_sampled[active] |= np.isin(seed_rows[active], new_records)
+
+        lower, upper = deterministic_count_bounds(
+            sample_counts[active], seed_sampled[active], num_records, sampled_total
+        )
+        pass_early = lower >= thresholds[active]
+        fail_early = upper < thresholds[active]
+        newly_decided = pass_early | fail_early
+        decided_ids = active[newly_decided]
+        counts[decided_ids] = lower[newly_decided]
+        checked[decided_ids] = sampled_total
+        decided[decided_ids] = True
+        decided_round[decided_ids] = rounds_run
+        active = active[~newly_decided]
+
+        if active.size and round_index < config.max_rounds - 1:
+            # Scheduling only: a candidate whose interval already straddles
+            # the threshold is near-threshold — more sampling rarely produces
+            # a deterministic verdict, so send it straight to the exact scan.
+            ci_low, ci_high = count_confidence_interval(
+                sample_counts[active], sampled_total, num_records, config.confidence
+            )
+            straddles = (ci_low <= thresholds[active]) & (
+                thresholds[active] <= ci_high
+            )
+            escalate_ids = active[straddles]
+            escalate[escalate_ids] = True
+            active = active[~straddles]
+
+    escalate[active] = True
+    escalate_ids = np.flatnonzero(escalate)
+    if escalate_ids.size:
+        exact_counts, exact_checked = exact_fn(escalate_ids)
+        counts[escalate_ids] = np.asarray(exact_counts, dtype=np.int64)
+        checked[escalate_ids] = np.asarray(exact_checked, dtype=np.int64)
+        decided_round[escalate_ids] = rounds_run
+
+    return ApproximateScanReport(
+        counts=counts,
+        records_checked=checked,
+        escalated=escalate,
+        sampled_records=sampled_total,
+        rounds_run=rounds_run,
+        candidate_rounds=decided_round,
+    )

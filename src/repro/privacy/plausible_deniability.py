@@ -107,13 +107,21 @@ class PlausibleDeniabilityParams:
 
 @dataclass(frozen=True)
 class PrivacyTestResult:
-    """Outcome of running a privacy test on one candidate synthetic record."""
+    """Outcome of running a privacy test on one candidate synthetic record.
+
+    ``count_saturated`` marks counts capped at ``max_plausible`` (the true
+    bucket population is at least ``plausible_seeds``).  ``escalated`` marks
+    candidates whose approximate-mode sample straddled the threshold and fell
+    back to the exact scan (always ``False`` on the exact paths).
+    """
 
     passed: bool
     plausible_seeds: int
     partition_index: int
     threshold: float
     records_checked: int
+    count_saturated: bool = False
+    escalated: bool = False
 
     def __bool__(self) -> bool:
         return self.passed
@@ -126,32 +134,42 @@ def partition_number(probability: float, gamma: float) -> int:
     """Bucket index i >= 0 with γ^-(i+1) < probability <= γ^-i.
 
     Returns ``-1`` when the probability is zero (the record cannot have
-    generated the candidate and therefore belongs to no partition).
+    generated the candidate and therefore belongs to no partition).  The
+    scalar path delegates to the vectorized one, so the two are bit-identical
+    by construction.
     """
     if gamma <= 1.0:
         raise ValueError("gamma must be strictly greater than 1")
     if probability < 0.0 or probability > 1.0 + 1e-12:
         raise ValueError("probability must lie in [0, 1]")
-    if probability <= 0.0:
-        return _NO_PARTITION
-    index = math.floor(-math.log(probability) / math.log(gamma) + _BOUNDARY_TOLERANCE)
-    return max(0, int(index))
+    return int(
+        partition_numbers(np.asarray([probability], dtype=np.float64), gamma)[0]
+    )
 
 
 def partition_numbers(probabilities: np.ndarray, gamma: float) -> np.ndarray:
-    """Vectorized :func:`partition_number` over an array of probabilities."""
+    """Vectorized :func:`partition_number` over an array of probabilities.
+
+    The boundary tolerance is *relative* to the log-space bucket index: a
+    probability within ``index * _BOUNDARY_TOLERANCE`` of the exact edge
+    ``gamma**-index`` snaps up into bucket ``index``.  An absolute tolerance
+    would stop absorbing float error once the index grows past ~1/tolerance
+    ulps (the error of ``-log(p)/log(gamma)`` scales with the index).
+    Probabilities in ``[1.0, 1.0 + 1e-12]`` (the validation slack) land in
+    bucket 0 explicitly instead of relying on a silent clamp.
+    """
     if gamma <= 1.0:
         raise ValueError("gamma must be strictly greater than 1")
     probs = np.asarray(probabilities, dtype=np.float64)
     if probs.size and (probs.min() < 0.0 or probs.max() > 1.0 + 1e-12):
         raise ValueError("probabilities must lie in [0, 1]")
     result = np.full(probs.shape, _NO_PARTITION, dtype=np.int64)
-    positive = probs > 0.0
-    if np.any(positive):
-        indices = np.floor(
-            -np.log(probs[positive]) / math.log(gamma) + _BOUNDARY_TOLERANCE
-        ).astype(np.int64)
-        result[positive] = np.maximum(0, indices)
+    interior = (probs > 0.0) & (probs < 1.0)
+    if np.any(interior):
+        raw = -np.log(probs[interior]) / math.log(gamma)
+        slack = _BOUNDARY_TOLERANCE * np.maximum(1.0, raw)
+        result[interior] = np.floor(raw + slack).astype(np.int64)
+    result[probs >= 1.0] = 0
     return result
 
 
@@ -162,7 +180,7 @@ def plausible_seed_count(
     max_check_plausible: int | None = None,
     max_plausible: int | None = None,
     rng: np.random.Generator | None = None,
-) -> tuple[int, int, int]:
+) -> tuple[int, int, int, bool]:
     """Count dataset records in the same probability bucket as the seed.
 
     Parameters
@@ -175,9 +193,10 @@ def plausible_seed_count(
     gamma:
         Bucket width.
     max_check_plausible, max_plausible:
-        Early-termination knobs (Section 5); when either is set the records
-        are scanned in random order and counting stops early.  These affect
-        performance and the pass rate but never the privacy guarantee.
+        Early-termination knobs (Section 5); ``max_check_plausible`` scans a
+        random record subset and ``max_plausible`` caps the reported count.
+        These affect performance and the pass rate but never the privacy
+        guarantee.
     rng:
         Randomness for the scan order.  Required when early termination is
         requested: without a caller-supplied rng every candidate would scan
@@ -186,7 +205,12 @@ def plausible_seed_count(
 
     Returns
     -------
-    (plausible_count, partition_index, records_checked)
+    (plausible_count, partition_index, records_scanned, count_saturated)
+
+    ``records_scanned`` is always the full scanned-subset size and
+    ``count_saturated`` tells whether the count hit the ``max_plausible``
+    cap — identical semantics to :func:`batch_plausible_seed_counts`, so the
+    two paths agree field for field.
     """
     if seed_probability <= 0.0:
         raise ValueError("the seed must have positive probability of generating y")
@@ -198,7 +222,7 @@ def plausible_seed_count(
     if max_check_plausible is None and max_plausible is None:
         partitions = partition_numbers(probs, gamma)
         count = int(np.sum(partitions == seed_partition))
-        return count, seed_partition, probs.size
+        return count, seed_partition, probs.size, False
 
     if rng is None:
         raise ValueError(
@@ -208,15 +232,11 @@ def plausible_seed_count(
         )
     order = rng.permutation(probs.size)
     limit = probs.size if max_check_plausible is None else min(probs.size, max_check_plausible)
-    count = 0
-    checked = 0
-    for index in order[:limit]:
-        checked += 1
-        if partition_number(float(probs[index]), gamma) == seed_partition:
-            count += 1
-            if max_plausible is not None and count >= max_plausible:
-                break
-    return count, seed_partition, checked
+    partitions = partition_numbers(probs[order[:limit]], gamma)
+    raw_count = int(np.sum(partitions == seed_partition))
+    saturated = max_plausible is not None and raw_count >= max_plausible
+    count = min(raw_count, max_plausible) if max_plausible is not None else raw_count
+    return count, seed_partition, limit, saturated
 
 
 def batch_plausible_seed_counts(
@@ -226,7 +246,7 @@ def batch_plausible_seed_counts(
     max_check_plausible: int | None = None,
     max_plausible: int | None = None,
     rng: np.random.Generator | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized :func:`plausible_seed_count` over a batch of candidates.
 
     Parameters
@@ -250,11 +270,11 @@ def batch_plausible_seed_counts(
 
     Returns
     -------
-    (counts, partition_indices, records_checked), each of shape (candidates,).
-
-    Unlike the sequential scan, ``records_checked`` reports the full subset
-    size even when ``max_plausible`` saturates a count early; the counts and
-    the resulting pass/fail decisions are distributed identically.
+    (counts, partition_indices, records_scanned, count_saturated), each of
+    shape (candidates,).  ``records_scanned`` is the scanned-subset size and
+    ``count_saturated`` marks counts capped at ``max_plausible`` — the same
+    semantics as the sequential scan, so the audit trail of either path can
+    be compared field for field.
     """
     seed_probs = np.asarray(seed_probabilities, dtype=np.float64)
     matrix = np.asarray(probability_matrix, dtype=np.float64)
@@ -271,7 +291,8 @@ def batch_plausible_seed_counts(
         partitions = partition_numbers(matrix, gamma)
         counts = np.sum(partitions == seed_partitions[:, None], axis=1)
         checked = np.full(num_candidates, num_records, dtype=np.int64)
-        return counts.astype(np.int64), seed_partitions, checked
+        saturated = np.zeros(num_candidates, dtype=bool)
+        return counts.astype(np.int64), seed_partitions, checked, saturated
 
     if rng is None:
         raise ValueError(
@@ -296,9 +317,12 @@ def batch_plausible_seed_counts(
     partitions = partition_numbers(scanned, gamma)
     counts = np.sum(partitions == seed_partitions[:, None], axis=1).astype(np.int64)
     if max_plausible is not None:
+        saturated = counts >= max_plausible
         counts = np.minimum(counts, max_plausible)
+    else:
+        saturated = np.zeros(num_candidates, dtype=bool)
     checked = np.full(num_candidates, limit, dtype=np.int64)
-    return counts, seed_partitions, checked
+    return counts, seed_partitions, checked, saturated
 
 
 def satisfies_plausible_deniability(
@@ -315,7 +339,7 @@ def satisfies_plausible_deniability(
     """
     if k < 1:
         raise ValueError("k must be a positive integer")
-    count, _, _ = plausible_seed_count(seed_probability, dataset_probabilities, gamma)
+    count, _, _, _ = plausible_seed_count(seed_probability, dataset_probabilities, gamma)
     return count >= k
 
 
@@ -340,7 +364,7 @@ class DeterministicPrivacyTest:
         rng: np.random.Generator | None = None,
     ) -> PrivacyTestResult:
         params = self._params
-        count, partition, checked = plausible_seed_count(
+        count, partition, checked, saturated = plausible_seed_count(
             seed_probability,
             dataset_probabilities,
             params.gamma,
@@ -354,6 +378,7 @@ class DeterministicPrivacyTest:
             partition_index=partition,
             threshold=float(params.k),
             records_checked=checked,
+            count_saturated=saturated,
         )
 
     def run_batch(
@@ -364,7 +389,7 @@ class DeterministicPrivacyTest:
     ) -> list[PrivacyTestResult]:
         """Run the test on a whole batch of candidates in one vectorized pass."""
         params = self._params
-        counts, partitions, checked = batch_plausible_seed_counts(
+        counts, partitions, checked, saturated = batch_plausible_seed_counts(
             seed_probabilities,
             probability_matrix,
             params.gamma,
@@ -372,7 +397,11 @@ class DeterministicPrivacyTest:
             params.max_plausible,
             rng,
         )
-        return self.results_from_counts(counts, partitions, checked)
+        return self.results_from_counts(counts, partitions, checked, saturated=saturated)
+
+    def thresholds(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """The per-candidate pass thresholds: the constant k, no randomness."""
+        return np.full(count, float(self._params.k))
 
     def results_from_counts(
         self,
@@ -380,6 +409,10 @@ class DeterministicPrivacyTest:
         partitions: np.ndarray,
         checked: np.ndarray,
         rng: np.random.Generator | None = None,
+        *,
+        saturated: np.ndarray | None = None,
+        escalated: np.ndarray | None = None,
+        thresholds: np.ndarray | None = None,
     ) -> list[PrivacyTestResult]:
         """Build per-candidate results from already-computed plausible counts."""
         params = self._params
@@ -390,6 +423,8 @@ class DeterministicPrivacyTest:
                 partition_index=int(partitions[index]),
                 threshold=float(params.k),
                 records_checked=int(checked[index]),
+                count_saturated=bool(saturated[index]) if saturated is not None else False,
+                escalated=bool(escalated[index]) if escalated is not None else False,
             )
             for index in range(len(counts))
         ]
@@ -425,7 +460,7 @@ class RandomizedPrivacyTest:
         # Release-time cost of this draw is accounted per Theorem 1 at the
         # session layer.  # repro: allow[privacy-unrecorded-noise]
         noisy_threshold = params.k + laplace_noise(1.0 / params.epsilon0, generator)
-        count, partition, checked = plausible_seed_count(
+        count, partition, checked, saturated = plausible_seed_count(
             seed_probability,
             dataset_probabilities,
             params.gamma,
@@ -439,6 +474,7 @@ class RandomizedPrivacyTest:
             partition_index=partition,
             threshold=float(noisy_threshold),
             records_checked=checked,
+            count_saturated=saturated,
         )
 
     def run_batch(
@@ -451,7 +487,7 @@ class RandomizedPrivacyTest:
         params = self._params
         if rng is None:
             raise ValueError("the batched randomized test requires an rng")
-        counts, partitions, checked = batch_plausible_seed_counts(
+        counts, partitions, checked, saturated = batch_plausible_seed_counts(
             seed_probabilities,
             probability_matrix,
             params.gamma,
@@ -459,7 +495,21 @@ class RandomizedPrivacyTest:
             params.max_plausible,
             rng,
         )
-        return self.results_from_counts(counts, partitions, checked, rng)
+        return self.results_from_counts(counts, partitions, checked, rng, saturated=saturated)
+
+    def thresholds(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw the per-candidate Laplace-noised thresholds.
+
+        Exposed so the approximate path can draw the *same* thresholds from
+        the *same* stream position as :meth:`results_from_counts` would, then
+        decide early / escalate against them.
+        """
+        params = self._params
+        if rng is None:
+            raise ValueError("the batched randomized test requires an rng")
+        assert params.epsilon0 is not None
+        # Accounted per Theorem 1 at release time.  # repro: allow[privacy-unrecorded-noise]
+        return params.k + laplace_noise(1.0 / params.epsilon0, rng, size=count)
 
     def results_from_counts(
         self,
@@ -467,23 +517,28 @@ class RandomizedPrivacyTest:
         partitions: np.ndarray,
         checked: np.ndarray,
         rng: np.random.Generator | None = None,
+        *,
+        saturated: np.ndarray | None = None,
+        escalated: np.ndarray | None = None,
+        thresholds: np.ndarray | None = None,
     ) -> list[PrivacyTestResult]:
-        """Build per-candidate results, drawing one Laplace threshold each."""
-        params = self._params
-        if rng is None:
-            raise ValueError("the batched randomized test requires an rng")
-        assert params.epsilon0 is not None
-        # Accounted per Theorem 1 at release time.  # repro: allow[privacy-unrecorded-noise]
-        noisy_thresholds = params.k + laplace_noise(
-            1.0 / params.epsilon0, rng, size=len(counts)
-        )
+        """Build per-candidate results, drawing one Laplace threshold each.
+
+        ``thresholds`` short-circuits the draw when the caller already drew
+        them via :meth:`thresholds` (the approximate path); passing both the
+        pre-drawn thresholds and an rng never double-draws.
+        """
+        if thresholds is None:
+            thresholds = self.thresholds(len(counts), rng)
         return [
             PrivacyTestResult(
-                passed=bool(counts[index] >= noisy_thresholds[index]),
+                passed=bool(counts[index] >= thresholds[index]),
                 plausible_seeds=int(counts[index]),
                 partition_index=int(partitions[index]),
-                threshold=float(noisy_thresholds[index]),
+                threshold=float(thresholds[index]),
                 records_checked=int(checked[index]),
+                count_saturated=bool(saturated[index]) if saturated is not None else False,
+                escalated=bool(escalated[index]) if escalated is not None else False,
             )
             for index in range(len(counts))
         ]

@@ -53,6 +53,7 @@ from repro.core.engine import (
     SynthesisEngine,
 )
 from repro.core.results import SynthesisReport
+from repro.privacy.approximate import ApproximateTestConfig
 from repro.service.engine_pool import EnginePool
 from repro.service.journal import BudgetJournal, read_journal
 from repro.service.registry import ModelRegistry, PublishedModel
@@ -441,7 +442,13 @@ class ServiceApp:
         """Open a budgeted session against a published model."""
         published = self.model(model)
         if isinstance(budget, dict):
-            unknown = set(budget) - {"epsilon", "delta", "max_rows", "min_k"}
+            unknown = set(budget) - {
+                "epsilon",
+                "delta",
+                "max_rows",
+                "min_k",
+                "accuracy",
+            }
             if unknown:
                 raise ServiceError(
                     400, "bad_budget", f"unknown budget keys: {sorted(unknown)}"
@@ -499,10 +506,33 @@ class ServiceApp:
     # ------------------------------------------------------------------ #
     # Generation
     # ------------------------------------------------------------------ #
-    def _build_engine(self, model_id: str) -> SynthesisEngine:
-        """:class:`EnginePool` builder: a fresh engine for a published model."""
+    @staticmethod
+    def engine_key(model_id: str, accuracy: str) -> str:
+        """The pool key of a model's engine under one accuracy contract.
+
+        Exact and approximate sessions against the same model run on
+        *separate* pooled engines (the approximate engine carries the
+        sampling test config), keyed by a ``#approx`` suffix.  The pool and
+        scheduler treat the key opaquely; only :meth:`_build_engine` parses
+        it.
+        """
+        return model_id + "#approx" if accuracy == "approximate" else model_id
+
+    def _build_engine(self, engine_key: str) -> SynthesisEngine:
+        """:class:`EnginePool` builder: a fresh engine for a published model.
+
+        ``engine_key`` is ``<model_id>`` or ``<model_id>#approx`` (see
+        :meth:`engine_key`).  The approximate variant forces an
+        :class:`~repro.privacy.approximate.ApproximateTestConfig` — the
+        pipeline config's, or the defaults when the model was published
+        without one.
+        """
+        model_id, _, variant = engine_key.partition("#")
         model = self._registry.get(model_id)
         config = model.pipeline.config
+        approximate = config.approximate
+        if variant == "approx":
+            approximate = approximate or ApproximateTestConfig()
         return SynthesisEngine(
             model.pipeline.model,
             model.pipeline.splits.seeds,
@@ -511,6 +541,7 @@ class ServiceApp:
             chunk_size=config.chunk_size,
             batch_size=config.batch_size,
             max_chunk_retries=config.max_chunk_retries,
+            approximate=approximate,
         )
 
     def _fold_window(
@@ -616,9 +647,10 @@ class ServiceApp:
             if self._deadline_ms is not None
             else None
         )
+        engine_key = self.engine_key(model.model_id, session.budget.accuracy)
         request = GenerateRequest(
             request_id=request_id,
-            model_id=model.model_id,
+            model_id=engine_key,
             num_rows=rows,
             base_seed=base_seed,
             max_attempts=max_attempts,
@@ -663,6 +695,7 @@ class ServiceApp:
                 "request_id": request_id,
                 "session_id": session_id,
                 "model_id": model.model_id,
+                "engine_key": engine_key,
                 "base_seed": base_seed,
                 "requested_rows": rows,
                 "released_rows": report.num_released,
@@ -691,7 +724,9 @@ class ServiceApp:
             return record
         request = GenerateRequest(
             request_id=meta["request_id"],
-            model_id=meta["model_id"],
+            # Pre-approximate journals carry no engine_key; their releases
+            # were generated on the plain (exact) engine.
+            model_id=meta.get("engine_key") or meta["model_id"],
             num_rows=int(meta["requested_rows"]),
             base_seed=int(meta["base_seed"]),
             max_attempts=meta.get("max_attempts"),
@@ -750,6 +785,12 @@ class ServiceApp:
                 "utilization": stats.utilization,
                 "completed": stats.completed,
                 "failed": stats.failed,
+            },
+            "privacy_test": {
+                "records_checked": stats.records_checked,
+                "test_attempts": stats.test_attempts,
+                "escalations": stats.escalations,
+                "escalation_rate": stats.escalation_rate,
             },
         }
 

@@ -104,6 +104,13 @@ class SchedulerStats:
     single wait); ``engine_busy_seconds`` accumulates wall-clock spent
     executing folds; ``utilization`` is engine-busy time divided by
     scheduler uptime — the average number of concurrently busy engines.
+
+    The privacy-test counters aggregate over every attempt of every
+    completed report: ``records_checked`` is the total seed records the
+    test examined, ``test_attempts`` the candidates tested, and
+    ``escalations`` how many of those were escalated from the approximate
+    sampling path to the exact scan (``escalation_rate`` = escalations /
+    ``test_attempts``; always 0.0 on the exact path, where nothing escalates).
     """
 
     submitted: int = 0
@@ -121,6 +128,10 @@ class SchedulerStats:
     engine_busy_seconds: float = 0.0  # cumulative fold execution wall-clock
     dispatchers_active: int = 0  # dispatcher threads currently draining
     utilization: float = 0.0  # engine_busy_seconds / scheduler uptime
+    records_checked: int = 0  # seed records examined by the privacy test
+    test_attempts: int = 0  # candidates privacy-tested across all reports
+    escalations: int = 0  # approximate-test candidates escalated to exact
+    escalation_rate: float = 0.0  # escalations / test_attempts
 
 
 def _serial_fold(
@@ -332,6 +343,14 @@ class RequestScheduler:
                 utilization=(
                     self._stats.engine_busy_seconds / uptime if uptime > 0 else 0.0
                 ),
+                records_checked=self._stats.records_checked,
+                test_attempts=self._stats.test_attempts,
+                escalations=self._stats.escalations,
+                escalation_rate=(
+                    self._stats.escalations / self._stats.test_attempts
+                    if self._stats.test_attempts
+                    else 0.0
+                ),
             )
 
     def queue_depth(self) -> int:
@@ -441,6 +460,15 @@ class RequestScheduler:
                         self._stats.expired += 1
                 future.set_exception(outcome)
             else:
+                checked = 0
+                escalated = 0
+                attempts = getattr(outcome, "attempts", None) or ()
+                for attempt in attempts:
+                    checked += attempt.test.records_checked
+                    escalated += bool(attempt.test.escalated)
                 with self._lock:
                     self._stats.completed += 1
+                    self._stats.records_checked += checked
+                    self._stats.test_attempts += len(attempts)
+                    self._stats.escalations += escalated
                 future.set_result(outcome)

@@ -223,19 +223,24 @@ def check_batched_mechanism_parity(
     is re-run through the reference
     :meth:`~repro.core.mechanism.SynthesisMechanism.evaluate_candidate` path.
     Partition indices must always agree (a pure function of the candidate and
-    its seed).  Plausible-seed counts are compared unless
-    ``max_check_plausible`` limits the scan — the scanned subset is then an
-    independent rng draw on each path, so the counts are distributionally
-    but not pointwise equal.  Pass/fail decisions and scanned-record counts
-    are additionally compared when the test is deterministic with no
-    early-termination knobs.  Returns the batched attempts.
+    its seed).  Plausible-seed counts, scanned-record counts and the
+    ``count_saturated`` flag are compared unless ``max_check_plausible``
+    limits the scan (the scanned subset is then an independent rng draw on
+    each path, so they are distributionally but not pointwise equal) or the
+    mechanism runs its approximate sampling path (early-decided counts are
+    lower bounds, not exact tallies).  Pass/fail decisions are additionally
+    compared whenever the test is deterministic and scans are unrestricted —
+    including under ``max_plausible`` (both paths cap identically) and in
+    approximate mode (whose release decisions must be bit-identical to
+    exact).  Returns the batched attempts.
     """
     params = mechanism.params
-    counts_are_pure = params.max_check_plausible is None
+    approximate_active = bool(
+        getattr(mechanism, "_approximate_active", lambda: False)()
+    )
+    counts_are_pure = params.max_check_plausible is None and not approximate_active
     decisions_are_pure = (
-        not params.is_randomized
-        and params.max_check_plausible is None
-        and params.max_plausible is None
+        not params.is_randomized and params.max_check_plausible is None
     )
     attempts = mechanism.propose_batch(batch_size, rng)
     for index, attempt in enumerate(attempts):
@@ -249,6 +254,16 @@ def check_batched_mechanism_parity(
                 f"{label}: batched plausible count {attempt.test.plausible_seeds} "
                 f"!= reference {reference.test.plausible_seeds}",
             )
+            _require(
+                attempt.test.records_checked == reference.test.records_checked,
+                f"{label}: batched records_checked {attempt.test.records_checked} "
+                f"!= reference {reference.test.records_checked}",
+            )
+            _require(
+                attempt.test.count_saturated == reference.test.count_saturated,
+                f"{label}: batched saturation flag {attempt.test.count_saturated} "
+                f"!= reference {reference.test.count_saturated}",
+            )
         _require(
             attempt.test.partition_index == reference.test.partition_index,
             f"{label}: batched partition {attempt.test.partition_index} "
@@ -259,11 +274,6 @@ def check_batched_mechanism_parity(
                 attempt.test.passed == reference.test.passed,
                 f"{label}: batched decision {attempt.test.passed} "
                 f"!= reference {reference.test.passed}",
-            )
-            _require(
-                attempt.test.records_checked == reference.test.records_checked,
-                f"{label}: batched records_checked {attempt.test.records_checked} "
-                f"!= reference {reference.test.records_checked}",
             )
     return attempts
 

@@ -23,6 +23,7 @@ suite (``tests/conftest.py``), the benchmark harness
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
@@ -229,6 +230,39 @@ class Scenario:
         pipeline.fit()
         return ScenarioFit(
             scenario=self, seed=seed, engine=engine, dataset=dataset, pipeline=pipeline
+        )
+
+    def at_scale(self, num_records: int, seed_fraction: float = 0.55) -> "Scenario":
+        """This scenario rescaled to ``num_records``, with k retuned to match.
+
+        A candidate's plausible-seed count is bounded by the population of
+        its probability bucket, and the buckets do *not* grow linearly with
+        the dataset: once structure learning has enough data to resolve the
+        generating process, the learned chain turns near-deterministic and a
+        bucket holds roughly ``seeds / max-cardinality`` records (every seed
+        sharing the candidate's value on the highest-cardinality root
+        attribute).  A k tuned at the native scale therefore overshoots at
+        larger n — at 2000 toy-correlated records every count lands near
+        1100 / 20 = 55, below the native k = 80, and the privacy test
+        rejects every candidate.  The retuned k is the linear rescaling
+        capped at half that worst-case bucket population (floor 2), keeping
+        the test meaningfully strict while guaranteeing releasable
+        candidates at every scale.
+        """
+        if num_records < 1:
+            raise ValueError("num_records must be positive")
+        if num_records == self.num_records:
+            return self
+        max_cardinality = max(
+            len(attribute.values) for attribute in self.schema().attributes
+        )
+        seed_records = int(round(seed_fraction * num_records))
+        linear_k = round(self.k * num_records / self.num_records)
+        bucket_cap = seed_records // (2 * max_cardinality)
+        return dataclasses.replace(
+            self,
+            num_records=num_records,
+            k=max(2, min(linear_k, bucket_cap)),
         )
 
     def experiment_context(self, seed: int = 0, **overrides):

@@ -129,11 +129,11 @@ class TestBatchPlausibleSeedCounts:
     def test_matches_scalar_counts_without_knobs(self, rng):
         matrix = rng.random((30, 400)) * rng.integers(0, 2, size=(30, 400))
         seed_probs = np.clip(matrix.max(axis=1), 1e-9, 1.0)
-        counts, partitions, checked = batch_plausible_seed_counts(
+        counts, partitions, checked, _ = batch_plausible_seed_counts(
             seed_probs, matrix, gamma=2.0
         )
         for index in range(30):
-            count, partition, scanned = plausible_seed_count(
+            count, partition, scanned, _ = plausible_seed_count(
                 float(seed_probs[index]), matrix[index], gamma=2.0
             )
             assert counts[index] == count
@@ -142,14 +142,15 @@ class TestBatchPlausibleSeedCounts:
 
     def test_max_plausible_caps_counts(self, rng):
         matrix = np.full((5, 100), 0.4)
-        counts, _, _ = batch_plausible_seed_counts(
+        counts, _, _, saturated = batch_plausible_seed_counts(
             np.full(5, 0.4), matrix, gamma=2.0, max_plausible=10, rng=rng
         )
         assert np.all(counts == 10)
+        assert np.all(saturated)
 
     def test_max_check_plausible_limits_scan(self, rng):
         matrix = np.full((5, 100), 0.4)
-        counts, _, checked = batch_plausible_seed_counts(
+        counts, _, checked, _ = batch_plausible_seed_counts(
             np.full(5, 0.4), matrix, gamma=2.0, max_check_plausible=30, rng=rng
         )
         assert np.all(checked == 30)
@@ -167,7 +168,7 @@ class TestBatchPlausibleSeedCounts:
         # so identical candidates should not always report identical counts.
         row = np.concatenate([np.full(50, 0.4), np.full(50, 1e-6)])
         matrix = np.tile(row, (40, 1))
-        counts, _, _ = batch_plausible_seed_counts(
+        counts, _, _, _ = batch_plausible_seed_counts(
             np.full(40, 0.4), matrix, gamma=2.0, max_check_plausible=20, rng=rng
         )
         assert len(set(counts.tolist())) > 1
@@ -265,12 +266,13 @@ class TestFastCountEquivalence:
 
         matrix = model.batch_probability_matrix(acs_splits.seeds.data, candidates)
         seed_probabilities = matrix[np.arange(60), seed_indices]
-        counts, partitions, checked = batch_plausible_seed_counts(
+        counts, partitions, checked, saturated = batch_plausible_seed_counts(
             seed_probabilities, matrix, gamma=4.0
         )
         np.testing.assert_array_equal(fast[0], counts)
         np.testing.assert_array_equal(fast[1], partitions)
         np.testing.assert_array_equal(fast[2], checked)
+        np.testing.assert_array_equal(fast[3], saturated)
 
     def test_fast_path_skipped_with_early_termination_knobs(
         self, unnoised_model, acs_splits, rng

@@ -1,0 +1,317 @@
+"""Tests for bounded-latency approximate plausible-deniability testing.
+
+Covers the stratified sampler, the deterministic count bounds that make
+early decisions exact, the scheduling confidence interval, and the batch
+driver's decision semantics — plus the partition boundary grid the whole
+bucket algebra rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.privacy.approximate import (
+    ApproximateTestConfig,
+    _normal_quantile,
+    approximate_plausible_counts,
+    count_confidence_interval,
+    deterministic_count_bounds,
+    stratified_sample_indices,
+)
+from repro.privacy.plausible_deniability import partition_number, partition_numbers
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        ApproximateTestConfig()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("initial_sample", 0),
+            ("growth_factor", 1),
+            ("max_rounds", 0),
+            ("sample_fraction_limit", 0.0),
+            ("sample_fraction_limit", 1.5),
+            ("confidence", 0.5),
+            ("confidence", 1.0),
+            ("strata", 0),
+            ("min_records", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ApproximateTestConfig(**{field: value})
+
+
+class TestStratifiedSampler:
+    def test_requires_a_caller_supplied_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            stratified_sample_indices(100, 10, None)
+
+    def test_is_a_pure_function_of_the_rng(self):
+        first = stratified_sample_indices(1000, 100, np.random.default_rng(3))
+        second = stratified_sample_indices(1000, 100, np.random.default_rng(3))
+        other = stratified_sample_indices(1000, 100, np.random.default_rng(4))
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, other)
+
+    def test_without_replacement_and_sorted(self):
+        sample = stratified_sample_indices(500, 200, np.random.default_rng(0))
+        assert np.array_equal(sample, np.unique(sample))
+        assert sample.min() >= 0 and sample.max() < 500
+
+    def test_every_stratum_contributes(self):
+        strata = 8
+        sample = stratified_sample_indices(
+            800, 160, np.random.default_rng(1), strata=strata
+        )
+        block = 800 // strata
+        per_stratum = np.bincount(sample // block, minlength=strata)
+        assert np.all(per_stratum > 0)
+        # Proportional draw: every block contributes its fair share exactly.
+        assert np.all(per_stratum == 160 // strata)
+
+    def test_full_population_request_returns_everything(self):
+        sample = stratified_sample_indices(50, 50, np.random.default_rng(0))
+        assert np.array_equal(sample, np.arange(50))
+        oversized = stratified_sample_indices(50, 99, np.random.default_rng(0))
+        assert np.array_equal(oversized, np.arange(50))
+
+    def test_invalid_sizes_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="num_records"):
+            stratified_sample_indices(0, 1, rng)
+        with pytest.raises(ValueError, match="sample_size"):
+            stratified_sample_indices(10, 0, rng)
+
+
+class TestDeterministicBounds:
+    def test_true_count_always_within_bounds(self):
+        rng = np.random.default_rng(7)
+        num_records = 300
+        for _ in range(25):
+            membership = rng.random(num_records) < rng.uniform(0.02, 0.5)
+            seed_row = int(rng.integers(num_records))
+            membership[seed_row] = True  # the seed is in its own bucket
+            true_count = int(membership.sum())
+            sample = rng.choice(num_records, size=80, replace=False)
+            sample_count = int(membership[sample].sum())
+            seed_sampled = seed_row in sample
+            lower, upper = deterministic_count_bounds(
+                np.array([sample_count]), np.array([seed_sampled]), num_records, 80
+            )
+            assert lower[0] <= true_count <= upper[0]
+
+    def test_full_scan_collapses_the_interval(self):
+        lower, upper = deterministic_count_bounds(
+            np.array([42]), np.array([True]), 100, 100
+        )
+        assert lower[0] == upper[0] == 42
+
+    def test_unsampled_seed_is_a_certain_match(self):
+        lower, _ = deterministic_count_bounds(
+            np.array([0]), np.array([False]), 100, 10
+        )
+        assert lower[0] == 1
+
+
+class TestConfidenceInterval:
+    def test_quantile_matches_known_values(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-5)
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert _normal_quantile(0.025) == pytest.approx(-_normal_quantile(0.975))
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+    def test_interval_contains_the_scaled_estimate(self):
+        low, high = count_confidence_interval(np.array([20]), 100, 10_000)
+        assert low[0] <= 20 / 100 * 10_000 <= high[0]
+        assert low[0] >= 0 and high[0] <= 10_000
+
+    def test_zero_match_sample_still_has_width(self):
+        # The 1/m variance floor keeps a zero-count sample from claiming
+        # certainty it does not have.
+        low, high = count_confidence_interval(np.array([0]), 50, 5_000)
+        assert high[0] > low[0]
+
+    def test_exhaustive_sample_is_exact(self):
+        low, high = count_confidence_interval(np.array([7]), 100, 100)
+        assert low[0] == high[0] == 7.0
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError, match="sample_size"):
+            count_confidence_interval(np.array([0]), 0, 100)
+
+
+def _driver_setup(membership: np.ndarray, seed_rows: np.ndarray, gamma: float = 4.0):
+    """probability_fn / exact_fn over a planted bucket-membership matrix.
+
+    ``membership[c, r]`` says record r is in candidate c's bucket; members get
+    probability γ^-1 (bucket 1) and non-members γ^-3 (bucket 3), so partitions
+    are unambiguous and the seed partition is the members' bucket.
+    """
+    num_candidates, num_records = membership.shape
+    probabilities = np.where(membership, gamma**-1.0, gamma**-3.0)
+
+    def probability_fn(record_indices, candidate_indices):
+        return probabilities[np.ix_(candidate_indices, record_indices)]
+
+    def exact_fn(candidate_indices):
+        counts = membership[candidate_indices].sum(axis=1)
+        checked = np.full(candidate_indices.size, num_records, dtype=np.int64)
+        return counts, checked
+
+    seed_partitions = np.full(num_candidates, 1, dtype=np.int64)
+    assert np.all(membership[np.arange(num_candidates), seed_rows])
+    return probability_fn, exact_fn, seed_partitions
+
+
+class TestApproximateDriver:
+    def _run(self, membership, seed_rows, thresholds, config, rng_seed=0):
+        probability_fn, exact_fn, seed_partitions = _driver_setup(
+            membership, seed_rows
+        )
+        return approximate_plausible_counts(
+            seed_partitions=seed_partitions,
+            seed_record_indices=seed_rows,
+            thresholds=np.asarray(thresholds, dtype=np.float64),
+            probability_fn=probability_fn,
+            exact_fn=exact_fn,
+            num_records=membership.shape[1],
+            gamma=4.0,
+            config=config,
+            rng=np.random.default_rng(rng_seed),
+        )
+
+    @staticmethod
+    def _planted(num_candidates, num_records, fractions, rng):
+        membership = np.zeros((num_candidates, num_records), dtype=bool)
+        for index, fraction in enumerate(fractions):
+            size = max(1, int(fraction * num_records))
+            rows = rng.choice(num_records, size=size, replace=False)
+            membership[index, rows] = True
+        seed_rows = np.array(
+            [int(np.flatnonzero(row)[0]) for row in membership], dtype=np.int64
+        )
+        return membership, seed_rows
+
+    def test_decisions_match_exact_for_every_candidate(self):
+        rng = np.random.default_rng(11)
+        membership, seed_rows = self._planted(
+            24, 4000, np.linspace(0.01, 0.6, 24), rng
+        )
+        thresholds = np.full(24, 0.05 * 4000)
+        config = ApproximateTestConfig(
+            initial_sample=128, min_records=1, strata=8, sample_fraction_limit=0.5
+        )
+        report = self._run(membership, seed_rows, thresholds, config)
+        exact_counts = membership.sum(axis=1)
+        approx_decision = report.counts >= thresholds
+        exact_decision = exact_counts >= thresholds
+        assert np.array_equal(approx_decision, exact_decision)
+        # Early-decided counts are certain lower bounds, escalated ones exact.
+        assert np.all(report.counts[report.escalated] == exact_counts[report.escalated])
+        assert np.all(report.counts <= exact_counts)
+
+    def test_rich_buckets_decide_early_without_full_scan(self):
+        rng = np.random.default_rng(5)
+        membership, seed_rows = self._planted(8, 8000, [0.7] * 8, rng)
+        thresholds = np.full(8, 100.0)
+        config = ApproximateTestConfig(initial_sample=512, min_records=1)
+        report = self._run(membership, seed_rows, thresholds, config)
+        assert not report.escalated.any()
+        assert np.all(report.records_checked < 8000)
+        assert np.all(report.counts >= 100)
+
+    def test_empty_buckets_fail_early_when_bound_clears(self):
+        # One member (the seed); the threshold exceeds even the most
+        # optimistic upper bound once the sample covers enough records.
+        membership = np.zeros((4, 1000), dtype=bool)
+        membership[np.arange(4), np.arange(4)] = True
+        seed_rows = np.arange(4, dtype=np.int64)
+        thresholds = np.full(4, 990.0)
+        config = ApproximateTestConfig(
+            initial_sample=64, min_records=1, sample_fraction_limit=1.0, max_rounds=1
+        )
+        report = self._run(membership, seed_rows, thresholds, config)
+        assert not report.escalated.any()
+        assert np.all(report.counts < thresholds)
+
+    def test_near_threshold_candidates_escalate_to_exact(self):
+        rng = np.random.default_rng(9)
+        num_records = 4000
+        membership, seed_rows = self._planted(6, num_records, [0.1] * 6, rng)
+        exact_counts = membership.sum(axis=1)
+        thresholds = exact_counts.astype(np.float64)  # razor-thin margin
+        config = ApproximateTestConfig(
+            initial_sample=64, min_records=1, max_rounds=2
+        )
+        report = self._run(membership, seed_rows, thresholds, config)
+        assert report.escalated.all()
+        assert np.all(report.records_checked == num_records)
+        assert np.array_equal(report.counts, exact_counts)
+
+    def test_requires_a_caller_supplied_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            approximate_plausible_counts(
+                seed_partitions=np.array([0]),
+                seed_record_indices=np.array([0]),
+                thresholds=np.array([1.0]),
+                probability_fn=lambda r, c: np.zeros((1, 1)),
+                exact_fn=lambda c: (np.zeros(1), np.zeros(1)),
+                num_records=10,
+                gamma=4.0,
+                config=ApproximateTestConfig(),
+                rng=None,
+            )
+
+
+class TestPartitionBoundaryGrid:
+    """Satellite property test: γ^-i lands exactly in bucket i on the edge.
+
+    Definition 1 buckets are γ^-(i+1) < Pr <= γ^-i, so a probability exactly
+    on the grid must snap *up* into bucket i, at every representable depth.
+    The scalar path must agree with the vectorized path everywhere — it
+    delegates, and this pins that contract.
+    """
+
+    GAMMAS = (1.5, 2.0, 3.0, 4.0, 10.0)
+
+    @staticmethod
+    def _grid(gamma: float, floor: float) -> tuple[np.ndarray, np.ndarray]:
+        indices, probabilities = [], []
+        i = 0
+        while True:
+            p = gamma ** -float(i)
+            if p < floor or p == 0.0:
+                break
+            indices.append(i)
+            probabilities.append(p)
+            i += 1
+        return np.array(indices), np.array(probabilities, dtype=np.float64)
+
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    def test_edges_snap_up_through_the_normal_range(self, gamma):
+        # Down to the smallest *normal* float64; in the subnormal tail the
+        # float grid γ^-i itself loses precision for non-dyadic γ, so no
+        # exactness claim is possible there.
+        indices, probabilities = self._grid(gamma, np.finfo(np.float64).tiny)
+        assert indices.size > 300  # the grid really spans the float range
+        assert np.array_equal(partition_numbers(probabilities, gamma), indices)
+
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    def test_scalar_equals_vectorized_everywhere(self, gamma):
+        # Including the subnormal tail: whatever the vectorized path says,
+        # the scalar path must say bit-identically, since it delegates.
+        indices, probabilities = self._grid(gamma, 0.0)
+        vectorized = partition_numbers(probabilities, gamma)
+        scalar = np.array([partition_number(float(p), gamma) for p in probabilities])
+        assert np.array_equal(scalar, vectorized)
+
+    @pytest.mark.parametrize("gamma", GAMMAS)
+    def test_bucket_interiors_classify_unambiguously(self, gamma):
+        # The geometric midpoint of (γ^-(i+1), γ^-i] is far from both edges,
+        # so no tolerance is involved: it must land in bucket i exactly.
+        for i in (0, 1, 5, 50, 300):
+            midpoint = gamma ** -(i + 0.5)
+            assert partition_number(midpoint, gamma) == i

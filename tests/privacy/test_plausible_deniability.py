@@ -96,11 +96,14 @@ class TestPlausibleSeedCount:
     def test_counts_records_in_seed_partition(self):
         seed_probability = 0.4
         dataset = np.array([0.4, 0.3, 0.05, 0.0, 0.45])
-        count, partition, checked = plausible_seed_count(seed_probability, dataset, gamma=2.0)
+        count, partition, checked, saturated = plausible_seed_count(
+            seed_probability, dataset, gamma=2.0
+        )
         # Bucket of 0.4 with gamma=2 is (0.25, 0.5]: members 0.4, 0.3, 0.45.
         assert partition == 1
         assert count == 3
         assert checked == 5
+        assert saturated is False
 
     def test_requires_positive_seed_probability(self):
         with pytest.raises(ValueError):
@@ -110,17 +113,20 @@ class TestPlausibleSeedCount:
         with pytest.raises(ValueError):
             plausible_seed_count(0.5, np.zeros((2, 2)), gamma=2.0)
 
-    def test_max_plausible_stops_early(self, rng):
+    def test_max_plausible_caps_count_and_reports_saturation(self, rng):
         dataset = np.full(1000, 0.4)
-        count, _, checked = plausible_seed_count(
+        count, _, checked, saturated = plausible_seed_count(
             0.4, dataset, gamma=2.0, max_plausible=10, rng=rng
         )
         assert count == 10
-        assert checked <= 1000
+        # records_checked now reports the scanned subset size (aligned with
+        # the batched path) rather than the early-break position.
+        assert checked == 1000
+        assert saturated is True
 
     def test_max_check_plausible_limits_scan(self, rng):
         dataset = np.full(1000, 0.4)
-        count, _, checked = plausible_seed_count(
+        count, _, checked, _ = plausible_seed_count(
             0.4, dataset, gamma=2.0, max_check_plausible=50, rng=rng
         )
         assert checked == 50

@@ -192,7 +192,9 @@ class TestPlausibleDeniabilityMonotonicity:
             label="dataset probabilities",
         )
         dataset = np.array([seed_probability] + others)
-        count, partition, checked = plausible_seed_count(seed_probability, dataset, gamma)
+        count, partition, checked, _ = plausible_seed_count(
+            seed_probability, dataset, gamma
+        )
         assert 1 <= count <= num_records
         assert checked == num_records
         assert partition == partition_number(seed_probability, gamma)

@@ -165,14 +165,74 @@ class TestBatchedParityChecker:
         original = type(mechanism)._fast_batch_counts
 
         def off_by_one(self, seed_indices, candidates):
-            counts, partitions, checked = original(self, seed_indices, candidates)
-            return counts + 1, partitions, checked
+            counts, partitions, checked, saturated = original(
+                self, seed_indices, candidates
+            )
+            return counts + 1, partitions, checked, saturated
 
         monkeypatch.setattr(type(mechanism), "_fast_batch_counts", off_by_one)
         with pytest.raises(InvariantViolation, match="plausible count"):
             check_batched_mechanism_parity(
                 mechanism, np.random.default_rng(3), batch_size=10
             )
+
+    def test_saturation_and_scan_alignment_compared(self):
+        # max_plausible stops the scan early on both paths; the batched path
+        # must report the same records_checked and saturation flag as the
+        # sequential reference, and the checker must verify that.
+        from repro.core.mechanism import SynthesisMechanism
+        from repro.privacy.plausible_deniability import PlausibleDeniabilityParams
+
+        fit = get_scenario("tiny-n").fit(seed=0)
+        params = dataclasses.replace(fit.params, max_plausible=4)
+        mechanism = SynthesisMechanism(fit.model, fit.seeds, params)
+        attempts = check_batched_mechanism_parity(
+            mechanism, np.random.default_rng(5), batch_size=12
+        )
+        assert any(attempt.test.count_saturated for attempt in attempts)
+
+    def test_broken_saturation_flag_detected(self, monkeypatch):
+        from repro.core.mechanism import SynthesisMechanism
+        from repro.privacy.plausible_deniability import DeterministicPrivacyTest
+
+        fit = get_scenario("tiny-n").fit(seed=0)
+        params = dataclasses.replace(fit.params, max_plausible=4)
+        mechanism = SynthesisMechanism(fit.model, fit.seeds, params)
+        original = DeterministicPrivacyTest.run_batch
+
+        def flipped_saturation(self, seed_probabilities, probability_matrix, rng):
+            results = original(self, seed_probabilities, probability_matrix, rng)
+            return [
+                dataclasses.replace(result, count_saturated=not result.count_saturated)
+                for result in results
+            ]
+
+        monkeypatch.setattr(DeterministicPrivacyTest, "run_batch", flipped_saturation)
+        with pytest.raises(InvariantViolation, match="saturation"):
+            check_batched_mechanism_parity(
+                mechanism, np.random.default_rng(5), batch_size=12
+            )
+
+    def test_approximate_mechanism_decisions_still_compared(self):
+        # In approximate mode early-decided counts are lower bounds, so the
+        # checker must skip count comparison but still require bit-identical
+        # pass/fail decisions against the exact reference path.
+        from repro.core.mechanism import SynthesisMechanism
+        from repro.privacy.approximate import ApproximateTestConfig
+
+        fit = get_scenario("tiny-n").fit(seed=0)
+        mechanism = SynthesisMechanism(
+            fit.model,
+            fit.seeds,
+            fit.params,
+            approximate=ApproximateTestConfig(
+                initial_sample=16, min_records=1, strata=4
+            ),
+        )
+        attempts = check_batched_mechanism_parity(
+            mechanism, np.random.default_rng(7), batch_size=12
+        )
+        assert len(attempts) == 12
 
 
 class TestAccountantConservationChecker:

@@ -138,6 +138,50 @@ class TestHoistedBuilders:
         assert agreement > 0.7
 
 
+class TestAtScale:
+    def test_native_scale_is_identity(self):
+        scenario = get_scenario("toy-correlated")
+        assert scenario.at_scale(scenario.num_records) is scenario
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            get_scenario("toy-correlated").at_scale(0)
+
+    def test_k_capped_by_bucket_population(self):
+        scenario = get_scenario("toy-correlated")
+        scaled = scenario.at_scale(2000)
+        assert scaled.num_records == 2000
+        # seeds = 1100, max cardinality 20: cap = 1100 // 40 = 27, well below
+        # the linear rescaling 80 * 2000 / 600 = 267.
+        assert scaled.k == 27
+        assert scaled.k < round(scenario.k * 2000 / scenario.num_records)
+
+    def test_k_never_below_floor(self):
+        scaled = get_scenario("toy-correlated").at_scale(20)
+        assert scaled.k == 2
+
+    def test_privacy_test_releases_at_2000_records(self):
+        """Regression: the native k = 80 rejected every candidate at n = 2000
+        (the learned chain turns near-deterministic and every plausible-seed
+        count lands near seeds / 20 = 55); the retuned k must keep the
+        service benchmark releasing rows."""
+        from repro.core.pipeline import SynthesisPipeline
+        from repro.datasets.dataset import Dataset
+
+        scenario = get_scenario("toy-correlated").at_scale(2000)
+        dataset = Dataset(
+            toy_schema(), correlated_toy_matrix(2000, np.random.default_rng(11))
+        )
+        pipeline = SynthesisPipeline(
+            dataset, config=scenario.config(), rng=np.random.default_rng(2)
+        )
+        pipeline.fit()
+        report = pipeline.mechanism.run_attempts(
+            64, np.random.default_rng(5), batch_size=16
+        )
+        assert sum(attempt.test.passed for attempt in report.attempts) > 0
+
+
 class TestScenarioValidation:
     def test_custom_scenario_round_trip_without_registration(self):
         scenario = Scenario(
