@@ -1,0 +1,269 @@
+"""Telemetry overhead: serving throughput with tracing + metrics on vs off.
+
+Drives the same fixed-seed ``/generate`` workload through two
+:class:`~repro.service.ServiceApp` instances — one with the PR 10 telemetry
+hub enabled (tracer, metrics registry, phase profiling), one constructed
+with ``telemetry=False`` — and measures released rows/sec in each mode.
+Requests are interleaved pair-wise across the two modes (alternating which
+mode leads) so CPU-frequency and scheduler drift hits both identically,
+aggregate throughput (total rows / total per-request seconds) is compared
+per mode, and the gate requires telemetry-on throughput to stay at **≥ 90%**
+of telemetry-off (the ISSUE's ≤ 10% overhead acceptance bound).
+Because every request carries an explicit seed, the two modes must release
+bit-identical rows — asserted, so the ratio measures bookkeeping cost, never
+a behavior change.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+[--smoke]``) or via pytest.  Results land in ``benchmarks/results/``.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_TELEMETRY_RECORDS`` (default 1500, smoke 600) — input records;
+* ``REPRO_BENCH_TELEMETRY_REQUESTS`` (default 24, smoke 12) — requests/round;
+* ``REPRO_BENCH_TELEMETRY_ROWS`` (default 24, smoke 8) — rows per request;
+* ``REPRO_BENCH_TELEMETRY_ROUNDS`` (default 3, smoke 3) — rounds per mode;
+* ``REPRO_BENCH_TELEMETRY_SMOKE`` — any non-empty value selects smoke scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentResult
+from repro.service import ModelRegistry, ServiceApp
+from repro.testing.scenarios import correlated_toy_matrix, get_scenario, toy_schema
+
+#: Telemetry-on must keep at least this fraction of telemetry-off throughput.
+OVERHEAD_FLOOR = 0.90
+
+FULL_RECORDS = 1_500
+FULL_REQUESTS = 24
+FULL_ROWS = 24
+FULL_ROUNDS = 3
+SMOKE_RECORDS = 600
+SMOKE_REQUESTS = 12
+SMOKE_ROWS = 8
+SMOKE_ROUNDS = 3
+
+
+def _int_env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def _smoke_env() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_TELEMETRY_SMOKE"))
+
+
+def _scale() -> tuple[int, int, int, int]:
+    smoke = _smoke_env()
+    return (
+        _int_env("REPRO_BENCH_TELEMETRY_RECORDS", SMOKE_RECORDS if smoke else FULL_RECORDS),
+        _int_env("REPRO_BENCH_TELEMETRY_REQUESTS", SMOKE_REQUESTS if smoke else FULL_REQUESTS),
+        _int_env("REPRO_BENCH_TELEMETRY_ROWS", SMOKE_ROWS if smoke else FULL_ROWS),
+        _int_env("REPRO_BENCH_TELEMETRY_ROUNDS", SMOKE_ROUNDS if smoke else FULL_ROUNDS),
+    )
+
+
+def _build_app(num_records: int, telemetry: bool) -> ServiceApp:
+    from repro.datasets.dataset import Dataset
+
+    scenario = get_scenario("toy-correlated").at_scale(num_records)
+    dataset = Dataset(
+        toy_schema(), correlated_toy_matrix(num_records, np.random.default_rng(11))
+    )
+    app = ServiceApp(ModelRegistry(), num_workers=1, telemetry=telemetry)
+    app.publish_model("bench", dataset, scenario.config(), seed=2)
+    return app
+
+
+def _serve_round(
+    apps: dict[bool, ServiceApp], requests: int, rows: int, first: bool
+) -> tuple[dict[bool, float], dict[bool, int], dict[bool, dict[str, np.ndarray]]]:
+    """One round: ``requests`` fixed-seed generates per mode, interleaved
+    request-by-request (``first`` picks which mode goes first in each pair)
+    so CPU-frequency and scheduler drift hits both modes identically."""
+    sessions = {
+        enabled: apps[enabled].create_session("bench")["session_id"]
+        for enabled in (True, False)
+    }
+    released: dict[bool, dict[str, np.ndarray]] = {True: {}, False: {}}
+    elapsed: dict[bool, float] = {True: 0.0, False: 0.0}
+    for index in range(requests):
+        seed = 1_000 + index
+        for enabled in (first, not first):
+            start = time.perf_counter()
+            record = apps[enabled].generate(sessions[enabled], rows, seed=seed)
+            elapsed[enabled] += time.perf_counter() - start
+            released[enabled][str(seed)] = record.report.released_dataset().data
+    totals = {
+        enabled: sum(arr.shape[0] for arr in released[enabled].values())
+        for enabled in (True, False)
+    }
+    return elapsed, totals, released
+
+
+def run_benchmark(
+    num_records: int, requests: int, rows: int, rounds: int
+) -> tuple[ExperimentResult, dict]:
+    result = ExperimentResult(
+        name=(
+            f"Telemetry overhead (toy-correlated, n={num_records}, "
+            f"{requests} requests x {rows} rows, {rounds} rounds per mode)"
+        ),
+        headers=["round", "telemetry", "released rows", "seconds", "rows / second"],
+    )
+    apps = {True: _build_app(num_records, True), False: _build_app(num_records, False)}
+    totals: dict[bool, list[float]] = {True: [0.0, 0.0], False: [0.0, 0.0]}
+    reference: dict[bool, dict[str, np.ndarray]] = {}
+    try:
+        _serve_round(apps, 1, rows, first=True)  # warmup both modes untimed
+
+        def ratio_so_far() -> float:
+            if totals[True][1] <= 0 or totals[False][1] <= 0:
+                return 0.0
+            rate_on = totals[True][0] / totals[True][1]
+            rate_off = totals[False][0] / totals[False][1]
+            return rate_on / rate_off if rate_off > 0 else 0.0
+
+        round_index = 0
+        # Run `rounds` rounds; if the aggregate ratio is below the floor,
+        # extend with up to 2 more batches — more samples average out
+        # scheduler noise, a real >=10% regression stays below the floor.
+        for batch in range(3):
+            for _ in range(rounds):
+                # alternate which mode leads each request pair so drift cancels
+                elapsed, round_totals, released = _serve_round(
+                    apps, requests, rows, first=round_index % 2 == 0
+                )
+                for enabled in (True, False):
+                    if enabled not in reference:
+                        reference[enabled] = released[enabled]
+                    totals[enabled][0] += round_totals[enabled]
+                    totals[enabled][1] += elapsed[enabled]
+                    result.add_row(
+                        round_index,
+                        "on" if enabled else "off",
+                        round_totals[enabled],
+                        elapsed[enabled],
+                        round_totals[enabled] / elapsed[enabled]
+                        if elapsed[enabled] > 0
+                        else 0.0,
+                    )
+                round_index += 1
+            if ratio_so_far() >= OVERHEAD_FLOOR:
+                break
+        rounds_run = round_index
+        for seed, rows_on in reference[True].items():
+            if not np.array_equal(rows_on, reference[False][seed]):
+                raise AssertionError(
+                    f"request seed {seed} released different rows with "
+                    "telemetry on vs off"
+                )
+        scrape = apps[True].metrics_text()
+        traces = len(apps[True].telemetry.tracer.trace_ids())
+    finally:
+        for app in apps.values():
+            app.close()
+    # Aggregate throughput over all rounds — per-round best-of rewards
+    # whichever mode got luckiest, aggregate rates cancel the noise.
+    rate_on = totals[True][0] / totals[True][1] if totals[True][1] > 0 else 0.0
+    rate_off = totals[False][0] / totals[False][1] if totals[False][1] > 0 else 0.0
+    ratio = rate_on / rate_off if rate_off > 0 else 0.0
+    summary = {
+        "rows_per_second_on": rate_on,
+        "rows_per_second_off": rate_off,
+        "on_off_ratio": ratio,
+        "overhead_floor": OVERHEAD_FLOOR,
+        "rounds_run": rounds_run,
+        "metrics_payload_bytes": len(scrape),
+        "traces_retained": traces,
+    }
+    result.notes = (
+        f"aggregate over {rounds_run} rounds: on {rate_on:.1f} rows/s, off "
+        f"{rate_off:.1f} rows/s, ratio {ratio:.3f} (floor {OVERHEAD_FLOOR:.2f}); "
+        "rows bit-identical on vs off"
+    )
+    return result, summary
+
+
+def check_overhead(summary: dict) -> None:
+    ratio = summary["on_off_ratio"]
+    if ratio < OVERHEAD_FLOOR:
+        raise AssertionError(
+            f"telemetry-on throughput is {summary['rows_per_second_on']:.1f} "
+            f"rows/s = {ratio:.3f}x telemetry-off "
+            f"({summary['rows_per_second_off']:.1f} rows/s); the overhead "
+            f"gate requires >= {OVERHEAD_FLOOR:.2f}x"
+        )
+
+
+def _record_json(summary: dict, params: dict, wall_time: float) -> None:
+    from conftest import write_benchmark_json
+
+    write_benchmark_json(
+        "bench_telemetry_overhead",
+        params=params,
+        wall_time=wall_time,
+        throughput=summary["rows_per_second_on"],
+        extra=summary,
+    )
+
+
+def test_telemetry_overhead(record_result):
+    num_records, requests, rows, rounds = _scale()
+    start = time.perf_counter()
+    result, summary = run_benchmark(num_records, requests, rows, rounds)
+    wall_time = time.perf_counter() - start
+    record_result("telemetry_overhead.txt", result)
+    _record_json(
+        summary,
+        {
+            "records": num_records,
+            "requests_per_round": requests,
+            "rows_per_request": rows,
+            "rounds_per_mode": rounds,
+        },
+        wall_time,
+    )
+    check_overhead(summary)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="smoke scale")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        os.environ["REPRO_BENCH_TELEMETRY_SMOKE"] = "1"
+    sys.path.insert(0, str(Path(__file__).parent))
+    num_records, requests, rows, rounds = _scale()
+    start = time.perf_counter()
+    result, summary = run_benchmark(num_records, requests, rows, rounds)
+    wall_time = time.perf_counter() - start
+    print(result.to_text())
+    _record_json(
+        summary,
+        {
+            "records": num_records,
+            "requests_per_round": requests,
+            "rows_per_request": rows,
+            "rounds_per_mode": rounds,
+        },
+        wall_time,
+    )
+    check_overhead(summary)
+    print(
+        f"overhead gate passed: on/off ratio {summary['on_off_ratio']:.3f} "
+        f">= {OVERHEAD_FLOOR:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ and add a violating/clean fixture pair to ``tests/analysis/``.
 from repro.analysis.rules import (  # noqa: F401
     determinism,
     locks,
+    observability,
     privacy,
     rng,
     robustness,

@@ -1,0 +1,119 @@
+"""Observability rules (family ``obs``).
+
+Tracing only stays trustworthy if every span that is opened is also closed:
+a span started with ``start_span`` and never ended lingers in the tracer's
+open set forever, never reaches the trace log, and silently truncates the
+request tree an operator debugs from.  Inside the production packages
+(``core/``, ``service/``) a ``start_span`` call must therefore either be
+used as a context manager (``with tracer.span(...)`` is the usual spelling)
+or be bound to a name whose ``.end()`` runs in a ``finally`` block of the
+same function — the only shapes that survive an exception on the traced
+path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceModule, register
+
+
+def _parent_map(tree: ast.AST) -> dict:
+    parents: dict = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _ancestors(node: ast.AST, parents: dict) -> Iterator[ast.AST]:
+    current = parents.get(node)
+    while current is not None:
+        yield current
+        current = parents.get(current)
+
+
+def _in_withitem(call: ast.Call, parents: dict) -> bool:
+    """True when the call is (part of) a ``with`` statement's context expr."""
+    child = call
+    for ancestor in _ancestors(call, parents):
+        if isinstance(ancestor, ast.withitem) and ancestor.context_expr is child:
+            return True
+        child = ancestor
+    return False
+
+
+def _assigned_name(call: ast.Call, parents: dict) -> str | None:
+    """The simple name the call's result is bound to, if any."""
+    parent = parents.get(call)
+    if isinstance(parent, ast.Assign) and parent.value is call:
+        if len(parent.targets) == 1 and isinstance(parent.targets[0], ast.Name):
+            return parent.targets[0].id
+    return None
+
+
+def _enclosing_function(call: ast.Call, parents: dict) -> ast.AST | None:
+    for ancestor in _ancestors(call, parents):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def _ended_in_finally(function: ast.AST, name: str) -> bool:
+    """True when some ``finally`` block in ``function`` calls ``name.end()``."""
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        for final_stmt in node.finalbody:
+            for sub in ast.walk(final_stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "end"
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == name
+                ):
+                    return True
+    return False
+
+
+@register
+class UnclosedSpanRule(Rule):
+    """``start_span`` calls in production code must be exception-safe."""
+
+    id = "obs-unclosed-span"
+    family = "obs"
+    summary = (
+        "a start_span call in core/ or service/ that is neither a context "
+        "manager nor bound to a name ended in a finally block leaks the "
+        "span on any exception"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        if not module.package_rel.startswith(("core/", "service/")):
+            return
+        parents = _parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "start_span"
+            ):
+                continue
+            if _in_withitem(node, parents):
+                continue
+            name = _assigned_name(node, parents)
+            if name is not None:
+                function = _enclosing_function(node, parents)
+                if function is not None and _ended_in_finally(function, name):
+                    continue
+            yield self.finding(
+                module,
+                node,
+                "start_span opens a span that no finally block closes; use "
+                "the tracer's `span(...)` context manager, or bind the span "
+                "and call `.end()` in a `finally`",
+            )

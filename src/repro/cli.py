@@ -265,6 +265,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         engines_per_model=args.engines_per_model,
         worker_budget=args.worker_budget,
         drain_timeout=args.drain_timeout,
+        telemetry=args.metrics or args.trace_log is not None,
+        trace_log=args.trace_log,
     )
     name = args.model_name or default_name
     print(f"fitting and publishing model {name!r} ({len(dataset)} records)...")
@@ -443,6 +445,20 @@ def main(argv: list[str] | None = None) -> int:
         help="default per-session accuracy contract for the privacy test: "
         "'approximate' runs the bounded-latency sampling test (release "
         "decisions stay bit-identical to exact)",
+    )
+    serve.add_argument(
+        "--metrics", dest="metrics", action="store_true", default=True,
+        help="expose the telemetry endpoints GET /metrics (Prometheus text) "
+        "and GET /trace/<request_id> (span tree); on by default",
+    )
+    serve.add_argument(
+        "--no-metrics", dest="metrics", action="store_false",
+        help="disable telemetry entirely (no tracer, no metrics registry)",
+    )
+    serve.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append every finished trace span to this JSON-lines file "
+        "(torn-tail tolerant; implies telemetry on)",
     )
     serve.add_argument(
         "--quiet", action="store_true", default=True,

@@ -82,6 +82,7 @@ import numpy as np
 
 from repro.core.mechanism import SynthesisMechanism
 from repro.core.results import SynthesisReport
+from repro.obs.profile import phase as obs_phase
 from repro.core.run_store import RunStore, dataset_fingerprint
 from repro.datasets.dataset import Dataset
 from repro.datasets.schema import Schema
@@ -162,7 +163,12 @@ def chunk_rng(base_seed: int, chunk_index: int) -> np.random.Generator:
 
 @dataclass(frozen=True)
 class ChunkProgress:
-    """One incremental progress event: a chunk report arrived at the parent."""
+    """One incremental progress event: a chunk report arrived at the parent.
+
+    ``lane_index`` identifies which fold lane (request) owns the chunk —
+    always 0 for unfolded single-request jobs — so the serving layer can
+    attribute per-chunk telemetry spans to the right request.
+    """
 
     chunk_index: int
     chunk_attempts: int
@@ -170,6 +176,7 @@ class ChunkProgress:
     total_attempts: int
     total_released: int
     from_checkpoint: bool = False
+    lane_index: int = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -565,6 +572,7 @@ class SynthesisEngine:
         max_chunk_retries: int = 2,
         fault_injector=None,
         approximate: ApproximateTestConfig | None = None,
+        event_sink=None,
     ):
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
@@ -585,6 +593,10 @@ class SynthesisEngine:
         self._max_chunk_retries = max_chunk_retries
         self._fault_injector = fault_injector
         self._approximate = approximate
+        # Optional supervision-event callback ``(kind, payload)`` with kind
+        # in {"worker_restart", "chunk_retry", "pool_rebuild"}.  Telemetry
+        # only: it must not raise, and it never influences execution.
+        self._event_sink = event_sink
         self._job_counter = 0
         self._pending_done = 0
         self._workload_digest: str | None = None
@@ -936,7 +948,7 @@ class SynthesisEngine:
             index += 1
         if reports:
             job = dataclasses.replace(job, completed=frozenset(reports))
-        tracker = _ProgressTracker(progress)
+        tracker = _ProgressTracker(progress, job)
         for index in sorted(reports):
             tracker.emit(index, reports[index], from_checkpoint=True)
 
@@ -1188,6 +1200,11 @@ class SynthesisEngine:
                 chunk_indices=indices,
             )
 
+    def _emit_event(self, kind: str, payload: dict) -> None:
+        """Forward one supervision event to the telemetry sink, if any."""
+        if self._event_sink is not None:
+            self._event_sink(kind, payload)
+
     def _supervise(self, job: _Job | None, reports: dict, exhausted: list | None) -> None:
         """Detect dead workers, respawn them, and re-dispatch lost chunks.
 
@@ -1215,6 +1232,9 @@ class SynthesisEngine:
             self._inflight[slot] = -1
             owed = slot in self._slot_owes_done
             self._worker_restarts += 1
+            self._emit_event(
+                "worker_restart", {"slot": slot, "lost_chunk": lost_chunk}
+            )
             self._spawn_worker(slot)  # raises EngineBrokenError on failure
             if job is None:
                 if owed:
@@ -1242,6 +1262,9 @@ class SynthesisEngine:
             exhausted.append(index)
         else:
             self._chunk_retries[index] = retries + 1
+            self._emit_event(
+                "chunk_retry", {"chunk": index, "retries": retries + 1}
+            )
             self._retry_pending.add(index)
             self._retry_queue.put(index)
 
@@ -1282,6 +1305,7 @@ class SynthesisEngine:
         builds everything fresh.
         """
         self._pool_rebuilds += 1
+        self._emit_event("pool_rebuild", {"rebuilds": self._pool_rebuilds})
         for process in self._processes:
             if process is None or not process.is_alive():
                 continue
@@ -1337,24 +1361,25 @@ class SynthesisEngine:
         """Per lane, merge the in-order chunk prefix truncated at its target."""
         lane_globals = _lane_globals(job)
         merged: list[SynthesisReport] = []
-        for lane_index, lane in enumerate(job.lanes):
-            ordered: list[SynthesisReport] = []
-            released = 0
-            for index in lane_globals[lane_index]:
-                if lane.target_released is not None and released >= lane.target_released:
-                    break
-                report = reports.get(index)
-                if report is None:
-                    if lane.target_released is None:
-                        raise RuntimeError(f"chunk {index} was never completed")
-                    break
-                ordered.append(report)
-                released += report.num_released
-            merged.append(
-                SynthesisReport.merged(
-                    self._schema, ordered, stop_after_released=lane.target_released
+        with obs_phase("merge"):
+            for lane_index, lane in enumerate(job.lanes):
+                ordered: list[SynthesisReport] = []
+                released = 0
+                for index in lane_globals[lane_index]:
+                    if lane.target_released is not None and released >= lane.target_released:
+                        break
+                    report = reports.get(index)
+                    if report is None:
+                        if lane.target_released is None:
+                            raise RuntimeError(f"chunk {index} was never completed")
+                        break
+                    ordered.append(report)
+                    released += report.num_released
+                merged.append(
+                    SynthesisReport.merged(
+                        self._schema, ordered, stop_after_released=lane.target_released
+                    )
                 )
-            )
         return merged
 
     # ------------------------------------------------------------------ #
@@ -1505,10 +1530,19 @@ class _FoldPrefix:
 
 
 class _ProgressTracker:
-    """Accumulates totals and forwards :class:`ChunkProgress` events."""
+    """Accumulates totals and forwards :class:`ChunkProgress` events.
 
-    def __init__(self, callback: Callable[[ChunkProgress], None] | None):
+    Holding the job lets every emission carry the owning fold lane, so the
+    serving layer can attribute chunk telemetry to the right request.
+    """
+
+    def __init__(
+        self,
+        callback: Callable[[ChunkProgress], None] | None,
+        job: "_Job | None" = None,
+    ):
         self._callback = callback
+        self._job = job
         self._total_attempts = 0
         self._total_released = 0
 
@@ -1516,6 +1550,7 @@ class _ProgressTracker:
         self._total_attempts += report.num_attempts
         self._total_released += report.num_released
         if self._callback is not None:
+            lane_index = self._job.entry(index)[0] if self._job is not None else 0
             self._callback(
                 ChunkProgress(
                     chunk_index=index,
@@ -1524,5 +1559,6 @@ class _ProgressTracker:
                     total_attempts=self._total_attempts,
                     total_released=self._total_released,
                     from_checkpoint=from_checkpoint,
+                    lane_index=lane_index,
                 )
             )

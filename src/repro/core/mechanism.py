@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.results import SynthesisAttempt, SynthesisReport
 from repro.datasets.dataset import Dataset
+from repro.obs.profile import phase as obs_phase
 from repro.generative.base import GenerativeModel
 from repro.privacy.approximate import (
     ApproximateTestConfig,
@@ -185,29 +186,35 @@ class SynthesisMechanism:
         """
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
-        seed_indices = rng.integers(len(self._seeds), size=batch_size)
-        candidates = self._model.generate_batch(self._seeds.data[seed_indices], rng)
-        if self._approximate_active():
-            results = self._approximate_batch_results(seed_indices, candidates, rng)
-        else:
-            fast_counts = self._fast_batch_counts(seed_indices, candidates)
-            if fast_counts is not None:
-                counts, partitions, checked, saturated = fast_counts
-                results = self._test.results_from_counts(
-                    counts, partitions, checked, rng, saturated=saturated
+        with obs_phase("sample"):
+            seed_indices = rng.integers(len(self._seeds), size=batch_size)
+            candidates = self._model.generate_batch(
+                self._seeds.data[seed_indices], rng
+            )
+        with obs_phase("privacy_test"):
+            if self._approximate_active():
+                results = self._approximate_batch_results(
+                    seed_indices, candidates, rng
                 )
             else:
-                probability_matrix = self._model.batch_probability_matrix(
-                    self._seeds.data, candidates
-                )
-                # The true seed is a row of the seed dataset, so its generation
-                # probability is already a column of the matrix.
-                seed_probabilities = probability_matrix[
-                    np.arange(batch_size), seed_indices
-                ]
-                results = self._test.run_batch(
-                    seed_probabilities, probability_matrix, rng
-                )
+                fast_counts = self._fast_batch_counts(seed_indices, candidates)
+                if fast_counts is not None:
+                    counts, partitions, checked, saturated = fast_counts
+                    results = self._test.results_from_counts(
+                        counts, partitions, checked, rng, saturated=saturated
+                    )
+                else:
+                    probability_matrix = self._model.batch_probability_matrix(
+                        self._seeds.data, candidates
+                    )
+                    # The true seed is a row of the seed dataset, so its
+                    # generation probability is already a column of the matrix.
+                    seed_probabilities = probability_matrix[
+                        np.arange(batch_size), seed_indices
+                    ]
+                    results = self._test.run_batch(
+                        seed_probabilities, probability_matrix, rng
+                    )
         return [
             SynthesisAttempt(
                 seed_index=int(seed_indices[index]),

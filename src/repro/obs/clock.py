@@ -1,0 +1,42 @@
+"""Injectable time sources for the telemetry subsystem.
+
+Telemetry must be determinism-safe: it consumes zero randomness and its
+timestamps never influence synthesis.  All span and phase timings come
+from ``time.monotonic`` behind the injectable :class:`Clock`, so tests can
+drive time by hand with :class:`ManualClock`.  The single sanctioned
+wall-clock read in ``repro.obs`` is :func:`wall_anchor`, recorded once per
+tracer so operators can line monotonic span offsets up with the wall-time
+audit log.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Monotonic time source.  The default reads ``time.monotonic``."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """Deterministic clock for tests: advances only when told to."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("ManualClock cannot move backwards")
+        self._now += float(seconds)
+
+
+def wall_anchor() -> float:
+    """The one wall-clock read telemetry is allowed: an anchor recorded at
+    tracer creation (operational metadata, never fed into synthesis)."""
+    return time.time()  # repro: allow[det-wall-clock] trace wall anchor

@@ -1,0 +1,342 @@
+"""A lock-safe metrics registry with Prometheus text exposition.
+
+Three instrument kinds — :class:`Counter` (monotonic), :class:`Gauge`
+(set/add), and :class:`Histogram` (fixed buckets chosen at registration) —
+all optionally labelled.  One ``threading.Lock`` per instrument keeps
+updates safe under the service's dispatcher and HTTP threads without a
+global bottleneck, and :meth:`MetricsRegistry.render` emits the standard
+``# HELP`` / ``# TYPE`` exposition with deterministically sorted metric
+names and label sets so the output is stable and diffable.
+
+No external client library is used (the container has none); the format
+targets the Prometheus text exposition format version 0.0.4.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    parts = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + parts + "}"
+
+
+class _Instrument:
+    """Shared plumbing: name/help validation, label handling, one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if not labels and not self.labelnames:  # hot path: unlabelled series
+            return ()
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def samples(self) -> List[str]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}{_render_labels(self.labelnames, key)} "
+            f"{_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depth, utilization, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        return [
+            f"{self.name}{_render_labels(self.labelnames, key)} "
+            f"{_format_value(value)}"
+            for key, value in items
+        ]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with cumulative ``_bucket`` samples plus
+    ``_sum`` and ``_count``, per the Prometheus convention."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        self.buckets = bounds
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        self._totals: Dict[Tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            self._sums[key] = self._sums.get(key, 0.0) + float(value)
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        key = self._key(labels)
+        with self._lock:
+            return self._totals.get(key, 0)
+
+    def sum(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._sums.get(key, 0.0)
+
+    def samples(self) -> List[str]:
+        with self._lock:
+            keys = sorted(self._totals) or ([()] if not self.labelnames else [])
+            counts = {k: list(self._counts.get(k, [0] * len(self.buckets))) for k in keys}
+            sums = {k: self._sums.get(k, 0.0) for k in keys}
+            totals = {k: self._totals.get(k, 0) for k in keys}
+        lines: List[str] = []
+        for key in keys:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts[key]):
+                cumulative += bucket_count
+                labels = _render_labels(
+                    self.labelnames + ("le",), key + (_format_value(bound),)
+                )
+                lines.append(f"{self.name}_bucket{labels} {cumulative}")
+            inf_labels = _render_labels(
+                self.labelnames + ("le",), key + ("+Inf",)
+            )
+            lines.append(f"{self.name}_bucket{inf_labels} {totals[key]}")
+            plain = _render_labels(self.labelnames, key)
+            lines.append(f"{self.name}_sum{plain} {_format_value(sums[key])}")
+            lines.append(f"{self.name}_count{plain} {totals[key]}")
+        return lines
+
+
+class MetricsRegistry:
+    """Holds instruments and renders them as Prometheus text exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def counter(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labelnames))
+
+    def gauge(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames, buckets))
+
+    def _register(self, instrument: _Instrument) -> "_Instrument":
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None:
+                raise ValueError(
+                    f"metric {instrument.name!r} already registered"
+                )
+            self._instruments[instrument.name] = instrument
+        return instrument
+
+    def get(self, name: str) -> _Instrument:
+        with self._lock:
+            return self._instruments[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def render(self) -> str:
+        with self._lock:
+            instruments = [
+                self._instruments[name] for name in sorted(self._instruments)
+            ]
+        lines: List[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.header())
+            lines.extend(instrument.samples())
+        return "\n".join(lines) + "\n"
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Best-effort validation of Prometheus text exposition.  Returns a
+    list of problems (empty means valid).  Used by tests and the CI smoke
+    scrape so a malformed ``/metrics`` payload fails loudly."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    helped: set = set()
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? "
+        r"([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$"
+    )
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                problems.append(f"line {lineno}: malformed HELP")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name = match.group(1)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            problems.append(f"line {lineno}: sample {name!r} missing TYPE")
+        if name not in helped and base not in helped:
+            problems.append(f"line {lineno}: sample {name!r} missing HELP")
+    return problems

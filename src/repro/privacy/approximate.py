@@ -34,6 +34,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs.profile import phase as obs_phase
 from repro.privacy.plausible_deniability import partition_numbers
 
 __all__ = [
@@ -369,7 +370,8 @@ def approximate_plausible_counts(
     escalate[active] = True
     escalate_ids = np.flatnonzero(escalate)
     if escalate_ids.size:
-        exact_counts, exact_checked = exact_fn(escalate_ids)
+        with obs_phase("privacy_test_escalation"):
+            exact_counts, exact_checked = exact_fn(escalate_ids)
         counts[escalate_ids] = np.asarray(exact_counts, dtype=np.int64)
         checked[escalate_ids] = np.asarray(exact_checked, dtype=np.int64)
         decided_round[escalate_ids] = rounds_run

@@ -22,13 +22,20 @@ The HTTP layer is a thin shim over the app: a stdlib
 third-party dependencies) exposing
 
 ====================  ======================================================
-``GET  /healthz``      liveness + model count
+``GET  /healthz``      liveness + model count + phase-profile summary
+``GET  /metrics``      Prometheus text exposition of the telemetry registry
+``GET  /trace/<id>``   the span tree of one request (telemetry tracing)
 ``GET  /models``       published models
 ``POST /sessions``     open a budgeted tenant session
 ``GET  /budget``       a session's spend / reservations / remainder (+ledger)
 ``POST /generate``     budget-checked synthesis (JSON page or NDJSON stream)
 ``GET  /releases/<id>``paginated access to a past release's rows
 ====================  ======================================================
+
+Telemetry (PR 10) is on by default and determinism-safe: spans and metrics
+consume zero randomness, all timings come from the monotonic clock, and the
+conformance suite proves released rows / ledgers are bit-identical with
+telemetry on vs off.  Construct with ``telemetry=False`` to disable.
 """
 
 from __future__ import annotations
@@ -48,11 +55,14 @@ import numpy as np
 
 from repro.core.engine import (
     MAX_FOLD_LANES,
+    ChunkProgress,
     EngineBrokenError,
     FoldSpec,
     SynthesisEngine,
 )
 from repro.core.results import SynthesisReport
+from repro.obs import Telemetry
+from repro.obs.profile import profiled
 from repro.privacy.approximate import ApproximateTestConfig
 from repro.service.engine_pool import EnginePool
 from repro.service.journal import BudgetJournal, read_journal
@@ -251,6 +261,8 @@ class ServiceApp:
         engines_per_model: int = 1,
         worker_budget: int | None = None,
         drain_timeout: float = 30.0,
+        telemetry: "bool | Telemetry" = True,
+        trace_log: str | Path | None = None,
     ):
         """``num_workers`` sizes each persistent engine's worker pool (1 = the
         in-process chunked reference path).  ``store_max_bytes`` caps the
@@ -280,6 +292,13 @@ class ServiceApp:
         least-recently-used-first to stay under it); ``drain_timeout`` bounds
         how long :meth:`close` lets in-flight folded batches finish before
         failing still-queued requests.
+
+        Observability knobs (PR 10): ``telemetry`` enables the in-process
+        :class:`~repro.obs.Telemetry` hub (tracer + metrics registry +
+        per-phase profiles; pass a pre-built instance to share one hub);
+        ``trace_log`` names an append-only JSON-lines file that receives
+        every finished span (torn-tail tolerant, same discipline as the
+        budget journal).
         """
         if max_releases < 1:
             raise ValueError("max_releases must be at least 1")
@@ -305,11 +324,26 @@ class ServiceApp:
         self._release_counter = 0  # repro: guarded-by[_lock]
         self._idempotency: dict[tuple[str, str], dict] = {}  # repro: guarded-by[_lock]
         self._closed = False  # repro: guarded-by[_lock]
+        if isinstance(telemetry, Telemetry):
+            self._obs: Telemetry | None = telemetry
+        elif telemetry:
+            self._obs = Telemetry(trace_log=trace_log)
+        else:
+            self._obs = None
+        # Per-engine-key seed-record counts, written once at engine build and
+        # read at privacy-span time to derive scan fractions.
+        self._seed_counts: dict[str, int] = {}  # repro: guarded-by[_lock]
+        # Thread-local fold context: the dispatcher thread running a folded
+        # batch parks its requests here so engine supervision events
+        # (worker restarts, chunk retries, pool rebuilds) can be attributed
+        # to the traces of the requests that were in flight.
+        self._fold_ctx = threading.local()
         self._pool = EnginePool(
             self._build_engine,
             engines_per_model=engines_per_model,
             workers_per_engine=num_workers,
             worker_budget=worker_budget,
+            telemetry=self._obs,
         )
         self._scheduler = RequestScheduler(
             fold_executor=self._execute_fold,
@@ -318,6 +352,7 @@ class ServiceApp:
             engines_per_model=engines_per_model,
             dispatch_hook=dispatch_hook,
             drain_timeout=drain_timeout,
+            telemetry=self._obs,
         )
         # Journal replay: counters and idempotency records are restored
         # immediately; each session's budget history replays through the real
@@ -357,10 +392,17 @@ class ServiceApp:
                 self._audit_handle = None
         if self._journal is not None:
             self._journal.close()
+        if self._obs is not None:
+            self._obs.close()
 
     @property
     def registry(self) -> ModelRegistry:
         return self._registry
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The telemetry hub, or None when constructed with telemetry=False."""
+        return self._obs
 
     @property
     def scheduler(self) -> RequestScheduler:
@@ -471,6 +513,7 @@ class ServiceApp:
                 per_row_cost=published.per_row_cost(),
                 model_k=published.params.k,
                 audit_sink=self._sink,
+                spend_hook=self._spend_hook if self._obs is not None else None,
             )
         except ValueError as exc:
             raise ServiceError(409, "k_floor_violation", str(exc)) from exc
@@ -533,6 +576,8 @@ class ServiceApp:
         approximate = config.approximate
         if variant == "approx":
             approximate = approximate or ApproximateTestConfig()
+        with self._lock:
+            self._seed_counts[engine_key] = len(model.pipeline.splits.seeds)
         return SynthesisEngine(
             model.pipeline.model,
             model.pipeline.splits.seeds,
@@ -542,6 +587,7 @@ class ServiceApp:
             batch_size=config.batch_size,
             max_chunk_retries=config.max_chunk_retries,
             approximate=approximate,
+            event_sink=self._engine_event if self._obs is not None else None,
         )
 
     def _fold_window(
@@ -562,10 +608,32 @@ class ServiceApp:
             )
             for request in requests
         ]
+        obs = self._obs
         for attempt in (0, 1):
             lease = self._pool.checkout(model_id)
+            fold_start = obs.clock.monotonic() if obs is not None else 0.0
+            chunk_events: list[tuple[ChunkProgress, float, float]] = []
+            progress = None
+            profile = None
+            if obs is not None:
+                last_seen: dict[int, float] = {}
+
+                def progress(p, _last=last_seen, _start=fold_start):
+                    # Called from the dispatcher thread (generate_folded is
+                    # synchronous) — per-lane last-event times bound each
+                    # chunk span without touching the engine's hot path.
+                    now = obs.clock.monotonic()
+                    chunk_events.append((p, _last.get(p.lane_index, _start), now))
+                    _last[p.lane_index] = now
+
+                profile = obs.new_profile()
             try:
-                reports = lease.engine.generate_folded(specs)
+                self._fold_ctx.requests = requests
+                if obs is not None:
+                    with profiled(profile):
+                        reports = lease.engine.generate_folded(specs, progress=progress)
+                else:
+                    reports = lease.engine.generate_folded(specs)
             except EngineBrokenError:
                 self._pool.discard(lease)
                 if attempt:
@@ -574,9 +642,117 @@ class ServiceApp:
             except BaseException:
                 self._pool.release(lease)
                 raise
+            finally:
+                self._fold_ctx.requests = None
             self._pool.release(lease)
+            if obs is not None:
+                obs.observe_profile(profile)
+                self._record_fold_telemetry(
+                    model_id, requests, reports, fold_start, chunk_events, profile
+                )
             return reports
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _engine_event(self, kind: str, payload: dict) -> None:
+        """Engine supervision event sink (telemetry only; never raises).
+
+        Counts the event in the metrics registry and attaches a zero-duration
+        span to every request in the fold the dispatcher thread is running —
+        a worker restart or pool rebuild affects the whole fused job, so each
+        folded lane's trace records it.
+        """
+        obs = self._obs
+        if obs is None:
+            return
+        obs.engine_event(kind, payload)
+        requests = getattr(self._fold_ctx, "requests", None) or ()
+        for request in requests:
+            obs.tracer.event(
+                request.request_id,
+                kind,
+                parent_id=request.trace_parent,
+                attrs=dict(payload),
+            )
+
+    def _record_fold_telemetry(
+        self,
+        engine_key: str,
+        requests: list[GenerateRequest],
+        reports: list[SynthesisReport],
+        fold_start: float,
+        chunk_events: list,
+        profile,
+    ) -> None:
+        """Spans for one finished fold window: fold → engine_job → chunks + test."""
+        obs = self._obs
+        assert obs is not None
+        fold_end = obs.clock.monotonic()
+        path = "approximate" if engine_key.endswith("#approx") else "exact"
+        with self._lock:
+            num_seeds = self._seed_counts.get(engine_key, 0)
+        phases = profile.snapshot()
+        for lane, (request, report) in enumerate(zip(requests, reports)):
+            fold_span = obs.tracer.record_span(
+                request.request_id,
+                "fold",
+                start=fold_start,
+                end=fold_end,
+                parent_id=request.trace_parent,
+                attrs={
+                    "engine_key": engine_key,
+                    "lanes": len(requests),
+                    "lane_index": lane,
+                    "phases": phases,
+                },
+            )
+            engine_span = obs.tracer.record_span(
+                request.request_id,
+                "engine_job",
+                start=fold_start,
+                end=fold_end,
+                parent_id=fold_span.span_id,
+                attrs={
+                    "attempts": report.num_attempts,
+                    "released": report.num_released,
+                },
+            )
+            for p, start, end in chunk_events:
+                if p.lane_index != lane:
+                    continue
+                obs.tracer.record_span(
+                    request.request_id,
+                    "engine_chunk",
+                    start=start,
+                    end=end,
+                    parent_id=engine_span.span_id,
+                    attrs={
+                        "chunk_index": p.chunk_index,
+                        "attempts": p.chunk_attempts,
+                        "released": p.chunk_released,
+                        "from_checkpoint": p.from_checkpoint,
+                    },
+                )
+            attempts = getattr(report, "attempts", None) or ()
+            checked = sum(a.test.records_checked for a in attempts)
+            escalations = sum(1 for a in attempts if a.test.escalated)
+            test_attrs = {
+                "path": path,
+                "test_attempts": len(attempts),
+                "records_checked": checked,
+                "escalations": escalations,
+            }
+            if num_seeds and attempts:
+                available = len(attempts) * num_seeds
+                test_attrs["scan_fraction"] = checked / available
+                obs.privacy_records_available_total.inc(available)
+            obs.tracer.record_span(
+                request.request_id,
+                "privacy_test",
+                start=fold_end,
+                end=fold_end,
+                parent_id=engine_span.span_id,
+                attrs=test_attrs,
+            )
 
     def _execute_fold(
         self, model_id: str, requests: list[GenerateRequest]
@@ -620,7 +796,11 @@ class ServiceApp:
         if rows < 1:
             raise ServiceError(400, "bad_rows", "rows must be a positive integer")
         session = self._session(session_id)
+        obs = self._obs
+        t_model = obs.clock.monotonic() if obs is not None else 0.0
         model = self.model(session.model_id)
+        if obs is not None:
+            obs.add_phase("fit_cache", obs.clock.monotonic() - t_model)
         if idempotency_key is not None:
             with self._lock:
                 meta = self._idempotency.get((session_id, idempotency_key))
@@ -633,6 +813,49 @@ class ServiceApp:
             if seed is not None
             else derive_request_seed(model.model_id, session_id, sequence)
         )
+        if obs is None:
+            return self._dispatch_generate(
+                session, model, request_id, rows, base_seed,
+                max_attempts, idempotency_key, root=None,
+            )
+        root = obs.tracer.start_span(
+            request_id,
+            "request",
+            attrs={
+                "session": session_id,
+                "tenant": session.tenant,
+                "model": model.model_id,
+                "rows": rows,
+            },
+        )
+        try:
+            return self._dispatch_generate(
+                session, model, request_id, rows, base_seed,
+                max_attempts, idempotency_key, root=root,
+            )
+        finally:
+            root.end()
+
+    def _dispatch_generate(
+        self,
+        session: TenantSession,
+        model: PublishedModel,
+        request_id: str,
+        rows: int,
+        base_seed: int,
+        max_attempts: int | None,
+        idempotency_key: str | None,
+        root,
+    ) -> ReleaseRecord:
+        """Reserve → scheduler dispatch → commit for one admitted request.
+
+        ``root`` is the request's root trace span (or None with telemetry
+        off); reserve and commit get child spans, and the scheduler / fold
+        path hang their spans off ``trace_parent``.
+        """
+        obs = self._obs
+        session_id = session.session_id
+        t_reserve = obs.clock.monotonic() if obs is not None else 0.0
         try:
             reservation = session.reserve(request_id, rows)
         except BudgetExceededError as exc:
@@ -642,6 +865,14 @@ class ServiceApp:
                 str(exc),
                 remaining=_jsonable(exc.remaining),
             ) from exc
+        if obs is not None:
+            now = obs.clock.monotonic()
+            obs.tracer.record_span(
+                request_id, "reserve",
+                start=t_reserve, end=now, parent_id=root.span_id,
+                attrs={"rows": rows},
+            )
+            obs.add_phase("reserve", now - t_reserve)
         deadline = (
             time.monotonic() + self._deadline_ms / 1000.0
             if self._deadline_ms is not None
@@ -655,6 +886,7 @@ class ServiceApp:
             base_seed=base_seed,
             max_attempts=max_attempts,
             deadline=deadline,
+            trace_parent=root.span_id if root is not None else None,
         )
         try:
             report = self._scheduler.submit(request).result()
@@ -672,7 +904,19 @@ class ServiceApp:
         except BaseException:
             session.cancel(reservation)
             raise
+        t_commit = obs.clock.monotonic() if obs is not None else 0.0
         session.commit(reservation, report.num_released)
+        if obs is not None:
+            now = obs.clock.monotonic()
+            obs.tracer.record_span(
+                request_id, "commit",
+                start=t_commit, end=now, parent_id=root.span_id,
+                attrs={"released_rows": report.num_released},
+            )
+            obs.add_phase("commit", now - t_commit)
+            obs.releases_total.inc()
+            obs.released_rows_total.inc(report.num_released)
+            root.set_attr("released_rows", report.num_released)
         with self._lock:
             self._release_counter += 1
             release_id = f"rel{self._release_counter:06d}"
@@ -785,6 +1029,8 @@ class ServiceApp:
                 "utilization": stats.utilization,
                 "completed": stats.completed,
                 "failed": stats.failed,
+                "folded_lanes": stats.folded_lanes,
+                "dropped_before_fold": stats.dropped_before_fold,
             },
             "privacy_test": {
                 "records_checked": stats.records_checked,
@@ -792,11 +1038,69 @@ class ServiceApp:
                 "escalations": stats.escalations,
                 "escalation_rate": stats.escalation_rate,
             },
+            "telemetry": (
+                {"enabled": True, "phases": self._obs.phase_summary()}
+                if self._obs is not None
+                else {"enabled": False}
+            ),
         }
 
     def pool_health(self) -> dict:
         """The engine pool's per-model supervision counters (see /healthz)."""
         return self._pool.health()
+
+    # ------------------------------------------------------------------ #
+    # Telemetry endpoints
+    # ------------------------------------------------------------------ #
+    def _spend_hook(self, tenant: str, rows: int, epsilon: float, delta: float) -> None:
+        """Session commit observer → per-tenant spend counters."""
+        obs = self._obs
+        if obs is None:
+            return
+        obs.tenant_rows_spent_total.inc(rows, tenant=tenant)
+        obs.tenant_epsilon_spent_total.inc(epsilon, tenant=tenant)
+        obs.tenant_delta_spent_total.inc(delta, tenant=tenant)
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the metrics registry.
+
+        Point-in-time gauges (queue depth, utilization, scan fraction,
+        escalation rate, fit-cache hit counters) are refreshed from their
+        sources at scrape time; everything else is event-driven.
+        """
+        obs = self._obs
+        if obs is None:
+            raise ServiceError(
+                404, "telemetry_disabled", "this server runs with telemetry off"
+            )
+        stats = self._scheduler.stats()
+        obs.queue_depth.set(self._scheduler.queue_depth())
+        obs.engine_utilization.set(stats.utilization)
+        obs.privacy_escalation_rate.set(stats.escalation_rate)
+        available = obs.privacy_records_available_total.value()
+        obs.privacy_scan_fraction.set(
+            stats.records_checked / available if available else 0.0
+        )
+        hits, misses = self._registry.cache_stats
+        obs.fit_cache_hits.set(hits)
+        obs.fit_cache_misses.set(misses)
+        return obs.metrics.render()
+
+    def trace(self, request_id: str) -> dict:
+        """The span tree of one request (``GET /trace/<request_id>``)."""
+        if self._obs is None:
+            raise ServiceError(
+                404, "telemetry_disabled", "this server runs with telemetry off"
+            )
+        data = self._obs.tracer.trace(request_id)
+        if data is None:
+            raise ServiceError(
+                404,
+                "unknown_trace",
+                f"no trace for request {request_id!r} (unknown, or evicted "
+                "from the bounded trace history)",
+            )
+        return data
 
     # ------------------------------------------------------------------ #
     # Journal replay
@@ -869,6 +1173,7 @@ class ServiceApp:
             per_row_cost=published.per_row_cost(),
             model_k=published.params.k,
             audit_sink=self._sink,
+            spend_hook=self._spend_hook if self._obs is not None else None,
         )
         self._replaying = True
         try:
@@ -928,6 +1233,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length > _MAX_BODY_BYTES:
@@ -967,6 +1280,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
     def _route(self, method: str, path: str, query: dict) -> None:
         if method == "GET" and path == "/healthz":
             self._send_json(200, self.app.healthz())
+        elif method == "GET" and path == "/metrics":
+            self._send_text(
+                200,
+                self.app.metrics_text(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif method == "GET" and path.startswith("/trace/"):
+            self._send_json(200, self.app.trace(path.removeprefix("/trace/")))
         elif method == "GET" and path == "/models":
             self._send_json(200, {"models": self.app.list_models()})
         elif method == "GET" and path.startswith("/models/"):
@@ -1019,6 +1340,8 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             max_attempts=_as_int(body.get("max_attempts"), "max_attempts"),
             idempotency_key=str(idempotency_key) if idempotency_key else None,
         )
+        obs = self.app.telemetry
+        t_serialize = obs.clock.monotonic() if obs is not None else 0.0
         if body.get("stream"):
             # NDJSON stream: one header line, then one line per released row.
             self.send_response(200)
@@ -1029,6 +1352,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self.wfile.write((json.dumps(_jsonable(header)) + "\n").encode())
             for row in record.decoded_rows():
                 self.wfile.write((json.dumps(_jsonable(row)) + "\n").encode())
+            self._serialize_span(obs, record, t_serialize, streamed=True)
             return
         limit = _as_int(body.get("limit"), "limit", _DEFAULT_PAGE_LIMIT)
         page = record.page(0, limit)
@@ -1036,6 +1360,20 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         page["columns"] = record.report.schema.names
         page["budget"] = self.app.budget(record.session_id)["remaining"]
         self._send_json(200, page)
+        self._serialize_span(obs, record, t_serialize, streamed=False)
+
+    def _serialize_span(self, obs, record, start: float, streamed: bool) -> None:
+        if obs is None:
+            return
+        now = obs.clock.monotonic()
+        obs.tracer.record_span(
+            record.request_id,
+            "serialize",
+            start=start,
+            end=now,
+            attrs={"streamed": streamed, "released_rows": record.num_released},
+        )
+        obs.add_phase("serialize", now - start)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

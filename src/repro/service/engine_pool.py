@@ -104,6 +104,7 @@ class EnginePool:
         engines_per_model: int = 1,
         workers_per_engine: int = 1,
         worker_budget: int | None = None,
+        telemetry=None,
     ):
         if engines_per_model < 1:
             raise ValueError("engines_per_model must be positive")
@@ -115,6 +116,9 @@ class EnginePool:
         self._engines_per_model = engines_per_model
         self._workers_per_engine = workers_per_engine
         self._worker_budget = worker_budget
+        # Optional repro.obs.Telemetry; checkout waits land in a histogram
+        # so engine contention is visible on /metrics.
+        self._obs = telemetry
         self._lock = threading.Lock()
         self._leases_changed = threading.Condition(self._lock)
         self._entries: dict[str, list[_PooledEngine]] = {}  # repro: guarded-by[_lock]
@@ -136,7 +140,8 @@ class EnginePool:
         allowed engine is leased out, and :class:`WorkerBudgetError` if the
         budget can never fit one engine.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        requested_at = time.monotonic()
+        deadline = None if timeout is None else requested_at + timeout
         while True:
             doomed: list[SynthesisEngine] = []
             build = False
@@ -164,8 +169,16 @@ class EnginePool:
             if not build:
                 if doomed:
                     continue  # evicted a broken engine; try the shelf again
+                self._observe_checkout_wait(requested_at)
                 return EngineLease(entry)
+            self._observe_checkout_wait(requested_at)
             return self._build_lease(model_id)
+
+    def _observe_checkout_wait(self, requested_at: float) -> None:
+        if self._obs is not None:
+            self._obs.engine_checkout_wait_seconds.observe(
+                max(0.0, time.monotonic() - requested_at)
+            )
 
     def release(self, lease: EngineLease) -> None:
         """Return a healthy lease; a broken engine is evicted instead.

@@ -119,6 +119,8 @@ class ModelRegistry:
         self._published_at: dict[str, float] = {}  # repro: guarded-by[_lock]
         self._descriptions: dict[str, dict] = {}  # repro: guarded-by[_lock]
         self._fits_performed = 0  # repro: guarded-by[_lock]
+        self._cache_hits = 0  # repro: guarded-by[_lock]
+        self._cache_misses = 0  # repro: guarded-by[_lock]
 
     @property
     def run_store(self) -> RunStore | None:
@@ -130,6 +132,13 @@ class ModelRegistry:
         """How many real (non-cached) pipeline fits this registry has run."""
         with self._lock:
             return self._fits_performed
+
+    @property
+    def cache_stats(self) -> tuple[int, int]:
+        """``(hits, misses)`` of the warm model cache — the serving layer's
+        fit-cache telemetry reads this at scrape time."""
+        with self._lock:
+            return self._cache_hits, self._cache_misses
 
     # ------------------------------------------------------------------ #
     # Publishing
@@ -185,11 +194,13 @@ class ModelRegistry:
     def _get_locked(self, model_id: str) -> PublishedModel:  # repro: requires-lock[_lock]
         cached = self._cache.get(model_id)
         if cached is not None:
+            self._cache_hits += 1
             self._cache.move_to_end(model_id)
             return cached
         spec = self._specs.get(model_id)
         if spec is None:
             raise KeyError(f"no published model {model_id!r}")
+        self._cache_misses += 1
         model = self._fit(spec, model_id)
         self._cache[model_id] = model
         self._descriptions[model_id] = model.describe()

@@ -91,6 +91,9 @@ class GenerateRequest:
     base_seed: int
     max_attempts: int | None = None
     deadline: float | None = None
+    # Span id of the request's root trace span; the scheduler parents its
+    # queue-wait span here.  Telemetry-only — never touches execution.
+    trace_parent: str | None = None
 
 
 @dataclass
@@ -122,6 +125,8 @@ class SchedulerStats:
     batch_sizes: list[int] = field(default_factory=list)
     rejected: int = 0  # admission refusals (queue at max_queue_depth)
     expired: int = 0  # requests dropped at dispatch for a passed deadline
+    folded_lanes: int = 0  # requests actually executed as fold lanes
+    dropped_before_fold: int = 0  # drained but never folded (cancel/expiry/hook)
     fold_factor: float = 0.0  # mean requests per dispatched fold
     queue_wait_seconds: float = 0.0  # cumulative admission->dispatch wait
     max_queue_wait: float = 0.0  # worst single admission->dispatch wait
@@ -169,6 +174,7 @@ class RequestScheduler:
         dispatch_hook: Callable[[GenerateRequest], None] | None = None,
         drain_timeout: float = 30.0,
         autostart: bool = True,
+        telemetry=None,
     ):
         """Exactly one of ``executor`` / ``fold_executor`` runs the work.
 
@@ -189,7 +195,10 @@ class RequestScheduler:
         :meth:`close` waits for in-flight folds to finish before abandoning
         them.  ``autostart=False`` leaves dispatching stopped until
         :meth:`start` — tests use this to queue a burst deterministically and
-        observe it fold into one batch.
+        observe it fold into one batch.  ``telemetry`` is an optional
+        :class:`repro.obs.Telemetry`: when present the scheduler records a
+        queue-wait span per request at dequeue, observes queue depth/wait
+        and fold-shape metrics, and counts requests dropped before folding.
         """
         if (executor is None) == (fold_executor is None):
             raise ValueError("provide exactly one of executor / fold_executor")
@@ -209,6 +218,7 @@ class RequestScheduler:
         self._engines_per_model = engines_per_model
         self._dispatch_hook = dispatch_hook
         self._drain_timeout = drain_timeout
+        self._obs = telemetry
         self._stats = SchedulerStats()  # repro: guarded-by[_lock]
         self._lock = threading.Lock()
         self._queues: dict[str, deque] = {}  # repro: guarded-by[_lock]
@@ -310,8 +320,11 @@ class RequestScheduler:
             if queue is None:
                 queue = self._queues[request.model_id] = deque()
             queue.append((request, future, time.monotonic()))
+            depth = self._depth
             if self._started:
                 self._spawn_dispatchers_locked(request.model_id)
+        if self._obs is not None:
+            self._obs.queue_depth.set(depth)
         return future
 
     def stats(self) -> SchedulerStats:
@@ -333,6 +346,8 @@ class RequestScheduler:
                 batch_sizes=list(self._stats.batch_sizes),
                 rejected=self._stats.rejected,
                 expired=self._stats.expired,
+                folded_lanes=self._stats.folded_lanes,
+                dropped_before_fold=self._stats.dropped_before_fold,
                 fold_factor=(
                     sum(self._stats.batch_sizes) / batches if batches else 0.0
                 ),
@@ -391,22 +406,39 @@ class RequestScheduler:
                     self._dispatchers[model_id] -= 1
                     return
                 batch = []
+                waits = []
                 while queue and (
                     self._max_batch is None or len(batch) < self._max_batch
                 ):
-                    batch.append(queue.popleft())
+                    entry = queue.popleft()
+                    # Queue wait is measured here, at the actual dequeue —
+                    # not after the hook/deadline checks in the fold path —
+                    # so a stalled dispatch hook can't inflate it.
+                    wait = max(0.0, time.monotonic() - entry[2])
+                    waits.append(wait)
+                    batch.append(entry)
+                    self._stats.queue_wait_seconds += wait
+                    self._stats.max_queue_wait = max(
+                        self._stats.max_queue_wait, wait
+                    )
                 self._depth -= len(batch)
-                now = time.monotonic()
+                depth = self._depth
                 self._stats.batches += 1
                 self._stats.max_batch = max(self._stats.max_batch, len(batch))
                 self._stats.batch_sizes.append(len(batch))
                 if len(batch) > 1:
                     self._stats.coalesced += len(batch)
-                for _request, _future, enqueued_at in batch:
-                    wait = max(0.0, now - enqueued_at)
-                    self._stats.queue_wait_seconds += wait
-                    self._stats.max_queue_wait = max(
-                        self._stats.max_queue_wait, wait
+            if self._obs is not None:
+                self._obs.queue_depth.set(depth)
+                for (request, _future, enqueued_at), wait in zip(batch, waits):
+                    self._obs.queue_wait_seconds.observe(wait)
+                    self._obs.tracer.record_span(
+                        request.request_id,
+                        "queue_wait",
+                        start=enqueued_at,
+                        end=enqueued_at + wait,
+                        parent_id=request.trace_parent,
+                        attrs={"model": request.model_id},
                     )
             self._run_fold(model_id, batch)
 
@@ -415,6 +447,10 @@ class RequestScheduler:
         ready: list[tuple[GenerateRequest, Future]] = []
         for request, future, _enqueued_at in batch:
             if not future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._stats.dropped_before_fold += 1
+                if self._obs is not None:
+                    self._obs.fold_dropped_total.inc(reason="cancelled")
                 continue
             try:
                 if self._dispatch_hook is not None:
@@ -428,15 +464,28 @@ class RequestScheduler:
                         "deadline in the queue and was dropped undispatched"
                     )
             except BaseException as exc:  # surface to the waiting caller
+                expired = isinstance(exc, DeadlineExceededError)
                 with self._lock:
                     self._stats.failed += 1
-                    if isinstance(exc, DeadlineExceededError):
+                    self._stats.dropped_before_fold += 1
+                    if expired:
                         self._stats.expired += 1
+                if self._obs is not None:
+                    self._obs.fold_dropped_total.inc(
+                        reason="expired" if expired else "hook"
+                    )
+                    self._obs.requests_total.inc(status="failed")
                 future.set_exception(exc)
                 continue
             ready.append((request, future))
         if not ready:
             return
+        with self._lock:
+            self._stats.folded_lanes += len(ready)
+        if self._obs is not None:
+            self._obs.folds_total.inc()
+            self._obs.folded_lanes_total.inc(len(ready))
+            self._obs.fold_lanes.observe(len(ready))
         started = time.monotonic()
         try:
             outcomes = list(
@@ -452,12 +501,16 @@ class RequestScheduler:
         busy = time.monotonic() - started
         with self._lock:
             self._stats.engine_busy_seconds += busy
+        if self._obs is not None:
+            self._obs.engine_busy_seconds_total.inc(busy)
         for (request, future), outcome in zip(ready, outcomes):
             if isinstance(outcome, BaseException):
                 with self._lock:
                     self._stats.failed += 1
                     if isinstance(outcome, DeadlineExceededError):
                         self._stats.expired += 1
+                if self._obs is not None:
+                    self._obs.requests_total.inc(status="failed")
                 future.set_exception(outcome)
             else:
                 checked = 0
@@ -471,4 +524,9 @@ class RequestScheduler:
                     self._stats.records_checked += checked
                     self._stats.test_attempts += len(attempts)
                     self._stats.escalations += escalated
+                if self._obs is not None:
+                    self._obs.requests_total.inc(status="completed")
+                    self._obs.privacy_test_attempts_total.inc(len(attempts))
+                    self._obs.privacy_records_checked_total.inc(checked)
+                    self._obs.privacy_escalations_total.inc(escalated)
                 future.set_result(outcome)

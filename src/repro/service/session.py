@@ -137,6 +137,7 @@ class TenantSession:
         model_k: int,
         accountant: PrivacyAccountant | None = None,
         audit_sink: "Callable[[dict], None] | None" = None,
+        spend_hook: "Callable[[str, int, float, float], None] | None" = None,
     ):
         if model_k < budget.min_k:
             raise ValueError(
@@ -154,6 +155,10 @@ class TenantSession:
         self.model_k = model_k
         self.accountant = accountant if accountant is not None else PrivacyAccountant()
         self._audit_sink = audit_sink
+        # Telemetry-only observer called outside budget decisions as
+        # ``spend_hook(tenant, rows, epsilon, delta)`` on every commit, so
+        # the service can expose per-tenant spend counters on /metrics.
+        self._spend_hook = spend_hook
         self._lock = threading.Lock()
         self._spent = _Spent()  # repro: guarded-by[_lock]
         self._reserved = _Spent()  # repro: guarded-by[_lock]
@@ -316,6 +321,13 @@ class TenantSession:
                 reserved_rows=reservation.rows, released_rows=released_rows,
                 epsilon=released_rows * eps_row, delta=released_rows * delta_row,
                 remaining=self._remaining_locked(),
+            )
+        if self._spend_hook is not None:
+            self._spend_hook(
+                self.tenant,
+                released_rows,
+                released_rows * eps_row,
+                released_rows * delta_row,
             )
 
     def cancel(self, reservation: Reservation, reason: str = "error") -> None:

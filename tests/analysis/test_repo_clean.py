@@ -55,7 +55,7 @@ def test_baseline_is_small_and_annotated():
         assert rule in ("det-wall-clock", "robust-swallowed-exception")
 
 
-@pytest.mark.parametrize("family", ["rng", "privacy", "lock", "det", "robust"])
+@pytest.mark.parametrize("family", ["rng", "privacy", "lock", "det", "robust", "obs"])
 def test_each_family_runs_clean_standalone(family):
     result = lint_paths([SRC_TREE], select=family, root=REPO_ROOT)
     Baseline.load(BASELINE).apply(result)

@@ -25,7 +25,7 @@ def rules_fired(source: str, path: str = "src/repro/core/mod.py") -> list[str]:
 class TestRegistry:
     def test_all_families_registered(self):
         families = {rule.family for rule in all_rules()}
-        assert families == {"rng", "privacy", "lock", "det", "robust"}
+        assert families == {"rng", "privacy", "lock", "det", "robust", "obs"}
 
     def test_rule_ids_unique_and_prefixed(self):
         rules = all_rules()
@@ -555,6 +555,74 @@ class TestRobustSwallowedException:
             "    # repro: allow[robust-swallowed-exception]\n"
             "    except Exception:\n"
             "        pass\n"
+        )
+        assert rules_fired(source) == []
+
+
+# --------------------------------------------------------------------------- #
+# obs family
+# --------------------------------------------------------------------------- #
+class TestObsUnclosedSpan:
+    def test_bare_start_span_flagged(self):
+        source = (
+            "def handle(tracer, rid):\n"
+            "    tracer.start_span(rid, 'request')\n"
+            "    return do_work()\n"
+        )
+        assert "obs-unclosed-span" in rules_fired(source)
+
+    def test_assigned_without_finally_flagged(self):
+        source = (
+            "def handle(tracer, rid):\n"
+            "    span = tracer.start_span(rid, 'request')\n"
+            "    result = do_work()\n"
+            "    span.end()\n"
+            "    return result\n"
+        )
+        assert "obs-unclosed-span" in rules_fired(source)
+
+    def test_assigned_with_finally_end_clean(self):
+        source = (
+            "def handle(tracer, rid):\n"
+            "    span = tracer.start_span(rid, 'request')\n"
+            "    try:\n"
+            "        return do_work()\n"
+            "    finally:\n"
+            "        span.end()\n"
+        )
+        assert "obs-unclosed-span" not in rules_fired(source)
+
+    def test_context_manager_clean(self):
+        source = (
+            "def handle(tracer, rid):\n"
+            "    with tracer.start_span(rid, 'request'):\n"
+            "        return do_work()\n"
+        )
+        assert "obs-unclosed-span" not in rules_fired(source)
+
+    def test_wrong_name_ended_in_finally_flagged(self):
+        source = (
+            "def handle(tracer, rid, other):\n"
+            "    span = tracer.start_span(rid, 'request')\n"
+            "    try:\n"
+            "        return do_work()\n"
+            "    finally:\n"
+            "        other.end()\n"
+        )
+        assert "obs-unclosed-span" in rules_fired(source)
+
+    def test_tests_and_out_of_scope_packages_clean(self):
+        source = (
+            "def handle(tracer, rid):\n"
+            "    tracer.start_span(rid, 'request')\n"
+        )
+        assert rules_fired(source, path="src/repro/obs/mod.py") == []
+        assert rules_fired(source, path="tests/service/test_mod.py") == []
+
+    def test_inline_allow_suppresses(self):
+        source = (
+            "def handle(tracer, rid):\n"
+            "    tracer.start_span(rid, 'request')  # repro: allow[obs-unclosed-span]\n"
         )
         assert rules_fired(source) == []
 

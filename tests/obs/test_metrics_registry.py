@@ -1,0 +1,133 @@
+"""The metrics registry: instrument semantics and Prometheus exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    validate_exposition,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("repro_things_total", "Things.")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("repro_things_total", "Things.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("repro_spend_total", "Spend.", labelnames=("tenant",))
+        counter.inc(3, tenant="a")
+        counter.inc(4, tenant="b")
+        assert counter.value(tenant="a") == 3
+        assert counter.value(tenant="b") == 4
+
+    def test_wrong_label_set_rejected(self):
+        counter = Counter("repro_spend_total", "Spend.", labelnames=("tenant",))
+        with pytest.raises(ValueError):
+            counter.inc(1)
+        with pytest.raises(ValueError):
+            counter.inc(1, tenant="a", extra="b")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("repro_depth", "Depth.")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value() == 3
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_with_inf(self):
+        histogram = Histogram("repro_wait_seconds", "Wait.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        rendered = "\n".join(histogram.samples())
+        assert 'repro_wait_seconds_bucket{le="0.1"} 1' in rendered
+        assert 'repro_wait_seconds_bucket{le="1"} 2' in rendered
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 3' in rendered
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+
+    def test_empty_or_duplicate_buckets_rejected_unsorted_sorted(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_x", "X.", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("repro_x", "X.", buckets=(1.0, 1.0))
+        assert Histogram("repro_x", "X.", buckets=(2.0, 1.0)).buckets == (1.0, 2.0)
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "A.")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_a_total", "A again.")
+
+    def test_bad_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name", "Bad.")
+
+    def test_render_is_valid_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_req_total", "Requests.", labelnames=("status",)).inc(
+            1, status="ok"
+        )
+        registry.gauge("repro_depth", "Depth.").set(2)
+        registry.histogram("repro_wait_seconds", "Wait.", buckets=(0.5,)).observe(
+            1.25e-05
+        )
+        text = registry.render()
+        assert text.endswith("\n")
+        assert validate_exposition(text) == []
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_esc_total", "Esc.", labelnames=("tenant",))
+        counter.inc(1, tenant='we"ird\\name\nline')
+        text = registry.render()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert validate_exposition(text) == []
+
+    def test_concurrent_increments_are_lock_safe(self):
+        counter = Counter("repro_hot_total", "Hot.")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+
+class TestValidator:
+    def test_flags_missing_type_and_help(self):
+        problems = validate_exposition("repro_orphan_total 1\n")
+        assert any("TYPE" in problem for problem in problems)
+        assert any("HELP" in problem for problem in problems)
+
+    def test_flags_malformed_sample(self):
+        text = "# HELP repro_x X.\n# TYPE repro_x counter\nrepro_x one\n"
+        assert any("malformed sample" in problem for problem in validate_exposition(text))
+
+    def test_accepts_scientific_notation(self):
+        text = "# HELP repro_x X.\n# TYPE repro_x gauge\nrepro_x 1.2e-05\n"
+        assert validate_exposition(text) == []

@@ -569,7 +569,9 @@ def test_fold_window_discards_broken_engine_and_retries_once():
         def health(self):
             return {"models": {}}
 
-    with ServiceApp(ModelRegistry(), num_workers=1) as app:
+    # telemetry off: the stub engines return placeholder reports that the
+    # fold-telemetry recorder could not introspect
+    with ServiceApp(ModelRegistry(), num_workers=1, telemetry=False) as app:
         app.publish_model("toy", scenario.dataset(0), scenario.config(), seed=FIT_SEED)
         model_id = app.model("toy").model_id
         broken, good = _BrokenOnceEngine(), _GoodEngine()
